@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table and figure has a bench that (a) regenerates the rows
+from the synthetic datasets / mechanistic simulations and prints them in
+the paper's layout (run with ``-s`` to see them), and (b) times the
+analysis kernel with pytest-benchmark.  Dataset generation is
+session-scoped so the 1M-row SLAC--BNL log is built once.
+"""
+
+import pytest
+
+from repro.sim.scenarios import (
+    anl_nersc_mechanistic,
+    nersc_ornl_snmp_experiment,
+    vc_replay_scenario,
+)
+from repro.workload.synth import (
+    ncar_nics,
+    nersc_anl_tests,
+    nersc_ornl_32gb,
+    slac_bnl,
+)
+
+
+@pytest.fixture(scope="session")
+def ncar_log():
+    """The full 52,454-transfer NCAR--NICS dataset."""
+    return ncar_nics(seed=1)
+
+
+@pytest.fixture(scope="session")
+def slac_log():
+    """The full 1,021,999-transfer SLAC--BNL dataset."""
+    return slac_bnl(seed=1)
+
+
+@pytest.fixture(scope="session")
+def ornl_log():
+    """The 145 NERSC--ORNL 32 GB test transfers."""
+    return nersc_ornl_32gb(seed=3)
+
+
+@pytest.fixture(scope="session")
+def anl_set():
+    """The 334 ANL->NERSC endpoint-category test transfers."""
+    return nersc_anl_tests(seed=3)
+
+
+@pytest.fixture(scope="session")
+def snmp_exp():
+    """The mechanistic NERSC--ORNL campaign with SNMP collection."""
+    return nersc_ornl_snmp_experiment(seed=5, n_tests=145, days=30)
+
+
+@pytest.fixture(scope="session")
+def mech_anl():
+    """The mechanistic ANL->NERSC four-category experiment."""
+    return anl_nersc_mechanistic(seed=7)
+
+
+@pytest.fixture(scope="session")
+def replay_scenario():
+    """The contended IP-vs-VC replay scenario (Ext-A)."""
+    return vc_replay_scenario(seed=11)

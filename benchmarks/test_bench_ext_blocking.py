@@ -1,0 +1,64 @@
+"""Ext-D: advance-reservation blocking probability vs offered load.
+
+Section II of the paper notes that advance reservation is what lets a
+provider run large-rate circuits at high utilization with low blocking.
+This bench offers Poisson circuit requests (each claiming 20% of a link)
+at increasing load to the OSCARS scheduler and measures the blocking
+probability — which must grow with load and stay low in the ESnet-like
+operating regime.
+"""
+
+import numpy as np
+
+from repro.net.topology import esnet_like
+from repro.vc.circuits import HardwareSignalling
+from repro.vc.oscars import OscarsIDC, ReservationRejected, ReservationRequest
+
+
+def offered_run(load_factor: float, seed: int = 0) -> float:
+    """Blocking probability at a given offered-load factor."""
+    rng = np.random.default_rng(seed)
+    topology = esnet_like()
+    idc = OscarsIDC(
+        topology, setup_delay=HardwareSignalling(), reservable_fraction=0.9
+    )
+    rate = 2e9  # each circuit wants 20% of a 10 G link
+    mean_hold = 600.0
+    # offered load (erlangs per path) = arrival_rate * hold
+    arrival_rate = load_factor / mean_hold
+    horizon = 40_000.0
+    pairs = [("NERSC", "ORNL"), ("SLAC", "NICS"), ("NCAR", "ANL")]
+    t = 0.0
+    blocked = 0
+    total = 0
+    while t < horizon:
+        t += float(rng.exponential(1.0 / arrival_rate))
+        src, dst = pairs[int(rng.integers(0, len(pairs)))]
+        hold = float(rng.exponential(mean_hold))
+        total += 1
+        try:
+            idc.create_reservation(
+                ReservationRequest(src, dst, rate, t, t + max(hold, 1.0)),
+                request_time=t,
+            )
+        except ReservationRejected:
+            blocked += 1
+    return blocked / max(total, 1)
+
+
+def test_ext_blocking(benchmark):
+    loads = [1.0, 3.0, 6.0, 12.0, 24.0]
+    probs = benchmark.pedantic(
+        lambda: [offered_run(lf) for lf in loads], rounds=1, iterations=1
+    )
+    print()
+    print("Ext-D: blocking probability vs offered load (2 Gbps circuits)")
+    for lf, p in zip(loads, probs):
+        print(f"  load {lf:5.1f} erlang: blocking {100 * p:5.1f}%")
+    # monotone growth with load (allowing sampling noise)
+    assert probs[0] <= probs[-1]
+    assert probs[-1] > probs[1]
+    # low blocking in the sane operating regime
+    assert probs[0] < 0.05
+    # heavy overload must actually block
+    assert probs[-1] > 0.2

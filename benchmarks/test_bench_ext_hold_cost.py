@@ -1,0 +1,56 @@
+"""Ext-N: the cost side of the gap parameter — idle circuit holding.
+
+Section VI-A: "holding a VC open even when idle is not an expensive
+proposition ... On the other hand, VCs add to administrative overhead,
+and hence should not be held open indefinitely."  The g-continuum
+ablation showed the *benefit* of larger g (fewer setups); this bench
+quantifies the *cost*: circuit-seconds held idle, as g sweeps, using the
+online hold policy over the NCAR--NICS workload.
+"""
+
+import numpy as np
+
+from repro.vc.policy import SessionHoldPolicy
+
+G_VALUES = [0.0, 30.0, 60.0, 120.0, 300.0, 900.0]
+
+
+def _hold_costs(log, g):
+    pair_key = log.local_host.astype(np.int64) * 100_000 + log.remote_host
+    episodes = []
+    for key in np.unique(pair_key):
+        idx = np.flatnonzero(pair_key == key)
+        policy = SessionHoldPolicy(g)
+        for i in idx:
+            policy.on_transfer(float(log.start[i]), float(log.duration[i]))
+        episodes.extend(policy.finish())
+    busy = sum(e.busy_s for e in episodes)
+    held = sum(e.duration_s for e in episodes)
+    return len(episodes), busy, held
+
+
+def test_ext_hold_cost(ncar_log, benchmark):
+    log = ncar_log.sorted_by_start()
+
+    def sweep():
+        return [(g, *_hold_costs(log, g)) for g in G_VALUES]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Ext-N: circuit setups vs idle holding, NCAR-NICS")
+    print(f"{'g':>7} {'circuits':>9} {'busy h':>8} {'held h':>8} {'idle h':>8} {'idle %':>7}")
+    for g, n, busy, held in rows:
+        idle = held - busy
+        print(f"{g:>6.0f}s {n:>9,} {busy / 3600:>8.1f} {held / 3600:>8.1f} "
+              f"{idle / 3600:>8.1f} {100 * idle / held:>6.1f}%")
+
+    circuits = [r[1] for r in rows]
+    idles = [r[3] - r[2] for r in rows]
+    # the trade-off is monotone in both directions
+    assert circuits == sorted(circuits, reverse=True)
+    assert all(b >= a - 1e-6 for a, b in zip(idles, idles[1:]))
+    # at the paper's g = 1 min the idle share is modest...
+    g60 = next(r for r in rows if r[0] == 60.0)
+    assert (g60[3] - g60[2]) / g60[3] < 0.5
+    # ...and the setup-count saving vs g=0 is enormous
+    assert rows[0][1] > 50 * g60[1]

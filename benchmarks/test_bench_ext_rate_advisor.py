@@ -1,0 +1,64 @@
+"""Ext-G: circuit-rate quantile ablation for createReservation.
+
+Section VII's second motivation: help applications pick the rate and
+duration for a reservation.  The advisor is trained on the first half of
+the NCAR--NICS log and scored on the second: requesting a high throughput
+quantile throttles few transfers but wastes reserved capacity; a low
+quantile wastes little but throttles most.  The bench sweeps the
+quantile and verifies the trade-off is monotone in both directions.
+"""
+
+import numpy as np
+
+from repro.core.rate_advisor import RateAdvisor
+
+QUANTILES = [0.25, 0.5, 0.75, 0.9]
+
+
+def test_ext_rate_advisor(ncar_log, benchmark):
+    order = np.argsort(ncar_log.start)
+    half = len(ncar_log) // 2
+    train = ncar_log.select(order[:half])
+    test = ncar_log.select(order[half:])
+    ok = test.duration > 0
+    test = test.select(ok)
+
+    def run():
+        advisor = RateAdvisor(train)
+        rows = []
+        # score against a sample of the held-out transfers
+        idx = np.arange(0, len(test), max(len(test) // 2000, 1))
+        tput = test.throughput_bps
+        for q in QUANTILES:
+            throttled = 0
+            waste = 0.0
+            for i in idx:
+                advice = advisor.advise(
+                    float(test.size[i]),
+                    local=int(test.local_host[i]),
+                    remote=int(test.remote_host[i]),
+                    stripes=int(test.stripes[i]),
+                    streams=int(test.streams[i]),
+                    rate_quantile=q,
+                )
+                outcome = advisor.outcome_against(advice, float(tput[i]))
+                throttled += outcome["throttled"]
+                waste += outcome["waste_fraction"]
+            rows.append((q, throttled / idx.size, waste / idx.size))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ext-G: reservation-rate quantile trade-off (NCAR-NICS, held out)")
+    print(f"{'quantile':>9} {'throttled':>10} {'wasted cap':>11}")
+    for q, thr, waste in rows:
+        print(f"{q:>9.2f} {100 * thr:>9.1f}% {100 * waste:>10.1f}%")
+
+    throttles = [thr for _, thr, _ in rows]
+    wastes = [w for _, _, w in rows]
+    # higher quantile -> fewer throttled transfers but more wasted capacity
+    assert all(a >= b - 1e-9 for a, b in zip(throttles, throttles[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(wastes, wastes[1:]))
+    # Q3 (the paper's optimistic statistic) throttles roughly a quarter
+    q75 = rows[2]
+    assert 0.05 < q75[1] < 0.5

@@ -1,0 +1,59 @@
+"""Ext-M: the paper's original hypothesis, tested — does faster networking
+kill VC suitability?
+
+Section I: "Before the analysis, our hypothesis was that ... with
+increasing link rates, a very small percentage of transfers will last
+long enough to justify the VC setup delay overhead.  But data analysis
+showed that most transfers are part of sessions ... long enough even
+under high-rate assumptions."
+
+The bench scales the reference throughput (the Q3 rate of Table IV's
+hypothetical-duration methodology) by 1x .. 20x — i.e. a 10 G world
+becoming a 100/200 G world with the same data sizes — and tracks how the
+suitable fraction decays for both datasets.  The paper's refutation shows
+as slow decay of the *transfer* share: sessions are so large that even at
+10x rates, most transfers still ride suitable sessions at a 1-minute
+setup delay.
+"""
+
+import numpy as np
+
+from repro.core.sessions import group_sessions
+from repro.core.vc_suitability import vc_suitability
+
+SCALES = [1, 2, 5, 10, 20]
+
+
+def _suitability_vs_scale(log):
+    sessions = group_sessions(log, 60.0)
+    tput = log.throughput_bps
+    q3 = float(np.percentile(tput[tput > 0], 75))
+    rows = []
+    for f in SCALES:
+        r = vc_suitability(sessions, 60.0, reference_throughput_bps=f * q3)
+        rows.append((f, r.percent_sessions, r.percent_transfers))
+    return rows
+
+
+def test_ext_rate_scaling(ncar_log, slac_log, benchmark):
+    ncar_rows = benchmark.pedantic(
+        _suitability_vs_scale, args=(ncar_log,), rounds=1, iterations=1
+    )
+    slac_rows = _suitability_vs_scale(slac_log)
+    print()
+    print("Ext-M: VC suitability (1-min setup) as achievable rates scale up")
+    print(f"{'rate scale':>11} {'NCAR sess':>10} {'NCAR xfer':>10} "
+          f"{'SLAC sess':>10} {'SLAC xfer':>10}")
+    for (f, ns, nt), (_, ss, st) in zip(ncar_rows, slac_rows):
+        print(f"{f:>10}x {ns:>9.1f}% {nt:>9.1f}% {ss:>9.1f}% {st:>9.1f}%")
+
+    # suitability decays monotonically with rate (the hypothesis' mechanism)
+    for rows in (ncar_rows, slac_rows):
+        sess = [r[1] for r in rows]
+        assert all(a >= b - 1e-9 for a, b in zip(sess, sess[1:]))
+    # ...but the paper's refutation: even at 10x, the transfer share stays
+    # high because sessions are huge
+    ncar_10x = next(r for r in ncar_rows if r[0] == 10)
+    slac_10x = next(r for r in slac_rows if r[0] == 10)
+    assert ncar_10x[2] > 50.0
+    assert slac_10x[2] > 40.0

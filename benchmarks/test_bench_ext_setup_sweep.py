@@ -1,0 +1,43 @@
+"""Ext-B: VC suitability surface over setup delay x gap parameter.
+
+Extends Table IV beyond the paper's four cells: the fraction of sessions
+(and transfers) that amortize setup must fall monotonically with setup
+delay and rise with g.  The crossover region shows how much a faster
+control plane (hardware signalling) buys for each workload.
+"""
+
+import numpy as np
+
+from repro.core.vc_suitability import suitability_table
+
+SETUP_SWEEP = [0.05, 1.0, 10.0, 60.0, 300.0]
+G_SWEEP = [0.0, 60.0, 120.0]
+
+
+def test_ext_setup_sweep(ncar_log, benchmark):
+    grid = benchmark.pedantic(
+        lambda: suitability_table(ncar_log, G_SWEEP, SETUP_SWEEP),
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Ext-B: % sessions (% transfers) suitable, NCAR-NICS")
+    header = "   g\\setup " + " ".join(f"{d:>14}" for d in SETUP_SWEEP)
+    print(header)
+    for g in G_SWEEP:
+        cells = [
+            f"{grid[(g, d)].percent_sessions:5.1f} ({grid[(g, d)].percent_transfers:5.1f})"
+            for d in SETUP_SWEEP
+        ]
+        print(f"{g:>9.0f}s " + " ".join(f"{c:>14}" for c in cells))
+
+    for g in G_SWEEP:
+        sessions = [grid[(g, d)].percent_sessions for d in SETUP_SWEEP]
+        # suitability falls monotonically with setup delay
+        assert all(a >= b - 1e-9 for a, b in zip(sessions, sessions[1:]))
+    for d in SETUP_SWEEP:
+        sessions = [grid[(g, d)].percent_sessions for g in G_SWEEP]
+        # and rises with g
+        assert all(b >= a - 1e-9 for a, b in zip(sessions, sessions[1:]))
+    # hardware signalling ~saturates; 5-minute setup loses most sessions
+    assert grid[(60.0, 0.05)].percent_sessions > 85
+    assert grid[(60.0, 300.0)].percent_sessions < grid[(60.0, 60.0)].percent_sessions

@@ -1,0 +1,96 @@
+"""Figures 3--5: 1-stream vs 8-stream binned median throughput.
+
+Paper reference points: for small files 8-stream medians exceed 1-stream
+medians (slow start); medians converge for large files (rare loss); the
+[302, 303) MB bin spikes to ~400 Mbps for 8 streams with a large sample;
+Fig. 4 shows an 8-stream dip over 2.2--3.1 GB; Fig. 5 counts shrink with
+size, and 1-stream bins above 2.3 GB fall under ~300 samples.
+"""
+
+import numpy as np
+
+from repro.core.report import format_series
+from repro.core.streams import GB, MB, stream_comparison
+
+BDP_NOTE = "path BDP ~ 10 Gbps x 70 ms = 87.5 MB"
+
+
+def test_fig03_small_files(slac_log, benchmark):
+    cmp = benchmark(stream_comparison, slac_log, 1 * MB, 0.0, 1 * GB)
+    left, m1, m8 = cmp.common_bins()
+    print()
+    print(
+        format_series(
+            f"Figure 3: median throughput by 1 MB size bin ({BDP_NOTE})",
+            left / 1e6,
+            {"1-stream": m1 / 1e6, "8-stream": m8 / 1e6},
+            x_label="size MB",
+            max_rows=18,
+        )
+    )
+    small = (left >= 10e6) & (left <= 120e6)
+    assert np.mean(m8[small] / m1[small]) > 1.2  # 8 streams win on small files
+
+    # the planted 302-303 MB spike
+    spike = np.flatnonzero(
+        (cmp.multi_stream.bin_left >= 302e6) & (cmp.multi_stream.bin_left < 303e6)
+    )
+    assert spike.size == 1
+    k = spike[0]
+    print(
+        f"302 MB spike bin: median {cmp.multi_stream.median[k] / 1e6:.0f} Mbps, "
+        f"n = {cmp.multi_stream.count[k]} (paper: ~400 Mbps, n = 588)"
+    )
+    assert cmp.multi_stream.count[k] > 300
+    neighbors = (cmp.multi_stream.bin_left > 250e6) & (
+        cmp.multi_stream.bin_left < 300e6
+    )
+    assert cmp.multi_stream.median[k] > 1.3 * np.median(
+        cmp.multi_stream.median[neighbors]
+    )
+
+
+def test_fig04_large_files(slac_log, benchmark):
+    cmp = benchmark(stream_comparison, slac_log, 100 * MB, 0.0, 4 * GB)
+    left, m1, m8 = cmp.common_bins()
+    print()
+    print(
+        format_series(
+            "Figure 4: median throughput by 100 MB size bin",
+            left / 1e9,
+            {"1-stream": m1 / 1e6, "8-stream": m8 / 1e6},
+            x_label="size GB",
+            max_rows=20,
+        )
+    )
+    # convergence for large files (rare loss), outside the planted dip
+    flat = (left >= 1.2e9) & (left < 2.1e9)
+    assert np.median(np.abs(m8[flat] - m1[flat]) / m8[flat]) < 0.35
+    # the 2.2-3.1 GB 8-stream dip
+    dip = (cmp.multi_stream.bin_left >= 2.3e9) & (cmp.multi_stream.bin_left < 3.0e9)
+    base = (cmp.multi_stream.bin_left >= 1.2e9) & (cmp.multi_stream.bin_left < 2.1e9)
+    assert np.median(cmp.multi_stream.median[dip]) < 0.75 * np.median(
+        cmp.multi_stream.median[base]
+    )
+
+
+def test_fig05_observation_counts(slac_log, benchmark):
+    cmp = benchmark(stream_comparison, slac_log, 100 * MB, 0.0, 4 * GB)
+    print()
+    print(
+        format_series(
+            "Figure 5: observations per 100 MB bin (1-stream group)",
+            cmp.one_stream.bin_left / 1e9,
+            {"n": cmp.one_stream.count.astype(float)},
+            x_label="size GB",
+            max_rows=15,
+        )
+    )
+    counts = cmp.one_stream.count
+    left = cmp.one_stream.bin_left
+    # counts shrink with size: first GB holds most observations
+    assert counts[left < 1e9].sum() > 5 * counts[left >= 1e9].sum()
+    # paper: 1-stream bins beyond 2.3 GB are small samples (< 300)
+    tail = counts[left > 2.3e9]
+    if tail.size:
+        assert np.median(tail) < 300

@@ -1,0 +1,77 @@
+"""Performance benchmarks for the analysis kernels at dataset scale.
+
+The SLAC--BNL dataset is 1,021,999 rows; the analyses are usable only
+because their kernels are NumPy-vectorized (per-row Python loops would
+take minutes).  These benches time the hot kernels at full scale and
+pin loose upper bounds so a future de-vectorization shows up as a
+failure, not a mystery slowdown.
+"""
+
+import numpy as np
+
+from repro.core.sessions import group_sessions
+from repro.core.snmp_correlation import attributed_bytes
+from repro.core.stats import binned_medians
+from repro.core.vc_suitability import suitability_table
+from repro.net.flows import FlowSpec, max_min_fair
+
+
+def test_perf_group_sessions_1m(slac_log, benchmark):
+    """Session grouping over the full million-row log."""
+    sessions = benchmark(group_sessions, slac_log, 60.0)
+    assert len(sessions) > 9_000
+    # vectorized grouping handles 1M rows in well under a second per call
+    assert benchmark.stats["mean"] < 2.0
+
+
+def test_perf_binned_medians_1m(slac_log, benchmark):
+    """The Figs. 3-5 binning kernel at full scale (1 MB bins, 1000 bins)."""
+    ok = slac_log.duration > 0
+    sizes = slac_log.size[ok]
+    tput = slac_log.size[ok] * 8.0 / slac_log.duration[ok]
+    result = benchmark(binned_medians, sizes, tput, 1e6, 0.0, 1e9)
+    assert len(result) > 500
+    assert benchmark.stats["mean"] < 2.0
+
+
+def test_perf_suitability_full_grid(slac_log, benchmark):
+    """Table IV's full 3x2 grid (six groupings of 1M rows)."""
+    grid = benchmark(suitability_table, slac_log)
+    assert len(grid) == 6
+    assert benchmark.stats["mean"] < 10.0
+
+
+def test_perf_eq1_attribution(benchmark):
+    """Eq. (1) against a month of 30 s bins (86,400 bins)."""
+    rng = np.random.default_rng(0)
+    bins = np.arange(0, 30 * 86_400.0, 30.0)
+    counts = rng.uniform(0, 1e10, bins.size)
+
+    def run():
+        total = 0.0
+        for k in range(100):
+            total += attributed_bytes(bins, counts, k * 20_000.0, 300.0)
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_perf_max_min_fair_wide(benchmark):
+    """The allocator with 500 flows over a 40-link chain."""
+    links = [(f"n{i}", f"n{i+1}") for i in range(40)]
+    caps = {link: 10e9 for link in links}
+    rng = np.random.default_rng(1)
+    flows = []
+    for fid in range(500):
+        k = int(rng.integers(1, 10))
+        start = int(rng.integers(0, 40 - k))
+        flows.append(
+            FlowSpec(fid, tuple(links[start : start + k]),
+                     demand_bps=float(rng.uniform(1e8, 5e9)),
+                     weight=float(rng.integers(1, 9)))
+        )
+    rates = benchmark(max_min_fair, flows, caps)
+    assert len(rates) == 500
+    assert benchmark.stats["mean"] < 2.0

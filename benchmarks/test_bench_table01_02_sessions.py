@@ -1,0 +1,56 @@
+"""Tables I & II: session size/duration and transfer throughput, g = 1 min.
+
+Paper reference points:
+  Table I  (NCAR--NICS): longest session 48,420 s; transfer Q3 682.2 Mbps;
+           max transfer throughput 4.23 Gbps; 211 sessions.
+  Table II (SLAC--BNL):  session median ~1.1 GB vs mean ~24 GB (skew);
+           largest session 12 TB over 26.4 h (~1.06 Gbps effective);
+           max transfer throughput 2.56 Gbps.
+"""
+
+import numpy as np
+
+from repro.core.report import format_summary_block
+from repro.core.sessions import group_sessions
+from repro.core.stats import six_number_summary
+from repro.core.throughput import transfer_throughput_bps
+
+G = 60.0
+
+
+def _render(name, sessions, log):
+    tput = transfer_throughput_bps(log)
+    print()
+    print(
+        format_summary_block(
+            f"Table {'I' if name == 'NCAR-NICS' else 'II'}: {name} "
+            f"({len(sessions):,} sessions; g = 1 min)",
+            [
+                ("size MB", sessions.size_summary(), 1e-6),
+                ("dur s", sessions.duration_summary(), 1.0),
+                ("xput Mbps", six_number_summary(tput), 1e-6),
+            ],
+        )
+    )
+
+
+def test_table01_ncar_nics(ncar_log, benchmark):
+    sessions = benchmark(group_sessions, ncar_log, G)
+    _render("NCAR-NICS", sessions, ncar_log)
+    tput = transfer_throughput_bps(ncar_log)
+    # paper shape: Q3 ~682 Mbps, max ~4.23 Gbps, sessions ~211
+    assert 550e6 < np.percentile(tput, 75) < 850e6
+    assert 3.4e9 < tput.max() < 4.6e9
+    assert 180 <= len(sessions) <= 240
+
+
+def test_table02_slac_bnl(slac_log, benchmark):
+    sessions = benchmark(group_sessions, slac_log, G)
+    _render("SLAC-BNL", sessions, slac_log)
+    sizes = sessions.total_size
+    # paper shape: median ~1.1 GB << mean ~24 GB; 12 TB maximum
+    assert sizes.mean() > 5 * np.median(sizes)
+    assert sizes.max() > 5e12
+    tput = transfer_throughput_bps(slac_log)
+    assert tput.max() < 2.8e9
+    assert 9_000 <= len(sessions) <= 12_000  # paper: 10,199

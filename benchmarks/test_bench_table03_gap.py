@@ -1,0 +1,34 @@
+"""Table III: impact of the g parameter on session structure.
+
+Paper reference points: g = 1 min collapses NCAR's ~26k g=0 sessions to
+211; SLAC's largest session grows 9,120 -> 30,153 -> 38,497 transfers as
+g goes 0 -> 1 min -> 2 min; SLAC keeps >1,000 sessions of >= 100
+transfers at every g.
+"""
+
+from repro.core.report import format_gap_report
+from repro.core.sessions import session_gap_report
+
+G_VALUES = [0.0, 60.0, 120.0]
+
+
+def test_table03_ncar(ncar_log, benchmark):
+    rows = benchmark(session_gap_report, ncar_log, G_VALUES)
+    print()
+    print(format_gap_report("Table III (NCAR-NICS)", rows))
+    n = [r.n_sessions for r in rows]
+    assert n[0] > 50 * n[1] > 0  # g=0 fragments massively
+    assert n[1] >= n[2]
+    assert rows[1].max_transfers_in_session >= 18_000  # the monster survives
+
+
+def test_table03_slac(slac_log, benchmark):
+    rows = benchmark(session_gap_report, slac_log, G_VALUES)
+    print()
+    print(format_gap_report("Table III (SLAC-BNL)", rows))
+    n = [r.n_sessions for r in rows]
+    assert n[0] > 5 * n[1] > n[2]
+    # larger g merges runs: the biggest session only grows
+    maxes = [r.max_transfers_in_session for r in rows]
+    assert maxes[0] <= maxes[1] <= maxes[2]
+    assert rows[1].n_sessions_100_plus > 700  # paper: 1,412

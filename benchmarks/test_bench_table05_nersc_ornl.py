@@ -1,0 +1,25 @@
+"""Table V: the 145 NERSC--ORNL 32 GB transfers.
+
+Paper reference points: throughput min 758 Mbps, max 3.64 Gbps, IQR
+695 Mbps; durations roughly 72--338 s.
+"""
+
+from repro.core.report import format_summary_block
+from repro.core.throughput import duration_summary, throughput_summary
+
+
+def test_table05(ornl_log, benchmark):
+    tput = benchmark(throughput_summary, ornl_log)
+    dur = duration_summary(ornl_log)
+    print()
+    print(
+        format_summary_block(
+            f"Table V: 32 GB NERSC-ORNL transfers ({len(ornl_log)})",
+            [("dur s", dur, 1.0), ("tput Mbps", tput, 1e-6)],
+        )
+    )
+    assert len(ornl_log) == 145
+    assert tput.minimum >= 0.7e9  # paper: 758 Mbps
+    assert tput.maximum <= 3.7e9  # paper: 3.64 Gbps
+    assert 450e6 <= tput.iqr <= 950e6  # paper: 695 Mbps
+    assert 60 <= dur.minimum and dur.maximum <= 400

@@ -1,0 +1,76 @@
+"""Tables VII, VIII, IX: 16 GB / 4 GB NCAR transfers by year and stripes.
+
+Paper reference points: the two slices cover >= 87% of the top-5% largest
+transfers; the ``frost`` cluster shrink (3 servers in 2009 -> 1 in 2011)
+shows as a year-over-year throughput decline; median throughput increases
+with stripe count in both slices (Table IX's "the median column is the
+one to consider").
+"""
+
+import numpy as np
+
+from repro.core.report import format_summary_row
+from repro.core.stripes import (
+    GB,
+    by_stripes,
+    by_year,
+    size_range_slice,
+    top_fraction_size_threshold,
+    variance_table,
+)
+
+
+def _slices(log):
+    return {
+        "16G": size_range_slice(log, 16 * GB, 17 * GB),
+        "4G": size_range_slice(log, 4 * GB, 5 * GB),
+    }
+
+
+def test_table07_variance(ncar_log, benchmark):
+    table = benchmark(lambda: variance_table(_slices(ncar_log)))
+    print()
+    print("Table VII: 16G/4G transfer throughput (Mbps)")
+    for label, summary in table.items():
+        print(format_summary_row(label, summary, 1e-6) + f"  std={summary.std * 1e-6:,.1f}")
+    for summary in table.values():
+        assert summary.std > 0.2 * summary.median  # significant variance
+    # slice dominance of the top-5% (paper: 87%)
+    thr = top_fraction_size_threshold(ncar_log, 0.05)
+    top = ncar_log.select(ncar_log.size >= thr)
+    in_slices = (
+        ((top.size >= 4 * GB) & (top.size < 5 * GB))
+        | ((top.size >= 16 * GB) & (top.size < 17 * GB))
+    ).mean()
+    print(f"top-5% coverage by the two slices: {100 * in_slices:.1f}% (paper: 87%)")
+    assert in_slices >= 0.80
+
+
+def test_table08_year(ncar_log, benchmark):
+    slices = _slices(ncar_log)
+    groups = benchmark(by_year, slices["16G"])
+    print()
+    for label, sub in slices.items():
+        print(f"Table VIII: year-based analysis of {label} transfers (Mbps)")
+        for g in by_year(sub):
+            print(format_summary_row(str(g.key), g.throughput, 1e-6) + f"  n={g.n_transfers}")
+    # the cluster shrink: 2009 (3 servers) beats 2011 (1 server) on median
+    years = {g.key: g for g in groups}
+    assert set(years) == {2009, 2010, 2011}
+    assert years[2009].throughput.median > years[2011].throughput.median
+
+
+def test_table09_stripes(ncar_log, benchmark):
+    slices = _slices(ncar_log)
+    groups = benchmark(by_stripes, slices["16G"])
+    print()
+    for label, sub in slices.items():
+        print(f"Table IX: stripes-based analysis of {label} transfers (Mbps)")
+        for g in by_stripes(sub):
+            print(format_summary_row(f"{g.key} stripes", g.throughput, 1e-6) + f"  n={g.n_transfers}")
+    for sub in slices.values():
+        medians = [
+            g.throughput.median for g in by_stripes(sub) if g.n_transfers >= 10
+        ]
+        assert len(medians) >= 2
+        assert medians == sorted(medians)  # median rises with stripes

@@ -1,0 +1,45 @@
+"""Tables XI--XIII: GridFTP-vs-SNMP correlations and link loads.
+
+Paper reference points: corr(GridFTP bytes, B_i) is high — the α flows
+dominate the backbone byte counts (finding iv); corr(GridFTP bytes,
+B_i − GridFTP bytes) is low — other traffic neither tracks nor disturbs
+the transfers; average link loads stay well under capacity with maxima
+"only slightly more than half" of 10 Gbps.
+"""
+
+import numpy as np
+
+from repro.core.report import format_correlation_table, format_summary_row
+from repro.core.snmp_correlation import correlation_tables, link_load_table
+
+
+def test_table11_12_correlations(snmp_exp, benchmark):
+    total, other = benchmark(
+        correlation_tables, snmp_exp.test_log, snmp_exp.links
+    )
+    print()
+    print(format_correlation_table(
+        "Table XI: corr(GridFTP bytes, total bytes B_i)", total))
+    print(format_correlation_table(
+        "Table XII: corr(GridFTP bytes, other-flow bytes)", other))
+
+    # clean upstream links: transfers dominate -> strong per-quartile corr
+    assert total.per_quartile[3]["rt1"] > 0.5
+    assert total.per_quartile[4]["rt1"] > 0.5
+    # other-traffic correlation is low everywhere (Table XII)
+    for name in other.link_names:
+        assert abs(other.overall[name]) < 0.5
+
+
+def test_table13_link_loads(snmp_exp, benchmark):
+    loads = benchmark(link_load_table, snmp_exp.test_log, snmp_exp.links)
+    print()
+    print("Table XIII: average link load during the 32 GB transfers (Gbps)")
+    for name, summary in loads.items():
+        print(format_summary_row(name, summary, 1e-9))
+    for summary in loads.values():
+        # lightly loaded: mean well under half of 10 G
+        assert summary.mean < 5e9
+        assert summary.maximum < 10e9
+    # at least one link peaks past the lone-transfer level (paper: ~5+ Gbps)
+    assert max(s.maximum for s in loads.values()) > 4e9

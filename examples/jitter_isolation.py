@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Why providers want α flows in their own queues (Section I, positive #3).
+
+A 10 G backbone port carries 0.5 Gbps of general-purpose traffic.  A
+GridFTP α flow arrives: 2.5 Gbps of window-sized line-rate bursts, one
+per RTT.  This example measures what a general-purpose packet experiences
+in the shared FIFO — and after the router's classifier moves the α flow
+into its own virtual queue.
+
+Run:  python examples/jitter_isolation.py
+"""
+
+from repro.net.queueing import jitter_comparison
+
+
+def main() -> None:
+    print("general-purpose packet delay at a 10 G output port")
+    print("(0.5 Gbps GP traffic; α flow bursts one congestion window per RTT)")
+    print()
+    print(f"{'alpha flow':>11} {'FIFO p50':>9} {'FIFO p99':>9} "
+          f"{'VC-queue p99':>13} {'jitter cut':>11}")
+    for rate in (0.0, 1.0e9, 2.5e9, 4.0e9):
+        if rate == 0.0:
+            c = jitter_comparison(alpha_rate_bps=1e6, duration_s=3.0, seed=1)
+            label = "none"
+        else:
+            c = jitter_comparison(alpha_rate_bps=rate, duration_s=3.0, seed=1)
+            label = f"{rate / 1e9:.1f} Gbps"
+        print(f"{label:>11} {c.shared_p50 * 1e6:>8.2f}u {c.shared_p99 * 1e6:>8.1f}u "
+              f"{c.isolated_p99 * 1e6:>12.2f}u {100 * c.jitter_reduction:>10.0f}%")
+    print()
+    print("Reading: under FIFO, a GP packet landing mid-burst waits for the")
+    print("whole window to drain -- hundreds of microseconds of p99 delay")
+    print("that grows with the alpha rate.  A per-VC queue removes the")
+    print("burst-behind effect entirely; the residual-rate slowdown is")
+    print("microseconds.  This is the paper's isolation argument, measured.")
+
+
+if __name__ == "__main__":
+    main()

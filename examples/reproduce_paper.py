@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+This is the one-command reproduction: it generates (or simulates) each
+dataset, runs the corresponding analysis, and prints the results in the
+paper's own layout, in paper order.  By default the SLAC--BNL dataset is
+built at 1/10 scale for speed; pass ``--full`` for the full 1,021,999
+transfers (adds ~10 s).
+
+Run:  python examples/reproduce_paper.py [--full]
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.concurrency import concurrency_analysis
+from repro.core.report import (
+    format_box,
+    format_category_table,
+    format_concurrency,
+    format_correlation_table,
+    format_gap_report,
+    format_series,
+    format_suitability_grid,
+    format_summary_block,
+    format_summary_row,
+)
+from repro.core.sessions import group_sessions, session_gap_report
+from repro.core.snmp_correlation import correlation_tables, link_load_table
+from repro.core.stats import six_number_summary
+from repro.core.streams import GB, MB, scatter_series, stream_comparison
+from repro.core.stripes import by_stripes, by_year, size_range_slice, variance_table
+from repro.core.throughput import (
+    categorized_throughput,
+    duration_summary,
+    throughput_summary,
+    transfer_throughput_bps,
+)
+from repro.core.timeofday import time_of_day_analysis
+from repro.core.vc_suitability import suitability_table
+from repro.sim.scenarios import nersc_ornl_snmp_experiment
+from repro.workload.synth import (
+    SLAC_BNL_N_TRANSFERS,
+    ncar_nics,
+    nersc_anl_tests,
+    nersc_ornl_32gb,
+    slac_bnl,
+)
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--full", action="store_true",
+                        help="full-scale SLAC-BNL dataset (1,021,999 transfers)")
+    args = parser.parse_args(argv)
+    t0 = time.time()
+
+    print("generating datasets...")
+    ncar = ncar_nics(seed=1)
+    n_slac = SLAC_BNL_N_TRANSFERS if args.full else SLAC_BNL_N_TRANSFERS // 10
+    slac = slac_bnl(seed=1, n_transfers=n_slac)
+    ornl = nersc_ornl_32gb(seed=3)
+    anl = nersc_anl_tests(seed=3)
+    print(f"  NCAR-NICS {len(ncar):,} | SLAC-BNL {len(slac):,} | "
+          f"NERSC-ORNL {len(ornl):,} | NERSC-ANL {len(anl.log):,}")
+
+    # ---- Tables I & II ---------------------------------------------------
+    for name, log in (("I: NCAR-NICS", ncar), ("II: SLAC-BNL", slac)):
+        sessions = group_sessions(log, 60.0)
+        banner(f"Table {name} — sessions (g = 1 min) and transfers")
+        print(format_summary_block(
+            f"{len(sessions):,} sessions",
+            [("size MB", sessions.size_summary(), 1e-6),
+             ("dur s", sessions.duration_summary(), 1.0),
+             ("xput Mbps",
+              six_number_summary(transfer_throughput_bps(log)), 1e-6)],
+        ))
+
+    # ---- Table III ---------------------------------------------------------
+    banner("Table III — impact of the gap parameter g")
+    print(format_gap_report("NCAR-NICS", session_gap_report(ncar, [0.0, 60.0, 120.0])))
+    print()
+    print(format_gap_report("SLAC-BNL", session_gap_report(slac, [0.0, 60.0, 120.0])))
+
+    # ---- Table IV ---------------------------------------------------------
+    banner("Table IV — VC suitability: % sessions (% transfers)")
+    print(format_suitability_grid("NCAR-NICS", suitability_table(ncar)))
+    print()
+    print(format_suitability_grid("SLAC-BNL", suitability_table(slac)))
+
+    # ---- Table V + Fig 6 ---------------------------------------------------
+    banner("Table V / Figure 6 — the 145x 32 GB NERSC-ORNL test transfers")
+    print(format_summary_block(
+        "32 GB transfers",
+        [("dur s", duration_summary(ornl), 1.0),
+         ("tput Mbps", throughput_summary(ornl), 1e-6)],
+    ))
+    print()
+    for g in time_of_day_analysis(ornl):
+        print(format_summary_row(f"{g.hour:02d}:00", g.throughput, 1e-6)
+              + f"  n={g.n_transfers}")
+
+    # ---- Table VI + Fig 1 ---------------------------------------------------
+    banner("Table VI / Figure 1 — ANL->NERSC endpoint categories")
+    cats = categorized_throughput({k: anl.category(k) for k in anl.masks})
+    print(format_category_table("throughput (Mbps)", cats))
+    for c in cats:
+        print(format_box(c.category, c.box))
+
+    # ---- Tables VII-IX -------------------------------------------------------
+    banner("Tables VII-IX — 16G/4G slices: variance, year, stripes")
+    slices = {
+        "16G": size_range_slice(ncar, 16 * GB, 17 * GB),
+        "4G": size_range_slice(ncar, 4 * GB, 5 * GB),
+    }
+    for label, summary in variance_table(slices).items():
+        print(format_summary_row(label, summary, 1e-6)
+              + f"  std={summary.std * 1e-6:,.1f}")
+    for label, sub in slices.items():
+        print(f"-- {label} by year:")
+        for g in by_year(sub):
+            print(format_summary_row(str(g.key), g.throughput, 1e-6)
+                  + f"  n={g.n_transfers}")
+        print(f"-- {label} by stripes:")
+        for g in by_stripes(sub):
+            print(format_summary_row(f"{g.key} stripes", g.throughput, 1e-6)
+                  + f"  n={g.n_transfers}")
+
+    # ---- Figures 2-5 ---------------------------------------------------------
+    banner("Figures 2-5 — SLAC-BNL stream analysis")
+    sizes, tput = scatter_series(slac)
+    peak = int(np.argmax(tput))
+    print(f"Fig 2 peak: {tput[peak] / 1e9:.2f} Gbps at {sizes[peak] / 1e6:.1f} MB "
+          f"(paper: 2.56 Gbps at 398.5 MB)")
+    cmp1 = stream_comparison(slac, 1 * MB, 0, 1 * GB)
+    left, m1, m8 = cmp1.common_bins()
+    print(format_series("Fig 3: median Mbps by 1 MB bin",
+                        left / 1e6, {"1-stream": m1 / 1e6, "8-stream": m8 / 1e6},
+                        x_label="size MB", max_rows=12))
+    cmp4 = stream_comparison(slac, 100 * MB, 0, 4 * GB)
+    l4, a1, a8 = cmp4.common_bins()
+    print(format_series("Fig 4: median Mbps by 100 MB bin",
+                        l4 / 1e9, {"1-stream": a1 / 1e6, "8-stream": a8 / 1e6},
+                        x_label="size GB", max_rows=12))
+    print(format_series("Fig 5: observations per bin (1-stream)",
+                        cmp4.one_stream.bin_left / 1e9,
+                        {"n": cmp4.one_stream.count.astype(float)},
+                        x_label="size GB", max_rows=8))
+
+    # ---- Tables X-XIII (mechanistic) ------------------------------------------
+    banner("Tables X-XIII — SNMP correlation study (mechanistic simulation)")
+    exp = nersc_ornl_snmp_experiment(seed=5)
+    total, other = correlation_tables(exp.test_log, exp.links)
+    print(format_correlation_table("Table XI: corr(GridFTP, total bytes)", total))
+    print()
+    print(format_correlation_table("Table XII: corr(GridFTP, other bytes)", other))
+    print()
+    print("Table XIII: average link load during transfers (Gbps)")
+    for name, summary in link_load_table(exp.test_log, exp.links).items():
+        print(format_summary_row(name, summary, 1e-9))
+
+    # ---- Figures 7-8 ------------------------------------------------------------
+    banner("Figures 7-8 — concurrency and the Eq. (2) prediction")
+    analysis = concurrency_analysis(anl.log, subset=anl.mm_indices())
+    print(format_concurrency("Eq. (2) on the calibrated test set "
+                             "(paper: rho = 0.458)", analysis))
+
+    print()
+    print(f"done in {time.time() - t0:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Factor analysis on a mechanistic campaign: Eq. (1), Eq. (2) and friends.
+
+Reproduces the Section VII workflow on data produced by the fluid
+simulator instead of the production ESnet network:
+
+  1. simulate the 32 GB NERSC->ORNL test campaign with SNMP collection,
+  2. join transfer intervals against the 30 s byte counters via Eq. (1),
+  3. report the correlation tables (XI, XII) and link loads (XIII),
+  4. run the ANL->NERSC endpoint-category tests and the Eq. (2)
+     concurrency prediction (Table VI, Figures 7-8).
+
+Run:  python examples/snmp_factor_analysis.py
+"""
+
+import numpy as np
+
+from repro.core.concurrency import concurrency_analysis, concurrency_profile
+from repro.core.report import (
+    format_category_table,
+    format_concurrency,
+    format_correlation_table,
+    format_summary_row,
+)
+from repro.core.snmp_correlation import correlation_tables, link_load_table
+from repro.core.throughput import categorized_throughput
+from repro.sim.scenarios import anl_nersc_mechanistic, nersc_ornl_snmp_experiment
+
+
+def main() -> None:
+    # --- the NERSC->ORNL campaign: network-side factors -----------------
+    print("simulating the 32 GB NERSC->ORNL campaign (30 days)...")
+    exp = nersc_ornl_snmp_experiment(seed=5, n_tests=145, days=30)
+    tput = exp.test_log.throughput_bps
+    print(f"  {len(exp.test_log)} transfers, throughput "
+          f"{tput.min() / 1e9:.2f}-{tput.max() / 1e9:.2f} Gbps "
+          f"(IQR {np.subtract(*np.percentile(tput, [75, 25])) / 1e6:.0f} Mbps)")
+
+    total, other = correlation_tables(exp.test_log, exp.links)
+    print()
+    print(format_correlation_table(
+        "corr(GridFTP bytes, total SNMP bytes)  [Table XI-style]", total))
+    print()
+    print(format_correlation_table(
+        "corr(GridFTP bytes, other-flow bytes)  [Table XII-style]", other))
+
+    print()
+    print("average link load during transfers (Gbps)  [Table XIII-style]")
+    for name, summary in link_load_table(exp.test_log, exp.links).items():
+        print(format_summary_row(name, summary, 1e-9))
+    print()
+    print("Reading: the science flows dominate the backbone byte counts")
+    print("(high Table XI correlations) while other traffic neither tracks")
+    print("nor disturbs them (low Table XII) -- the backbone is not the")
+    print("source of the throughput variance.")
+
+    # --- the ANL->NERSC tests: server-side factors -----------------------
+    print()
+    print("simulating the ANL->NERSC endpoint-category tests...")
+    anl = anl_nersc_mechanistic(seed=7)
+    cats = categorized_throughput({k: anl.category(k) for k in anl.masks})
+    print()
+    print(format_category_table(
+        "throughput by endpoint category (Mbps)  [Table VI-style]", cats))
+
+    mm = anl.mm_indices()
+    busiest = max(mm, key=lambda i: concurrency_profile(anl.log, int(i)).counts.max())
+    profile = concurrency_profile(anl.log, int(busiest))
+    print()
+    print("concurrency steps within one mem-mem transfer  [Figure 7-style]")
+    for d, c in zip(profile.durations, profile.counts):
+        print(f"  {c} concurrent for {d:8.2f} s")
+
+    analysis = concurrency_analysis(anl.log, subset=mm, capacity_bps=3.5e9)
+    print()
+    print(format_concurrency("Eq. (2) prediction  [Figure 8-style]", analysis))
+    print()
+    print("Reading: disk writes at the receiver bottleneck the *-disk")
+    print("categories, and concurrent transfers at the server have a weak")
+    print("positive effect on each other's throughput -- competition for")
+    print("server resources, not network bandwidth (the paper's finding v).")
+
+
+if __name__ == "__main__":
+    main()

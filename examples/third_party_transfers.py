@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""GridFTP mechanics end to end: control channel, striping, fault recovery.
+
+Section II's feature list, demonstrated against the local substrate:
+
+  1. a *third-party transfer*: a client at a third site wires ANL's and
+     NERSC's servers together over two control channels (both sites log
+     the movement — which is exactly why one file movement appears as a
+     RETR in one dataset and a STOR in another);
+  2. *striping*: the MODE-E block-cyclic plan, load balance across
+     stripes, and order-insensitive reassembly with restart markers;
+  3. *fault recovery*: the same 32 GB transfer through a flaky path with
+     and without restart markers.
+
+Run:  python examples/third_party_transfers.py
+"""
+
+import numpy as np
+
+from repro.gridftp.control import GridFtpServerSim, ThirdPartyClient
+from repro.gridftp.reliability import (
+    FaultModel,
+    ReliableTransferService,
+    RestartPolicy,
+)
+from repro.gridftp.striping import StripeReassembler, block_plan, stripe_byte_counts
+
+
+def third_party_demo() -> None:
+    anl = GridFtpServerSim("anl-dtn", host_id=1)
+    nersc = GridFtpServerSim("nersc-dtn", host_id=0)
+    anl.add_file("/projects/climate/run042.h5", 20e9)
+
+    client = ThirdPartyClient(user="operator")
+    duration = client.transfer(
+        anl, nersc, "/projects/climate/run042.h5",
+        rate_bps=2e9, start_time=0.0, parallelism=8,
+    )
+    print("third-party transfer ANL -> NERSC, driven from a third host:")
+    print(f"  20 GB at 2 Gbps: {duration:.0f} s")
+    print(f"  ANL log:   {anl.log().record(0).transfer_type.name} "
+          f"(remote={anl.log().record(0).remote_host})")
+    print(f"  NERSC log: {nersc.log().record(0).transfer_type.name} "
+          f"(remote={nersc.log().record(0).remote_host})")
+
+
+def striping_demo() -> None:
+    size, block, stripes = 10_000_000_000, 262_144, 3
+    counts = stripe_byte_counts(size, block, stripes)
+    print()
+    print(f"MODE-E striping of a {size / 1e9:.0f} GB file over {stripes} servers:")
+    for i, c in enumerate(counts):
+        print(f"  stripe {i}: {c / 1e9:.3f} GB")
+    print(f"  imbalance: {int(counts.max() - counts.min()):,} bytes "
+          f"(at most one block)")
+
+    # out-of-order arrival: shuffle a small file's blocks and reassemble
+    plan = block_plan(5_000_000, 262_144, stripes)
+    rng = np.random.default_rng(0)
+    order = rng.permutation(len(plan))
+    r = StripeReassembler(5_000_000)
+    for k in order[: len(order) // 2]:
+        r.receive(plan[k].offset, plan[k].length)
+    print(f"  after half the blocks (random order): restart marker at "
+          f"{r.restart_marker:,} bytes, {len(r.missing_ranges())} gaps")
+    for k in order[len(order) // 2:]:
+        r.receive(plan[k].offset, plan[k].length)
+    print(f"  all blocks in: complete = {r.complete}")
+
+
+def reliability_demo() -> None:
+    fault = FaultModel(faults_per_hour=40.0)
+    rng = np.random.default_rng(11)
+    print()
+    print("one 32 GB transfer at 1.6 Gbps on a path faulting 40x/hour:")
+    for label, policy in [
+        ("restart markers (64 MB)", RestartPolicy(marker_interval_bytes=64e6)),
+        ("naive full restart", RestartPolicy(marker_interval_bytes=None)),
+    ]:
+        svc = ReliableTransferService(fault, policy, max_attempts=100_000)
+        results = [svc.execute(32e9, 1.6e9, rng) for _ in range(40)]
+        mean_oh = np.mean([r.overhead_factor for r in results])
+        mean_faults = np.mean([r.n_faults for r in results])
+        print(f"  {label:>24}: {mean_oh:5.2f}x wall time, "
+              f"{mean_faults:.1f} faults per transfer")
+
+
+if __name__ == "__main__":
+    third_party_demo()
+    striping_demo()
+    reliability_demo()

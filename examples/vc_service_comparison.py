@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""IP-routed vs dynamic-VC service for one science workload (Ext-A).
+
+The paper motivates circuits with three positives: rate guarantees reduce
+throughput variance, the provider controls the path, and α flows are
+isolated from general-purpose traffic.  This example demonstrates the
+first one mechanistically:
+
+  1. build a contended scenario: one NERSC->ORNL session of back-to-back
+     transfers while bursts of α flows from SLAC and LANL saturate the
+     shared southern backbone links,
+  2. replay it best-effort over the IP routes,
+  3. replay it again with an OSCARS-managed circuit per session (gap-g
+     hold policy, batch-signalling setup delay),
+  4. compare the throughput distributions.
+
+Run:  python examples/vc_service_comparison.py
+"""
+
+from repro.core.report import format_summary_row
+from repro.sim.replay import compare_ip_vs_vc
+from repro.sim.scenarios import vc_replay_scenario
+from repro.vc.circuits import HardwareSignalling
+from repro.vc.oscars import OscarsIDC
+
+
+def main() -> None:
+    sc = vc_replay_scenario(seed=11)
+    print(f"workload: {len(sc.jobs)} transfers NERSC->ORNL, "
+          f"{len(sc.contenders)} contending alpha flows")
+    print(f"requested circuit rate: {sc.vc_rate_bps / 1e9:.1f} Gbps")
+
+    print()
+    print("replaying with production OSCARS signalling (~1 min setup)...")
+    cmp_batch = compare_ip_vs_vc(
+        sc.topology, sc.dtns, sc.jobs, OscarsIDC(sc.topology),
+        sc.vc_rate_bps, contenders=sc.contenders,
+    )
+    print(format_summary_row("IP-routed", cmp_batch.ip, 1e-6) + "   (Mbps)")
+    print(format_summary_row("dynamic VC", cmp_batch.vc, 1e-6) + "   (Mbps)")
+    print(f"  IQR: {cmp_batch.ip.iqr / 1e6:.0f} -> {cmp_batch.vc.iqr / 1e6:.0f} Mbps "
+          f"({100 * cmp_batch.iqr_reduction:.0f}% reduction); "
+          f"{cmp_batch.plan.n_circuits} circuits, "
+          f"{cmp_batch.plan.total_setup_wait_s:.0f} s total signalling wait")
+
+    print()
+    print("replaying with hypothetical hardware signalling (50 ms setup)...")
+    idc_hw = OscarsIDC(sc.topology, setup_delay=HardwareSignalling())
+    cmp_hw = compare_ip_vs_vc(
+        sc.topology, sc.dtns, sc.jobs, idc_hw,
+        sc.vc_rate_bps, contenders=sc.contenders,
+    )
+    print(format_summary_row("dynamic VC", cmp_hw.vc, 1e-6) + "   (Mbps)")
+    print(f"  signalling wait drops to {cmp_hw.plan.total_setup_wait_s:.2f} s")
+
+    print()
+    print("Reading: under link contention the circuit both raises the")
+    print("median and shrinks the spread; the remaining variance is the")
+    print("session's own server-side contention, which a network circuit")
+    print("cannot remove (the paper's finding v).")
+
+
+if __name__ == "__main__":
+    main()

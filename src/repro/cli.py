@@ -1,0 +1,234 @@
+"""Command-line interface: generate datasets and run paper analyses.
+
+Examples::
+
+    repro-gridftp datasets
+    repro-gridftp generate NCAR-NICS --seed 7 --out ncar.log
+    repro-gridftp sessions ncar.log --g 60
+    repro-gridftp suitability ncar.log
+    repro-gridftp summary ncar.log
+    repro-gridftp factors ncar.log
+    repro-gridftp advise ncar.log --bytes 2e11 --stripes 2
+    repro-gridftp collect ncar.log --loss 0.05 --out collected.log
+    repro-gridftp hntes yesterday.log today.log
+    repro-gridftp arrivals ncar.log
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.report import (
+    format_gap_report,
+    format_suitability_grid,
+    format_summary_block,
+)
+from .core.sessions import group_sessions, session_gap_report
+from .core.throughput import path_report
+from .core.vc_suitability import suitability_table
+from .core.rate_advisor import RateAdvisor
+from .core.variance import decompose_throughput_variance
+from .gridftp.logfmt import read_usage_log, write_usage_log
+from .gridftp.usagestats import simulate_collection
+from .workload.datasets import DATASETS, load
+
+__all__ = ["main"]
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    for spec in DATASETS.values():
+        print(f"{spec.name:18} {spec.n_transfers:>9,} transfers  {spec.period:24} "
+              f"{'anonymized' if spec.anonymized else 'identified'}")
+        print(f"{'':18} {spec.description}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    log = load(args.dataset, seed=args.seed)
+    write_usage_log(log, args.out)
+    print(f"wrote {len(log):,} transfers to {args.out}")
+    return 0
+
+
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    log = read_usage_log(args.log)
+    rows = session_gap_report(log, [0.0, args.g, 2 * args.g] if args.g else [0.0, 60.0, 120.0])
+    print(format_gap_report(f"Session structure of {args.log}", rows))
+    s = group_sessions(log, args.g or 60.0)
+    print(f"\nat g={args.g or 60.0:.0f}s: {len(s):,} sessions, "
+          f"{int(s.n_transfers.sum()):,} transfers")
+    return 0
+
+
+def _cmd_suitability(args: argparse.Namespace) -> int:
+    log = read_usage_log(args.log)
+    grid = suitability_table(log)
+    print(format_suitability_grid(f"VC suitability of {args.log}", grid))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    log = read_usage_log(args.log)
+    rep = path_report(log)
+    print(
+        format_summary_block(
+            f"{args.log}: {rep.n_transfers:,} transfers",
+            [
+                ("size MB", rep.size, 1e-6),
+                ("dur s", rep.duration, 1.0),
+                ("tput Mbps", rep.throughput, 1e-6),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_factors(args: argparse.Namespace) -> int:
+    log = read_usage_log(args.log)
+    effects = decompose_throughput_variance(
+        log, include_concurrency=not args.no_concurrency
+    )
+    print(f"throughput-variance decomposition of {args.log} (one-way eta^2)")
+    for e in effects:
+        print(f"  {e.factor:>12}: {e.eta_squared:6.3f}  "
+              f"({e.n_groups} levels, n={e.n:,})")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    log = read_usage_log(args.log)
+    advisor = RateAdvisor(log)
+    advice = advisor.advise(
+        args.bytes,
+        stripes=args.stripes,
+        streams=args.streams,
+        rate_quantile=args.quantile,
+    )
+    print(f"createReservation advice for a {args.bytes / 1e9:.1f} GB session:")
+    print(f"  bandwidth = {advice.rate_bps / 1e6:,.0f} Mbps "
+          f"(q{args.quantile:.2f} of {advice.support:,} similar transfers)")
+    print(f"  duration  = {advice.duration_s:,.0f} s")
+    return 0
+
+
+def _cmd_hntes(args: argparse.Namespace) -> int:
+    from .core.alpha_flows import AlphaFlowCriteria
+    from .vc.hntes import HntesController
+
+    learn = read_usage_log(args.learn_log)
+    apply_to = read_usage_log(args.apply_log)
+    ctl = HntesController(
+        criteria=AlphaFlowCriteria(
+            min_rate_bps=args.min_rate_gbps * 1e9, min_size_bytes=1e9
+        )
+    )
+    ctl.analyze(learn, cycle=0)
+    report = ctl.apply_filters(apply_to, cycle=1)
+    print(f"learned from {len(learn):,} transfers; "
+          f"{len(ctl.active_filters())} filters installed")
+    print(f"next cycle: {report.n_redirected:,}/{report.n_transfers:,} "
+          f"transfers redirected ({100 * report.byte_coverage:.1f}% of bytes)")
+    if not args.no_config:
+        print()
+        print(ctl.render_config())
+    return 0
+
+
+def _cmd_arrivals(args: argparse.Namespace) -> int:
+    from .core.interarrival import arrival_report
+
+    log = read_usage_log(args.log)
+    r = arrival_report(log, g_seconds=args.g)
+    print(f"arrival process of {args.log}")
+    print(f"  transfers: {r.n_transfers:,} (interarrival CV {r.transfer_cv:.2f}, "
+          f"burstiness {r.transfer_burstiness:+.2f})")
+    print(f"  sessions:  {r.n_sessions:,} (interarrival CV {r.session_cv:.2f}, "
+          f"burstiness {r.session_burstiness:+.2f})")
+    print(f"  peak hour holds {100 * r.peak_hour_share:.1f}% of arrivals")
+    print(f"  batch structure visible: {r.batching_visible}")
+    return 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    log = read_usage_log(args.log)
+    collected, collector = simulate_collection(log, loss_rate=args.loss)
+    write_usage_log(collected, args.out)
+    print(f"collected {collector.n_records:,} of {len(log):,} transfers "
+          f"({args.loss:.0%} UDP loss); remote hosts anonymized")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-gridftp",
+        description="GridFTP transfer-log analysis (SC'12 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the registered datasets").set_defaults(
+        func=_cmd_datasets
+    )
+
+    g = sub.add_parser("generate", help="generate a synthetic dataset")
+    g.add_argument("dataset", choices=sorted(DATASETS))
+    g.add_argument("--seed", type=int, default=None)
+    g.add_argument("--out", required=True)
+    g.set_defaults(func=_cmd_generate)
+
+    s = sub.add_parser("sessions", help="session structure of a usage log")
+    s.add_argument("log")
+    s.add_argument("--g", type=float, default=60.0, help="gap parameter, seconds")
+    s.set_defaults(func=_cmd_sessions)
+
+    v = sub.add_parser("suitability", help="Table IV suitability grid")
+    v.add_argument("log")
+    v.set_defaults(func=_cmd_suitability)
+
+    m = sub.add_parser("summary", help="six-number summaries of a usage log")
+    m.add_argument("log")
+    m.set_defaults(func=_cmd_summary)
+
+    f = sub.add_parser("factors", help="variance decomposition across factors")
+    f.add_argument("log")
+    f.add_argument("--no-concurrency", action="store_true",
+                   help="skip the O(n^2) concurrency factor")
+    f.set_defaults(func=_cmd_factors)
+
+    a = sub.add_parser("advise", help="circuit rate/duration advice")
+    a.add_argument("log", help="historical usage log to learn from")
+    a.add_argument("--bytes", type=float, required=True,
+                   help="upcoming session size in bytes")
+    a.add_argument("--stripes", type=int, default=1)
+    a.add_argument("--streams", type=int, default=8)
+    a.add_argument("--quantile", type=float, default=0.75)
+    a.set_defaults(func=_cmd_advise)
+
+    c = sub.add_parser("collect", help="simulate usage-stats UDP collection")
+    c.add_argument("log")
+    c.add_argument("--loss", type=float, default=0.0)
+    c.add_argument("--out", required=True)
+    c.set_defaults(func=_cmd_collect)
+
+    h = sub.add_parser("hntes", help="learn alpha filters from one log, apply to another")
+    h.add_argument("learn_log")
+    h.add_argument("apply_log")
+    h.add_argument("--min-rate-gbps", type=float, default=1.0)
+    h.add_argument("--no-config", action="store_true")
+    h.set_defaults(func=_cmd_hntes)
+
+    r = sub.add_parser("arrivals", help="arrival-process burstiness analysis")
+    r.add_argument("log")
+    r.add_argument("--g", type=float, default=60.0)
+    r.set_defaults(func=_cmd_arrivals)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

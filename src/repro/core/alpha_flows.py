@@ -1,0 +1,108 @@
+"""Flow classification: α flows, elephants, and porcupines (Sections I, III).
+
+Sarvotham et al. call a TCP flow an *α flow* when a large transfer rides a
+large-bottleneck path at a rate that dominates ordinary traffic; Lan &
+Heidemann classify flows along size (elephant), duration (tortoise),
+rate (cheetah) and burstiness (porcupine) dimensions.  The paper's
+operational concern is that GridFTP α flows at multi-Gbps consume a large
+fraction of 10 G links and should be steered onto virtual circuits.
+
+This module provides threshold-based classifiers over a
+:class:`~repro.gridftp.records.TransferLog`, used by the HNTES-style
+redirection extension (:mod:`repro.vc.policy`) and the Ext-C benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..gridftp.records import TransferLog
+
+__all__ = [
+    "AlphaFlowCriteria",
+    "classify_alpha_flows",
+    "FlowClassSummary",
+    "classify_lan_heidemann",
+    "link_fraction",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AlphaFlowCriteria:
+    """Thresholds defining an α flow.
+
+    Defaults follow the paper's framing: a flow is α when it moves at a
+    significant fraction of a 10 Gbps backbone link.  ``min_rate_bps`` is
+    the dominant criterion; ``min_size_bytes`` excludes tiny bursts that
+    momentarily spike the rate estimate.
+    """
+
+    min_rate_bps: float = 1e9  # 1 Gbps: ~10% of a 10 G link
+    min_size_bytes: float = 1e9  # 1 GB
+
+
+def classify_alpha_flows(
+    log: TransferLog, criteria: AlphaFlowCriteria | None = None
+) -> np.ndarray:
+    """Boolean mask of α-flow transfers under ``criteria``."""
+    criteria = criteria or AlphaFlowCriteria()
+    rate = log.throughput_bps
+    return (rate >= criteria.min_rate_bps) & (log.size >= criteria.min_size_bytes)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FlowClassSummary:
+    """Lan--Heidemann style classification counts over a log."""
+
+    n_flows: int
+    n_elephant: int  # large size
+    n_tortoise: int  # long duration
+    n_cheetah: int  # high rate
+    n_alpha: int  # cheetah AND elephant (the burst-causing combination)
+
+    def fraction(self, count: int) -> float:
+        return count / self.n_flows if self.n_flows else float("nan")
+
+
+def classify_lan_heidemann(
+    log: TransferLog,
+    size_quantile: float = 0.9,
+    duration_quantile: float = 0.9,
+    rate_quantile: float = 0.9,
+) -> FlowClassSummary:
+    """Classify flows by upper-quantile thresholds on size/duration/rate.
+
+    Lan & Heidemann define heavy classes relative to the observed
+    distribution (their elephants are the top tail by bytes); quantile
+    thresholds make the classification dataset-relative, as in the related
+    work the paper cites.
+    """
+    if len(log) == 0:
+        return FlowClassSummary(0, 0, 0, 0, 0)
+    size_thr = np.percentile(log.size, 100 * size_quantile)
+    dur_thr = np.percentile(log.duration, 100 * duration_quantile)
+    rate = log.throughput_bps
+    rate_thr = np.percentile(rate, 100 * rate_quantile)
+    elephant = log.size >= size_thr
+    tortoise = log.duration >= dur_thr
+    cheetah = rate >= rate_thr
+    return FlowClassSummary(
+        n_flows=len(log),
+        n_elephant=int(elephant.sum()),
+        n_tortoise=int(tortoise.sum()),
+        n_cheetah=int(cheetah.sum()),
+        n_alpha=int((elephant & cheetah).sum()),
+    )
+
+
+def link_fraction(log: TransferLog, link_capacity_bps: float = 10e9) -> np.ndarray:
+    """Per-transfer throughput as a fraction of link capacity.
+
+    Supports the paper's finding (ii): observed transfers reach 2.5--4.3
+    Gbps, i.e. 25--43% of a 10 G core link.
+    """
+    if link_capacity_bps <= 0:
+        raise ValueError("link capacity must be positive")
+    return log.throughput_bps / link_capacity_bps

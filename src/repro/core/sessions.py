@@ -1,0 +1,229 @@
+"""Session grouping: the paper's central analytical construct.
+
+A *transfer* is one file (one log row); a *session* is a maximal run of
+transfers between the same two GridFTP servers where the gap between the
+end of one transfer and the start of the next never exceeds a configurable
+parameter ``g`` (Section V).  Gaps may be negative — scripts start several
+transfers concurrently — and such overlapping transfers always belong to
+the same session.
+
+A virtual circuit, once set up, serves every transfer in a session, so
+session (not transfer) duration is what must amortize VC setup delay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..gridftp.records import ANONYMIZED_HOST, TransferLog
+from .stats import SixNumberSummary, six_number_summary
+
+__all__ = [
+    "SessionSet",
+    "group_sessions",
+    "session_gap_report",
+    "GapReportRow",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionSet:
+    """Column-oriented result of grouping a transfer log into sessions.
+
+    All arrays have one entry per session.  ``transfer_session`` maps each
+    transfer of the *time-sorted* source log to its session id, enabling
+    transfer-weighted statistics (Table IV reports both percent-of-sessions
+    and percent-of-transfers).
+    """
+
+    #: gap parameter used for the grouping, in seconds
+    g: float
+    #: first transfer start per session (s since epoch)
+    start: np.ndarray
+    #: wall-clock session duration: max transfer end - min transfer start (s)
+    duration: np.ndarray
+    #: total bytes over the session's transfers
+    total_size: np.ndarray
+    #: number of transfers in the session
+    n_transfers: np.ndarray
+    #: (local, remote) host pair per session
+    local_host: np.ndarray
+    remote_host: np.ndarray
+    #: session id per transfer of the sorted source log
+    transfer_session: np.ndarray
+    #: the time-sorted source log the grouping was computed over
+    source: TransferLog
+
+    def __len__(self) -> int:
+        return int(self.start.size)
+
+    @property
+    def n_single(self) -> int:
+        """Number of single-transfer sessions (Table III column)."""
+        return int(np.count_nonzero(self.n_transfers == 1))
+
+    @property
+    def n_multi(self) -> int:
+        """Number of multi-transfer sessions (Table III column)."""
+        return int(np.count_nonzero(self.n_transfers > 1))
+
+    @property
+    def effective_throughput_bps(self) -> np.ndarray:
+        """Per-session effective rate: total bytes * 8 / wall duration.
+
+        Sessions whose transfers all have zero logged duration report 0.
+        """
+        out = np.zeros_like(self.duration)
+        np.divide(self.total_size * 8.0, self.duration, out=out, where=self.duration > 0)
+        return out
+
+    def size_summary(self) -> SixNumberSummary:
+        """Six-number summary of session sizes in bytes (Tables I/II, top block)."""
+        return six_number_summary(self.total_size)
+
+    def duration_summary(self) -> SixNumberSummary:
+        """Six-number summary of session durations in seconds (Tables I/II)."""
+        return six_number_summary(self.duration)
+
+    def percent_with_at_most_transfers(self, k: int) -> float:
+        """Percent of sessions having <= k transfers (Table III's '1 or 2' column)."""
+        if len(self) == 0:
+            return float("nan")
+        return 100.0 * np.count_nonzero(self.n_transfers <= k) / len(self)
+
+    def max_transfers(self) -> int:
+        """Highest number of transfers observed in any session (Table III)."""
+        return int(self.n_transfers.max()) if len(self) else 0
+
+    def count_with_at_least_transfers(self, k: int) -> int:
+        """Number of sessions with >= k transfers (Table III's '>= 100' column)."""
+        return int(np.count_nonzero(self.n_transfers >= k))
+
+
+def _group_one_pair(start: np.ndarray, end: np.ndarray, g: float) -> np.ndarray:
+    """Session ids (0-based, in time order) for one host pair.
+
+    ``start``/``end`` must already be sorted by ``start``.  A new session
+    begins at transfer *i* when ``start[i] - max(end[0..i-1]) > g``.  The
+    running max handles overlapping transfers: a long transfer keeps the
+    session open across later short ones.
+    """
+    n = start.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    # prev_max_end[i] = max(end[0..i-1]); prev_max_end[0] unused
+    cummax_end = np.maximum.accumulate(end)
+    gaps = np.empty(n, dtype=np.float64)
+    gaps[0] = -np.inf
+    gaps[1:] = start[1:] - cummax_end[:-1]
+    breaks = gaps > g
+    return np.cumsum(breaks).astype(np.int64)
+
+
+def group_sessions(log: TransferLog, g: float) -> SessionSet:
+    """Group ``log`` into sessions with gap parameter ``g`` (seconds).
+
+    Transfers between *different* host pairs never share a session.  The
+    log must carry remote-host information; grouping an anonymized log
+    raises ``ValueError`` — exactly the limitation that prevented session
+    analysis of the NERSC datasets in the paper (Section V).
+    """
+    if g < 0:
+        raise ValueError(f"gap parameter g must be >= 0, got {g}")
+    if len(log) and log.is_anonymized:
+        raise ValueError(
+            "cannot group an anonymized log into sessions: remote endpoints "
+            "are scrubbed (the NERSC situation in Section V of the paper)"
+        )
+    if len(log) and np.any(log.remote_host == ANONYMIZED_HOST):
+        raise ValueError("log mixes anonymized and identified remote hosts")
+
+    slog = log.sorted_by_start()
+    n = len(slog)
+    if n == 0:
+        z = np.zeros(0)
+        zi = np.zeros(0, dtype=np.int64)
+        return SessionSet(
+            g=g, start=z, duration=z.copy(), total_size=z.copy(),
+            n_transfers=zi, local_host=zi.copy(), remote_host=zi.copy(),
+            transfer_session=zi.copy(), source=slog,
+        )
+
+    # Partition the sorted log by host pair; group each pair independently,
+    # then assign globally unique session ids.
+    pair_key = slog.local_host.astype(np.int64) * (2**32) + (
+        slog.remote_host.astype(np.int64) + 2**31
+    )
+    session_of = np.empty(n, dtype=np.int64)
+    next_id = 0
+    for key in np.unique(pair_key):
+        idx = np.flatnonzero(pair_key == key)
+        local_ids = _group_one_pair(slog.start[idx], slog.end[idx], g)
+        session_of[idx] = local_ids + next_id
+        next_id += int(local_ids[-1]) + 1
+
+    n_sessions = next_id
+    starts = np.full(n_sessions, np.inf)
+    ends = np.full(n_sessions, -np.inf)
+    np.minimum.at(starts, session_of, slog.start)
+    np.maximum.at(ends, session_of, slog.end)
+    total_size = np.zeros(n_sessions)
+    np.add.at(total_size, session_of, slog.size)
+    counts = np.bincount(session_of, minlength=n_sessions).astype(np.int64)
+    lhost = np.zeros(n_sessions, dtype=np.int64)
+    rhost = np.zeros(n_sessions, dtype=np.int64)
+    lhost[session_of] = slog.local_host
+    rhost[session_of] = slog.remote_host
+
+    return SessionSet(
+        g=g,
+        start=starts,
+        duration=ends - starts,
+        total_size=total_size,
+        n_transfers=counts,
+        local_host=lhost,
+        remote_host=rhost,
+        transfer_session=session_of,
+        source=slog,
+    )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GapReportRow:
+    """One row of Table III: session structure under one ``g`` value."""
+
+    g: float
+    n_single: int
+    n_multi: int
+    percent_1_or_2: float
+    max_transfers_in_session: int
+    n_sessions_100_plus: int
+
+    @property
+    def n_sessions(self) -> int:
+        return self.n_single + self.n_multi
+
+
+def session_gap_report(log: TransferLog, g_values: list[float]) -> list[GapReportRow]:
+    """Compute Table III ("Impact of the g parameter") for ``log``.
+
+    One row per ``g`` value, reporting single/multi-transfer session counts,
+    the percentage of sessions with one or two transfers, the largest
+    session, and the number of sessions with at least 100 transfers.
+    """
+    rows = []
+    for g in g_values:
+        s = group_sessions(log, g)
+        rows.append(
+            GapReportRow(
+                g=g,
+                n_single=s.n_single,
+                n_multi=s.n_multi,
+                percent_1_or_2=s.percent_with_at_most_transfers(2),
+                max_transfers_in_session=s.max_transfers(),
+                n_sessions_100_plus=s.count_with_at_least_transfers(100),
+            )
+        )
+    return rows

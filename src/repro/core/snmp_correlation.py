@@ -1,0 +1,192 @@
+"""SNMP link-usage correlation analysis (Eq. 1, Tables X--XIII).
+
+ESnet routers report byte counts per interface every 30 seconds.  GridFTP
+transfer intervals do not align with those bins, so Eq. (1) of the paper
+attributes to transfer *i* the bytes
+
+    B_i = b_first * frac_first + sum(full bins) + b_last * frac_last,
+
+i.e. partial bins are pro-rated by overlap.  This module implements the
+general overlap-weighted attribution (which reduces to Eq. (1) when the
+transfer spans at least two bin boundaries and also handles the
+transfer-inside-one-bin case the printed formula leaves undefined), plus
+the three derived tables:
+
+* **Table XI** — corr(GridFTP transfer bytes, B_i) per throughput quartile
+  and per router: high values mean the α flows dominate the link.
+* **Table XII** — corr(GridFTP bytes, B_i − GridFTP bytes): low values mean
+  the *other* traffic neither tracks nor disturbs the transfers.
+* **Table XIII** — six-number summary of the average link load B_i·8/D_i.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..gridftp.records import TransferLog
+from .stats import (
+    SixNumberSummary,
+    pearson_correlation,
+    six_number_summary,
+    split_by_quartile,
+)
+
+__all__ = [
+    "SNMP_BIN_SECONDS",
+    "attributed_bytes",
+    "bins_within",
+    "CorrelationTable",
+    "correlation_tables",
+    "link_load_table",
+]
+
+#: ESnet SNMP collection interval (Section VII-C).
+SNMP_BIN_SECONDS = 30.0
+
+
+def attributed_bytes(
+    bin_starts: Sequence[float] | np.ndarray,
+    byte_counts: Sequence[float] | np.ndarray,
+    start: float,
+    duration: float,
+    bin_seconds: float = SNMP_BIN_SECONDS,
+) -> float:
+    """Eq. (1): bytes on one link attributed to the interval [start, start+duration].
+
+    ``bin_starts[k]`` is the left edge of the k-th SNMP bin and
+    ``byte_counts[k]`` the bytes counted in [bin_starts[k], bin_starts[k] +
+    bin_seconds).  Bins are assumed sorted and non-overlapping but need not
+    be contiguous (ESnet data has gaps; missing bins contribute zero).
+    """
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    t = np.asarray(bin_starts, dtype=np.float64)
+    b = np.asarray(byte_counts, dtype=np.float64)
+    if t.shape != b.shape:
+        raise ValueError("bin_starts and byte_counts must have the same shape")
+    end = start + duration
+    # overlap of [t, t+bin) with [start, end], vectorized
+    overlap = np.minimum(t + bin_seconds, end) - np.maximum(t, start)
+    np.clip(overlap, 0.0, None, out=overlap)
+    return float((b * overlap).sum() / bin_seconds)
+
+
+def bins_within(
+    bin_starts: Sequence[float] | np.ndarray,
+    byte_counts: Sequence[float] | np.ndarray,
+    start: float,
+    duration: float,
+    bin_seconds: float = SNMP_BIN_SECONDS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The (bin_start, byte_count) rows overlapping one transfer — Table X.
+
+    Returns the bins whose interval intersects [start, start+duration],
+    including the partially overlapped first and last bins.
+    """
+    t = np.asarray(bin_starts, dtype=np.float64)
+    b = np.asarray(byte_counts, dtype=np.float64)
+    end = start + duration
+    mask = (t + bin_seconds > start) & (t < end)
+    return t[mask], b[mask]
+
+
+def _attributed_matrix(
+    log: TransferLog,
+    links: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    bin_seconds: float,
+) -> dict[str, np.ndarray]:
+    """B_i per link: mapping link name -> array over the log's transfers."""
+    out: dict[str, np.ndarray] = {}
+    for name, (bin_starts, counts) in links.items():
+        vals = np.empty(len(log), dtype=np.float64)
+        starts = log.start
+        durs = log.duration
+        for i in range(len(log)):
+            vals[i] = attributed_bytes(
+                bin_starts, counts, float(starts[i]), float(durs[i]), bin_seconds
+            )
+        out[name] = vals
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class CorrelationTable:
+    """Tables XI and XII: correlations per quartile and per link.
+
+    ``per_quartile[q][link]`` is the Pearson correlation in throughput
+    quartile ``q`` (1..4); ``overall[link]`` covers all transfers.
+    """
+
+    link_names: tuple[str, ...]
+    per_quartile: dict[int, dict[str, float]]
+    overall: dict[str, float]
+
+
+def correlation_tables(
+    log: TransferLog,
+    links: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    bin_seconds: float = SNMP_BIN_SECONDS,
+) -> tuple[CorrelationTable, CorrelationTable]:
+    """Compute Tables XI and XII for one set of transfers and links.
+
+    Parameters
+    ----------
+    log:
+        The transfers of interest (the paper's 145 32-GB NERSC--ORNL
+        transfers).  Quartiles are taken over the log's own throughput.
+    links:
+        Mapping from router/interface name to its SNMP series as a
+        ``(bin_start_times, byte_counts)`` pair.
+
+    Returns
+    -------
+    (total_corr, other_corr):
+        ``total_corr`` correlates GridFTP bytes against B_i (Table XI);
+        ``other_corr`` against B_i − GridFTP bytes (Table XII).
+    """
+    if len(log) == 0:
+        raise ValueError("empty transfer log")
+    attributed = _attributed_matrix(log, links, bin_seconds)
+    gridftp_bytes = log.size
+    quartiles = split_by_quartile(log.throughput_bps)
+
+    def build(other: bool) -> CorrelationTable:
+        per_q: dict[int, dict[str, float]] = {}
+        overall: dict[str, float] = {}
+        for name in links:
+            target = attributed[name] - gridftp_bytes if other else attributed[name]
+            overall[name] = pearson_correlation(gridftp_bytes, target)
+        for q, idx in enumerate(quartiles, start=1):
+            per_q[q] = {}
+            for name in links:
+                target = attributed[name][idx]
+                if other:
+                    target = target - gridftp_bytes[idx]
+                per_q[q][name] = pearson_correlation(gridftp_bytes[idx], target)
+        return CorrelationTable(
+            link_names=tuple(links), per_quartile=per_q, overall=overall
+        )
+
+    return build(other=False), build(other=True)
+
+
+def link_load_table(
+    log: TransferLog,
+    links: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    bin_seconds: float = SNMP_BIN_SECONDS,
+) -> dict[str, SixNumberSummary]:
+    """Table XIII: summary of average link load (bps) during each transfer.
+
+    For transfer *i* and link L the load is B_i(L) * 8 / D_i; the summary
+    is over the log's transfers.  Zero-duration transfers are excluded.
+    """
+    attributed = _attributed_matrix(log, links, bin_seconds)
+    ok = log.duration > 0
+    out = {}
+    for name in links:
+        loads = attributed[name][ok] * 8.0 / log.duration[ok]
+        out[name] = six_number_summary(loads)
+    return out

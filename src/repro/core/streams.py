@@ -1,0 +1,142 @@
+"""Parallel-TCP-stream factor analysis (Figures 2--5, Section VII-B).
+
+The SLAC--BNL dataset (single stripe throughout) is used to isolate the
+effect of the number of parallel TCP streams.  Transfers are binned by
+file size — 1 MB bins below 1 GB, 100 MB bins from 1 GB to 4 GB, matching
+the paper's choice to keep per-bin sample sizes statistically useful — and
+the *median* throughput of 1-stream and 8-stream transfers is compared per
+bin.
+
+The expected shape (and what the mechanistic simulator reproduces): for
+small files, TCP slow start throttles a single stream, so 8 streams win;
+for large files both groups converge, which the paper reads as evidence
+that packet losses are rare on these paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..gridftp.records import TransferLog
+from .stats import BinnedMedians, binned_medians
+
+__all__ = [
+    "MB",
+    "GB",
+    "SMALL_FILE_BIN_MB",
+    "LARGE_FILE_BIN_MB",
+    "StreamComparison",
+    "stream_comparison",
+    "scatter_series",
+    "convergence_size",
+    "bandwidth_delay_product",
+]
+
+MB = 1e6
+GB = 1e9
+
+#: Paper bin widths: 1 MB below 1 GB, 100 MB from 1 GB to 4 GB.
+SMALL_FILE_BIN_MB = 1.0
+LARGE_FILE_BIN_MB = 100.0
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class StreamComparison:
+    """Binned median throughput of two stream groups over one size range.
+
+    ``one_stream`` and ``multi_stream`` are :class:`BinnedMedians` in the
+    same binning; bins populated in only one group appear only there (the
+    figures simply lack the other point).
+    """
+
+    bin_width: float
+    x_min: float
+    x_max: float
+    one_stream: BinnedMedians
+    multi_stream: BinnedMedians
+    multi_stream_count: int
+
+    def common_bins(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(bin_left, median_1stream, median_multi) over bins populated in both."""
+        left = np.intersect1d(self.one_stream.bin_left, self.multi_stream.bin_left)
+        i1 = np.searchsorted(self.one_stream.bin_left, left)
+        im = np.searchsorted(self.multi_stream.bin_left, left)
+        return left, self.one_stream.median[i1], self.multi_stream.median[im]
+
+
+def stream_comparison(
+    log: TransferLog,
+    bin_width_bytes: float,
+    x_min: float = 0.0,
+    x_max: float = 1.0 * GB,
+    one: int = 1,
+    multi: int = 8,
+) -> StreamComparison:
+    """Compare per-bin median throughput of ``one``- vs ``multi``-stream transfers.
+
+    This is Figures 3 (x_max=1 GB, 1 MB bins) and 4 (x_max=4 GB, 100 MB
+    bins); :attr:`StreamComparison.one_stream`.count and
+    :attr:`StreamComparison.multi_stream`.count provide Figure 5.
+    Zero-duration rows are dropped before binning.
+    """
+    ok = log.duration > 0
+    sizes = log.size[ok]
+    tput = (log.size[ok] * 8.0) / log.duration[ok]
+    streams = log.streams[ok]
+
+    m1 = streams == one
+    mm = streams == multi
+    return StreamComparison(
+        bin_width=bin_width_bytes,
+        x_min=x_min,
+        x_max=x_max,
+        one_stream=binned_medians(sizes[m1], tput[m1], bin_width_bytes, x_min, x_max),
+        multi_stream=binned_medians(sizes[mm], tput[mm], bin_width_bytes, x_min, x_max),
+        multi_stream_count=int(np.count_nonzero(mm)),
+    )
+
+
+def scatter_series(log: TransferLog) -> tuple[np.ndarray, np.ndarray]:
+    """(file size bytes, throughput bps) pairs for the Figure 2 scatter."""
+    ok = log.duration > 0
+    return log.size[ok], log.size[ok] * 8.0 / log.duration[ok]
+
+
+def convergence_size(
+    comparison: StreamComparison, tolerance: float = 0.15, min_count: int = 30
+) -> float | None:
+    """Smallest file size beyond which 1-stream ≈ multi-stream medians.
+
+    Scans common bins (each with at least ``min_count`` samples per group)
+    from the right and returns the left edge of the earliest bin from
+    which every larger bin's medians agree within relative ``tolerance``.
+    Returns ``None`` if the groups never converge — which would contradict
+    the paper's rare-loss conclusion.
+    """
+    c1 = comparison.one_stream.where_count_at_least(min_count)
+    cm = comparison.multi_stream.where_count_at_least(min_count)
+    left = np.intersect1d(c1.bin_left, cm.bin_left)
+    if left.size == 0:
+        return None
+    i1 = np.searchsorted(c1.bin_left, left)
+    im = np.searchsorted(cm.bin_left, left)
+    m1 = c1.median[i1]
+    mm = cm.median[im]
+    rel = np.abs(mm - m1) / np.maximum(m1, mm)
+    agree = rel <= tolerance
+    # longest agreeing suffix
+    if not agree[-1]:
+        return None
+    k = left.size - 1
+    while k > 0 and agree[k - 1]:
+        k -= 1
+    return float(left[k])
+
+
+def bandwidth_delay_product(rate_bps: float, rtt_s: float) -> float:
+    """Path BDP in bytes (paper: 10 Gbps x 80 ms ≈ 95.4 MiB for SLAC--BNL)."""
+    if rate_bps <= 0 or rtt_s <= 0:
+        raise ValueError("rate and RTT must be positive")
+    return rate_bps * rtt_s / 8.0

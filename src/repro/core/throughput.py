@@ -1,0 +1,131 @@
+"""Per-path transfer-throughput characterization (Tables I, II, V, VI; Fig. 1).
+
+Transfer throughput — size * 8 / duration for each log row — is the
+quantity the paper characterizes per path.  Session throughput is *not*
+used for the headline statistics because a few slow transfers inside a
+session would drag the session rate down (Section VI-A).
+
+The ANL--NERSC test transfers come in four categories (memory-to-memory,
+memory-to-disk, disk-to-memory, disk-to-disk); the category is known to
+the test harness, not to the GridFTP log format, so the Table VI analysis
+accepts a mapping from category name to log slice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..gridftp.records import TransferLog
+from .stats import (
+    BoxStats,
+    SixNumberSummary,
+    box_stats,
+    coefficient_of_variation,
+    six_number_summary,
+)
+
+__all__ = [
+    "transfer_throughput_bps",
+    "throughput_summary",
+    "duration_summary",
+    "CategorySummary",
+    "categorized_throughput",
+    "path_report",
+    "PathReport",
+    "MBPS",
+    "GBPS",
+]
+
+#: Unit conversion factors from bits/second.
+MBPS = 1e-6
+GBPS = 1e-9
+
+
+def transfer_throughput_bps(log: TransferLog) -> np.ndarray:
+    """Positive per-transfer throughputs (bps); zero-duration rows dropped."""
+    tput = log.throughput_bps
+    return tput[tput > 0.0]
+
+
+def throughput_summary(log: TransferLog) -> SixNumberSummary:
+    """Six-number summary of transfer throughput, in bits per second."""
+    return six_number_summary(transfer_throughput_bps(log))
+
+
+def duration_summary(log: TransferLog) -> SixNumberSummary:
+    """Six-number summary of transfer durations, in seconds (Table V, left column)."""
+    return six_number_summary(log.duration)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CategorySummary:
+    """Table VI column: one endpoint-category's throughput characterization."""
+
+    category: str
+    summary: SixNumberSummary
+    cv: float
+    box: BoxStats
+
+
+def categorized_throughput(
+    categories: Mapping[str, TransferLog],
+) -> list[CategorySummary]:
+    """Characterize throughput per endpoint category (Table VI + Figure 1).
+
+    ``categories`` maps a label such as ``"mem-mem"`` to the log slice of
+    that category's transfers.  Returns one :class:`CategorySummary` per
+    label, in the mapping's iteration order, each carrying the six-number
+    summary, the coefficient of variation, and Tukey box statistics.
+    """
+    out = []
+    for label, log in categories.items():
+        tput = transfer_throughput_bps(log)
+        out.append(
+            CategorySummary(
+                category=label,
+                summary=six_number_summary(tput),
+                cv=coefficient_of_variation(tput),
+                box=box_stats(tput),
+            )
+        )
+    return out
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PathReport:
+    """Full characterization of one path's transfers (Tables I/II layout).
+
+    Sizes are reported for *sessions* in the paper's Tables I/II; this
+    report covers the transfer-level statistics (throughput, duration,
+    size) that do not require session grouping, so it also applies to the
+    anonymized NERSC logs.
+    """
+
+    n_transfers: int
+    throughput: SixNumberSummary  # bps
+    duration: SixNumberSummary  # seconds
+    size: SixNumberSummary  # bytes
+    max_throughput_gbps: float
+
+    def exceeds_rate_count(self, rate_bps: float, log: TransferLog) -> int:
+        """Number of transfers in ``log`` faster than ``rate_bps``.
+
+        Supports the paper's claim that every path saw transfers at
+        2.5 Gbps or above (Section VI-B).
+        """
+        return int(np.count_nonzero(log.throughput_bps > rate_bps))
+
+
+def path_report(log: TransferLog) -> PathReport:
+    """Build a :class:`PathReport` for one path's transfer log."""
+    tput = transfer_throughput_bps(log)
+    return PathReport(
+        n_transfers=len(log),
+        throughput=six_number_summary(tput),
+        duration=six_number_summary(log.duration),
+        size=six_number_summary(log.size),
+        max_throughput_gbps=float(tput.max()) * GBPS if tput.size else 0.0,
+    )

@@ -1,0 +1,128 @@
+"""Throughput-variance decomposition across the paper's factors.
+
+Section VII opens by listing seven candidate causes of throughput
+variance and analyzes five of them one at a time.  This module ties the
+per-factor analyses together: for any categorical factor (stripes,
+stream group, start hour, year, concurrency level) it computes the
+between-group share of total variance — the classic one-way
+eta-squared — so the factors can be ranked on one scale, as the paper's
+narrative does qualitatively ("time-of-day appears to have a minor
+impact", "concurrent transfers have a weak impact").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..gridftp.records import TransferLog
+from .timeofday import hour_of_day
+
+__all__ = [
+    "FactorEffect",
+    "eta_squared",
+    "decompose_throughput_variance",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FactorEffect:
+    """Between-group variance share of one factor."""
+
+    factor: str
+    eta_squared: float
+    n_groups: int
+    n: int
+
+
+def eta_squared(values: np.ndarray, groups: np.ndarray) -> float:
+    """One-way eta^2: between-group sum of squares over total.
+
+    0 means the factor explains nothing; 1 means group membership fully
+    determines the value.  NaN for degenerate inputs (one group, or zero
+    total variance).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    groups = np.asarray(groups)
+    if values.shape != groups.shape:
+        raise ValueError("values and groups must have the same shape")
+    if values.size < 2:
+        return float("nan")
+    grand = values.mean()
+    ss_total = float(((values - grand) ** 2).sum())
+    if ss_total == 0.0:
+        return float("nan")
+    uniq = np.unique(groups)
+    if uniq.size < 2:
+        return float("nan")
+    ss_between = 0.0
+    for g in uniq:
+        sel = values[groups == g]
+        ss_between += sel.size * (sel.mean() - grand) ** 2
+    return float(ss_between / ss_total)
+
+
+def _concurrency_level(log: TransferLog) -> np.ndarray:
+    """Mean concurrent-transfer count over each transfer's lifetime, binned.
+
+    Levels: 0 = alone, 1 = lightly shared (<2 mean), 2 = busy (<4), 3 = heavy.
+    """
+    starts = log.start
+    ends = log.end
+    levels = np.zeros(len(log), dtype=np.int8)
+    for i in range(len(log)):
+        d = ends[i] - starts[i]
+        if d <= 0:
+            continue
+        overlap = np.clip(
+            np.minimum(ends, ends[i]) - np.maximum(starts, starts[i]), 0.0, None
+        )
+        overlap[i] = 0.0
+        mean_cc = float(overlap.sum()) / d
+        levels[i] = int(np.digitize(mean_cc, [0.25, 2.0, 4.0]))
+    return levels
+
+
+def decompose_throughput_variance(
+    log: TransferLog,
+    utc_offset_hours: float = 0.0,
+    include_concurrency: bool = True,
+) -> list[FactorEffect]:
+    """Rank the paper's factors by their between-group variance share.
+
+    Factors evaluated: stripes, stream group (1 vs many), start hour,
+    calendar year, and (optionally, O(n^2)) the concurrency level.
+    Returns effects sorted by descending eta^2; factors with a single
+    level in this log are omitted.
+    """
+    ok = log.duration > 0
+    sub = log.select(ok)
+    if len(sub) < 4:
+        raise ValueError("too few transfers for a decomposition")
+    tput = sub.throughput_bps
+
+    factor_groups: dict[str, np.ndarray] = {
+        "stripes": sub.stripes,
+        "streams": (sub.streams >= 4).astype(np.int8),
+        "hour": np.floor(hour_of_day(sub.start, utc_offset_hours)).astype(np.int8),
+        "year": sub.start.astype("datetime64[s]").astype("datetime64[Y]").astype(int),
+    }
+    if include_concurrency:
+        factor_groups["concurrency"] = _concurrency_level(sub)
+
+    effects = []
+    for name, groups in factor_groups.items():
+        e = eta_squared(tput, groups)
+        if np.isnan(e):
+            continue
+        effects.append(
+            FactorEffect(
+                factor=name,
+                eta_squared=e,
+                n_groups=int(np.unique(groups).size),
+                n=len(sub),
+            )
+        )
+    effects.sort(key=lambda f: f.eta_squared, reverse=True)
+    return effects

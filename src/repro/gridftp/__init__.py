@@ -1,0 +1,34 @@
+"""GridFTP substrate: records, log formats, and the simulated server/client.
+
+The paper's raw material is the log a Globus GridFTP server keeps: one row
+per file transferred.  This package defines that record
+(:mod:`~repro.gridftp.records`), its on-disk formats
+(:mod:`~repro.gridftp.logfmt`), the anonymization applied to usage-stats
+feeds (:mod:`~repro.gridftp.anonymize`), and a simulated GridFTP
+server/client pair (:mod:`~repro.gridftp.server`,
+:mod:`~repro.gridftp.client`) used by the mechanistic experiments.
+"""
+
+from .control import GridFtpServerSim, ThirdPartyClient
+from .records import ANONYMIZED_HOST, TransferLog, TransferRecord, TransferType
+from .reliability import FaultModel, ReliableTransferService, RestartPolicy
+from .striping import StripeReassembler, block_plan, stripe_byte_counts
+from .usagestats import UsageStatsCollector, UsageStatsSender, simulate_collection
+
+__all__ = [
+    "GridFtpServerSim",
+    "ThirdPartyClient",
+    "FaultModel",
+    "ReliableTransferService",
+    "RestartPolicy",
+    "StripeReassembler",
+    "block_plan",
+    "stripe_byte_counts",
+    "ANONYMIZED_HOST",
+    "TransferLog",
+    "TransferRecord",
+    "TransferType",
+    "UsageStatsCollector",
+    "UsageStatsSender",
+    "simulate_collection",
+]

@@ -1,0 +1,59 @@
+"""Privacy scrubbing of transfer logs, as applied to usage-stats feeds.
+
+The Globus usage collector deliberately omits the remote endpoint of each
+transfer, and NERSC's feed anonymized remote IPs (Section V) — which is
+precisely what blocked session analysis on the NERSC datasets.  This
+module reproduces both treatments so the pipeline can demonstrate the
+capability loss: :func:`scrub_remote_hosts` for full removal, and
+:func:`pseudonymize_remote_hosts` for consistent pseudonyms (which keep
+sessions recoverable while hiding identities — the remediation the paper
+implicitly argues for).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .records import ANONYMIZED_HOST, TransferLog
+
+__all__ = ["scrub_remote_hosts", "pseudonymize_remote_hosts"]
+
+
+def scrub_remote_hosts(log: TransferLog) -> TransferLog:
+    """Replace every remote host with the anonymized sentinel.
+
+    The result cannot be grouped into sessions
+    (:func:`repro.core.sessions.group_sessions` refuses it) but still
+    supports every throughput-level analysis.
+    """
+    return log.anonymize_remote()
+
+
+def pseudonymize_remote_hosts(
+    log: TransferLog, seed: int = 0x5EED
+) -> tuple[TransferLog, dict[int, int]]:
+    """Map remote hosts to stable random pseudonyms.
+
+    Returns the pseudonymized log and the (secret) mapping from pseudonym
+    back to the true host id.  Distinct hosts get distinct pseudonyms and
+    every occurrence of a host maps consistently, so session grouping on
+    the pseudonymized log yields *identical* session structure — the
+    property the test suite verifies.
+
+    Pseudonyms are drawn from a disjoint range (>= 2**20) so they can never
+    collide with real host ids or the anonymization sentinel.
+    """
+    rng = np.random.default_rng(seed)
+    uniq = np.unique(log.remote_host)
+    if ANONYMIZED_HOST in uniq:
+        raise ValueError("log already contains anonymized remote hosts")
+    pseudonyms = rng.permutation(uniq.size) + 2**20
+    forward = {int(h): int(p) for h, p in zip(uniq, pseudonyms)}
+    reverse = {int(p): int(h) for h, p in forward.items()}
+    remapped = np.array([forward[int(h)] for h in log.remote_host], dtype=np.int64)
+    cols = {name: log.column(name) for name in (
+        "start", "duration", "size", "transfer_type", "streams", "stripes",
+        "tcp_buffer", "block_size", "local_host",
+    )}
+    cols["remote_host"] = remapped
+    return TransferLog(cols), reverse

@@ -1,0 +1,130 @@
+"""GridFTP client behaviour: batch session scripts producing transfer jobs.
+
+Scientists move whole directories with scripted ``globus-url-copy`` runs
+(Section VI-A): many files back-to-back, sometimes several in flight at
+once.  :class:`SessionScript` models one such script — a file manifest,
+a concurrency width, and per-file parameters — and expands to the
+:class:`TransferJob` stream the simulator executes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from .server import EndpointKind
+
+__all__ = ["TransferJob", "SessionScript", "expand_scripts"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TransferJob:
+    """One file movement submitted to the simulator."""
+
+    submit_time: float
+    src: str
+    dst: str
+    size_bytes: float
+    streams: int = 8
+    stripes: int = 1
+    src_endpoint: EndpointKind = EndpointKind.DISK
+    dst_endpoint: EndpointKind = EndpointKind.DISK
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size must be positive")
+        if self.streams < 1 or self.stripes < 1:
+            raise ValueError("streams and stripes must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionScript:
+    """A batch transfer script: N files from one site to another.
+
+    ``concurrency`` caps the files the script keeps in flight (GridFTP's
+    ``-cc``); the expansion is *closed-loop*: the next file starts when a
+    slot frees, which the simulator enforces — here we only stamp submit
+    times for the initial window and mark the rest as queued behind the
+    script (submit time equals the script start; the simulator serializes
+    on the concurrency token).
+
+    For the open-loop uses in this package (statistical generators), the
+    helper :meth:`jobs_with_gaps` stamps explicit start times instead.
+    """
+
+    start_time: float
+    src: str
+    dst: str
+    file_sizes: Sequence[float]
+    streams: int = 8
+    stripes: int = 1
+    concurrency: int = 1
+    src_endpoint: EndpointKind = EndpointKind.DISK
+    dst_endpoint: EndpointKind = EndpointKind.DISK
+
+    def __post_init__(self) -> None:
+        if not self.file_sizes:
+            raise ValueError("a session script needs at least one file")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+
+    def jobs(self) -> list[TransferJob]:
+        """All files as jobs submitted at the script start (closed-loop mode)."""
+        return [
+            TransferJob(
+                submit_time=self.start_time,
+                src=self.src,
+                dst=self.dst,
+                size_bytes=float(s),
+                streams=self.streams,
+                stripes=self.stripes,
+                src_endpoint=self.src_endpoint,
+                dst_endpoint=self.dst_endpoint,
+            )
+            for s in self.file_sizes
+        ]
+
+    def jobs_with_gaps(
+        self, gaps_s: Sequence[float] | np.ndarray, durations_s: Sequence[float]
+    ) -> list[TransferJob]:
+        """Open-loop expansion: explicit submit times from gaps and durations.
+
+        ``gaps_s[i]`` is the pause between the end of file *i* and the start
+        of file *i+1* (may be negative for overlap); ``durations_s`` are the
+        per-file durations assumed for the spacing.  Used by the calibrated
+        log generators, where the durations come from the statistical
+        throughput model rather than the fluid simulator.
+        """
+        if len(gaps_s) != len(self.file_sizes) - 1:
+            raise ValueError("need exactly one gap per adjacent file pair")
+        if len(durations_s) != len(self.file_sizes):
+            raise ValueError("need one duration per file")
+        jobs = []
+        t = self.start_time
+        for i, size in enumerate(self.file_sizes):
+            jobs.append(
+                TransferJob(
+                    submit_time=t,
+                    src=self.src,
+                    dst=self.dst,
+                    size_bytes=float(size),
+                    streams=self.streams,
+                    stripes=self.stripes,
+                    src_endpoint=self.src_endpoint,
+                    dst_endpoint=self.dst_endpoint,
+                )
+            )
+            if i < len(gaps_s):
+                t = t + float(durations_s[i]) + float(gaps_s[i])
+        return jobs
+
+
+def expand_scripts(scripts: Sequence[SessionScript]) -> list[TransferJob]:
+    """Expand many scripts into one submit-time-ordered job list."""
+    jobs: list[TransferJob] = []
+    for script in scripts:
+        jobs.extend(script.jobs())
+    jobs.sort(key=lambda j: j.submit_time)
+    return jobs

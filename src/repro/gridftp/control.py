@@ -1,0 +1,293 @@
+"""A miniature GridFTP control channel: enough FTP to do third-party transfers.
+
+Section II lists *third-party transfers* among the features that make
+GridFTP the community's tool: a client opens control channels to TWO
+servers and wires the data channel directly between them, so the bytes
+never pass through the client.  That is how the paper's test transfers
+(ANL->NERSC, driven from neither site) were run.
+
+This module implements a deliberately small but honest slice of RFC 959
+plus the GridFTP extensions the logs reflect:
+
+* :class:`ControlChannel` — a per-connection command state machine
+  (USER/PASS, TYPE, MODE, OPTS RETR Parallelism, PASV/PORT, STOR/RETR,
+  QUIT) with correct reply codes;
+* :class:`GridFtpServerSim` — a server hosting files and accepting
+  control connections;
+* :class:`ThirdPartyClient` — the two-control-channel dance: PASV on the
+  receiver, PORT of the returned address to the sender, STOR + RETR, and
+  completion; the transfer is recorded in BOTH servers' logs, one STOR
+  and one RETR — exactly the two log rows the paper's datasets carry for
+  a single file movement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .records import TransferLog, TransferRecord, TransferType
+
+__all__ = [
+    "FtpError",
+    "ControlChannel",
+    "GridFtpServerSim",
+    "ThirdPartyClient",
+]
+
+
+class FtpError(Exception):
+    """A control-channel command failed (carries the FTP reply code)."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"{code} {message}")
+        self.code = code
+
+
+@dataclasses.dataclass
+class _Session:
+    """Per-control-connection state."""
+
+    authenticated: bool = False
+    user: str | None = None
+    type_: str = "A"  # ASCII until TYPE I
+    mode: str = "S"  # stream until MODE E
+    parallelism: int = 1
+    #: passive listener token, when this side will receive a connection
+    passive_token: str | None = None
+    #: the remote data address this side will connect to (from PORT)
+    port_target: str | None = None
+
+
+class ControlChannel:
+    """Command interpreter for one control connection to one server."""
+
+    def __init__(self, server: "GridFtpServerSim") -> None:
+        self.server = server
+        self.session = _Session()
+        self._passive_seq = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _require_auth(self) -> None:
+        if not self.session.authenticated:
+            raise FtpError(530, "please login with USER and PASS")
+
+    # -- commands -------------------------------------------------------------
+
+    def handle(self, line: str) -> str:
+        """Execute one command line; returns the reply, raises FtpError."""
+        parts = line.strip().split(None, 1)
+        if not parts:
+            raise FtpError(500, "empty command")
+        verb = parts[0].upper()
+        arg = parts[1] if len(parts) > 1 else ""
+        method = getattr(self, f"_cmd_{verb.lower()}", None)
+        if method is None:
+            raise FtpError(502, f"command not implemented: {verb}")
+        return method(arg)
+
+    def _cmd_user(self, arg: str) -> str:
+        if not arg:
+            raise FtpError(501, "USER needs a name")
+        self.session.user = arg
+        return "331 password required"
+
+    def _cmd_pass(self, arg: str) -> str:
+        if self.session.user is None:
+            raise FtpError(503, "login with USER first")
+        self.session.authenticated = True
+        return f"230 user {self.session.user} logged in"
+
+    def _cmd_type(self, arg: str) -> str:
+        self._require_auth()
+        t = arg.upper()
+        if t not in ("A", "I"):
+            raise FtpError(504, f"unsupported type {arg!r}")
+        self.session.type_ = t
+        return f"200 type set to {t}"
+
+    def _cmd_mode(self, arg: str) -> str:
+        self._require_auth()
+        m = arg.upper()
+        if m not in ("S", "E"):
+            raise FtpError(504, f"unsupported mode {arg!r}")
+        self.session.mode = m
+        return f"200 mode set to {m}"
+
+    def _cmd_opts(self, arg: str) -> str:
+        self._require_auth()
+        tokens = arg.split()
+        if len(tokens) >= 2 and tokens[0].upper() == "RETR":
+            # OPTS RETR Parallelism=8,8,8;
+            for field in tokens[1].rstrip(";").split(";"):
+                key, _, value = field.partition("=")
+                if key.lower() == "parallelism":
+                    n = int(value.split(",")[0])
+                    if n < 1:
+                        raise FtpError(501, "parallelism must be >= 1")
+                    self.session.parallelism = n
+                    return f"200 parallelism set to {n}"
+        raise FtpError(501, f"unsupported OPTS {arg!r}")
+
+    def _cmd_pasv(self, _arg: str) -> str:
+        self._require_auth()
+        self._passive_seq += 1
+        token = f"{self.server.name}:{self._passive_seq}"
+        self.session.passive_token = token
+        return f"227 entering passive mode ({token})"
+
+    def _cmd_port(self, arg: str) -> str:
+        self._require_auth()
+        if not arg:
+            raise FtpError(501, "PORT needs an address")
+        self.session.port_target = arg
+        return "200 PORT command successful"
+
+    def _cmd_size(self, arg: str) -> str:
+        self._require_auth()
+        size = self.server.file_size(arg)
+        if size is None:
+            raise FtpError(550, f"no such file {arg!r}")
+        return f"213 {size}"
+
+    def _cmd_retr(self, arg: str) -> str:
+        self._require_auth()
+        if self.session.type_ != "I":
+            raise FtpError(550, "binary TYPE I required for data transfers")
+        size = self.server.file_size(arg)
+        if size is None:
+            raise FtpError(550, f"no such file {arg!r}")
+        if self.session.port_target is None and self.session.passive_token is None:
+            raise FtpError(425, "use PORT or PASV first")
+        return f"150 opening data connection for {arg} ({size} bytes)"
+
+    def _cmd_stor(self, arg: str) -> str:
+        self._require_auth()
+        if self.session.type_ != "I":
+            raise FtpError(550, "binary TYPE I required for data transfers")
+        if self.session.port_target is None and self.session.passive_token is None:
+            raise FtpError(425, "use PORT or PASV first")
+        return f"150 ready to receive {arg}"
+
+    def _cmd_quit(self, _arg: str) -> str:
+        return "221 goodbye"
+
+
+class GridFtpServerSim:
+    """A server: a file namespace, control connections, and a transfer log."""
+
+    def __init__(self, name: str, host_id: int) -> None:
+        self.name = name
+        self.host_id = host_id
+        self._files: dict[str, float] = {}
+        self._records: list[TransferRecord] = []
+
+    def add_file(self, path: str, size_bytes: float) -> None:
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        self._files[path] = float(size_bytes)
+
+    def file_size(self, path: str) -> float | None:
+        return self._files.get(path)
+
+    def connect(self) -> ControlChannel:
+        """Open a control connection (one state machine per connection)."""
+        return ControlChannel(self)
+
+    def record_transfer(
+        self,
+        *,
+        path: str,
+        size: float,
+        start: float,
+        duration: float,
+        ttype: TransferType,
+        streams: int,
+        remote_host: int,
+    ) -> None:
+        if ttype is TransferType.STOR:
+            self._files[path] = size
+        self._records.append(
+            TransferRecord(
+                start=start,
+                duration=duration,
+                size=size,
+                transfer_type=ttype,
+                streams=streams,
+                local_host=self.host_id,
+                remote_host=remote_host,
+            )
+        )
+
+    def log(self) -> TransferLog:
+        return TransferLog.from_records(
+            sorted(self._records, key=lambda r: r.start)
+        )
+
+
+class ThirdPartyClient:
+    """Drive a server-to-server transfer from a third host.
+
+    ``transfer`` performs the canonical dance and returns the wall time;
+    ``rate_bps`` is the transport rate the data channel achieves (in the
+    full system this comes from the fluid simulator or the TCP model —
+    the control plane does not care).
+    """
+
+    def __init__(self, user: str = "anonymous") -> None:
+        self.user = user
+
+    def _login(self, chan: ControlChannel, parallelism: int) -> None:
+        chan.handle(f"USER {self.user}")
+        chan.handle("PASS x")
+        chan.handle("TYPE I")
+        chan.handle("MODE E")
+        if parallelism > 1:
+            chan.handle(f"OPTS RETR Parallelism={parallelism},{parallelism},{parallelism};")
+
+    def transfer(
+        self,
+        source: GridFtpServerSim,
+        dest: GridFtpServerSim,
+        path: str,
+        dest_path: str | None = None,
+        rate_bps: float = 1e9,
+        start_time: float = 0.0,
+        parallelism: int = 8,
+    ) -> float:
+        """Move ``path`` from ``source`` to ``dest``; returns the duration.
+
+        Both servers log the movement (RETR at the source, STOR at the
+        destination), mirroring how one file shows up in two sites' logs.
+        """
+        size = source.file_size(path)
+        if size is None:
+            raise FtpError(550, f"no such file {path!r} on {source.name}")
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        src_chan = source.connect()
+        dst_chan = dest.connect()
+        self._login(src_chan, parallelism)
+        self._login(dst_chan, parallelism)
+
+        # receiver listens; its address is handed to the sender
+        reply = dst_chan.handle("PASV")
+        token = reply[reply.index("(") + 1 : reply.index(")")]
+        src_chan.handle(f"PORT {token}")
+        dst_chan.handle(f"STOR {dest_path or path}")
+        src_chan.handle(f"RETR {path}")
+
+        duration = size * 8.0 / rate_bps
+        source.record_transfer(
+            path=path, size=size, start=start_time, duration=duration,
+            ttype=TransferType.RETR, streams=parallelism,
+            remote_host=dest.host_id,
+        )
+        dest.record_transfer(
+            path=dest_path or path, size=size, start=start_time,
+            duration=duration, ttype=TransferType.STOR, streams=parallelism,
+            remote_host=source.host_id,
+        )
+        src_chan.handle("QUIT")
+        dst_chan.handle("QUIT")
+        return duration

@@ -1,0 +1,193 @@
+"""Reading and writing GridFTP transfer logs as text.
+
+Two on-disk formats are supported:
+
+* **usage format** — one whitespace-separated row per transfer, mirroring
+  the fields the Globus usage-stats collector reports (Section II of the
+  paper).  This is the canonical interchange format of this package.
+
+* **netlogger format** — ``KEY=value`` pairs in the style of the local
+  ``gridftp.log`` files national-lab DTNs keep (``DATE=... TYPE=RETR
+  NBYTES=... STREAMS=...``).  Parsed leniently: unknown keys are ignored,
+  and missing optional keys fall back to schema defaults.
+
+Both round-trip through :class:`repro.gridftp.records.TransferLog`.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable
+
+import numpy as np
+
+from .records import ANONYMIZED_HOST, TransferLog, TransferType
+
+__all__ = [
+    "write_usage_log",
+    "read_usage_log",
+    "format_netlogger_line",
+    "parse_netlogger_line",
+    "read_netlogger_log",
+    "write_netlogger_log",
+]
+
+_USAGE_HEADER = (
+    "# start duration size type streams stripes tcp_buffer block_size "
+    "local_host remote_host"
+)
+
+_USAGE_COLUMNS = (
+    "start",
+    "duration",
+    "size",
+    "transfer_type",
+    "streams",
+    "stripes",
+    "tcp_buffer",
+    "block_size",
+    "local_host",
+    "remote_host",
+)
+
+
+def write_usage_log(log: TransferLog, path: str | os.PathLike | io.TextIOBase) -> None:
+    """Write ``log`` in usage format to ``path`` (path or open text file)."""
+    if isinstance(path, io.TextIOBase):
+        _write_usage(log, path)
+        return
+    with open(path, "w", encoding="ascii") as fh:
+        _write_usage(log, fh)
+
+
+def _write_usage(log: TransferLog, fh: io.TextIOBase) -> None:
+    fh.write(_USAGE_HEADER + "\n")
+    cols = [log.column(name) for name in _USAGE_COLUMNS]
+    type_names = np.where(log.transfer_type == int(TransferType.STOR), "STOR", "RETR")
+    for i in range(len(log)):
+        row = (
+            f"{cols[0][i]:.6f} {cols[1][i]:.6f} {cols[2][i]:.0f} "
+            f"{type_names[i]} {cols[4][i]:d} {cols[5][i]:d} "
+            f"{cols[6][i]:d} {cols[7][i]:d} {cols[8][i]:d} {cols[9][i]:d}"
+        )
+        fh.write(row + "\n")
+
+
+def read_usage_log(path: str | os.PathLike | io.TextIOBase) -> TransferLog:
+    """Read a usage-format log written by :func:`write_usage_log`."""
+    if isinstance(path, io.TextIOBase):
+        lines = path.read().splitlines()
+    else:
+        with open(path, "r", encoding="ascii") as fh:
+            lines = fh.read().splitlines()
+    rows = [ln.split() for ln in lines if ln.strip() and not ln.startswith("#")]
+    n = len(rows)
+    cols: dict[str, list] = {name: [] for name in _USAGE_COLUMNS}
+    for lineno, parts in enumerate(rows, start=1):
+        if len(parts) != len(_USAGE_COLUMNS):
+            raise ValueError(
+                f"malformed usage-log row {lineno}: expected "
+                f"{len(_USAGE_COLUMNS)} fields, got {len(parts)}"
+            )
+        cols["start"].append(float(parts[0]))
+        cols["duration"].append(float(parts[1]))
+        cols["size"].append(float(parts[2]))
+        cols["transfer_type"].append(int(TransferType.parse(parts[3])))
+        cols["streams"].append(int(parts[4]))
+        cols["stripes"].append(int(parts[5]))
+        cols["tcp_buffer"].append(int(parts[6]))
+        cols["block_size"].append(int(parts[7]))
+        cols["local_host"].append(int(parts[8]))
+        cols["remote_host"].append(int(parts[9]))
+    assert len(cols["start"]) == n
+    return TransferLog(cols)
+
+
+# -- netlogger-style format ------------------------------------------------
+
+_NETLOGGER_KEYS = {
+    "START": "start",
+    "DURATION": "duration",
+    "NBYTES": "size",
+    "TYPE": "transfer_type",
+    "STREAMS": "streams",
+    "STRIPES": "stripes",
+    "BUFFER": "tcp_buffer",
+    "BLOCK": "block_size",
+    "HOST": "local_host",
+    "DEST": "remote_host",
+}
+
+
+def format_netlogger_line(log: TransferLog, i: int) -> str:
+    """Render row ``i`` of ``log`` as a netlogger-style ``KEY=value`` line."""
+    rec = log.record(i)
+    dest = "ANON" if rec.remote_host == ANONYMIZED_HOST else str(rec.remote_host)
+    return (
+        f"START={rec.start:.6f} DURATION={rec.duration:.6f} "
+        f"NBYTES={rec.size:.0f} TYPE={rec.transfer_type.name} "
+        f"STREAMS={rec.streams} STRIPES={rec.stripes} "
+        f"BUFFER={rec.tcp_buffer} BLOCK={rec.block_size} "
+        f"HOST={rec.local_host} DEST={dest} CODE=226"
+    )
+
+
+def parse_netlogger_line(line: str) -> dict:
+    """Parse one netlogger-style line into a column-value dict.
+
+    Unknown ``KEY=value`` pairs are ignored (real gridftp.log lines carry
+    many operational fields this analysis does not use).  Raises
+    ``ValueError`` if a known key has an unparseable value or mandatory
+    keys (START, DURATION, NBYTES) are missing.
+    """
+    out: dict = {}
+    for token in line.split():
+        if "=" not in token:
+            continue
+        key, _, value = token.partition("=")
+        field = _NETLOGGER_KEYS.get(key)
+        if field is None:
+            continue
+        if field == "transfer_type":
+            out[field] = int(TransferType.parse(value))
+        elif field == "remote_host":
+            out[field] = ANONYMIZED_HOST if value == "ANON" else int(value)
+        elif field in ("start", "duration", "size"):
+            out[field] = float(value)
+        else:
+            out[field] = int(value)
+    missing = {"start", "duration", "size"} - set(out)
+    if missing:
+        raise ValueError(f"netlogger line missing mandatory fields {sorted(missing)}: {line!r}")
+    return out
+
+
+def write_netlogger_log(log: TransferLog, path: str | os.PathLike) -> None:
+    """Write every row of ``log`` as netlogger-style lines."""
+    with open(path, "w", encoding="ascii") as fh:
+        for i in range(len(log)):
+            fh.write(format_netlogger_line(log, i) + "\n")
+
+
+def read_netlogger_log(path: str | os.PathLike | Iterable[str]) -> TransferLog:
+    """Read a netlogger-style log file (or iterable of lines)."""
+    if isinstance(path, (str, os.PathLike)):
+        with open(path, "r", encoding="ascii") as fh:
+            lines = fh.read().splitlines()
+    else:
+        lines = list(path)
+    rows = [parse_netlogger_line(ln) for ln in lines if ln.strip()]
+    if not rows:
+        return TransferLog()
+    cols: dict[str, list] = {}
+    for field in rows[0].keys() | {k for r in rows for k in r}:
+        cols[field] = []
+    defaults = TransferLog()  # for schema defaults via empty log? simpler: records defaults
+    del defaults
+    from .records import _SCHEMA  # local import: private schema for defaults
+
+    for field in list(cols):
+        default = _SCHEMA[field][1]
+        cols[field] = [r.get(field, default) for r in rows]
+    return TransferLog(cols)

@@ -1,0 +1,160 @@
+"""The data transfer node (DTN): a GridFTP server's resource model.
+
+The paper's finding (v) is that throughput variance traces to competition
+for *server* resources — CPU and disk I/O — more than for network
+bandwidth.  The DTN model therefore exposes three capacity pools that the
+fluid simulator shares among concurrent transfers:
+
+* an aggregate NIC/CPU budget per server (how much total transfer traffic
+  one host sustains),
+* a disk I/O budget, charged only by transfers whose local endpoint is a
+  filesystem (mem-to-mem test transfers bypass it — the four ANL--NERSC
+  categories of Table VI),
+* a stripe multiplier: a striped transfer runs across several servers of a
+  cluster, multiplying the available budget (the NCAR ``frost`` cluster's
+  shrink from 3 servers to 1 is Table VIII's story).
+
+Capacities are expressed as pseudo-links so the max-min allocator treats
+host, disk and network constraints uniformly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["EndpointKind", "DtnSpec", "DtnCluster", "host_link", "disk_link"]
+
+
+class EndpointKind(enum.Enum):
+    """What backs a transfer endpoint on a given host."""
+
+    MEMORY = "mem"  # /dev/zero -> /dev/null style test endpoints
+    DISK = "disk"  # filesystem-backed (the normal case)
+
+
+def host_link(site: str) -> tuple[str, str]:
+    """Pseudo-link key for a site's aggregate NIC/CPU budget."""
+    return (f"host:{site}", f"host:{site}")
+
+
+def disk_link(site: str, writing: bool) -> tuple[str, str]:
+    """Pseudo-link key for a site's disk read or write pool.
+
+    Reads and writes are separate pools: the paper's Fig. 1 shows NERSC
+    disk *writes* bottlenecking ANL->NERSC transfers while reads keep up.
+    """
+    kind = "diskw" if writing else "diskr"
+    return (f"{kind}:{site}", f"{kind}:{site}")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DtnSpec:
+    """Resource budgets of one data transfer node (or node cluster).
+
+    Defaults reflect the era of the paper's data: multi-Gbps hosts on 10 G
+    access links whose disk arrays, not NICs, are the tighter constraint
+    (Fig. 1: NERSC disk writes bottleneck ANL->NERSC transfers).
+    """
+
+    site: str
+    nic_bps: float = 6e9  # aggregate transfer budget per server
+    disk_read_bps: float = 4e9
+    disk_write_bps: float = 3e9
+    n_servers: int = 1  # cluster width available for striping
+
+    def __post_init__(self) -> None:
+        if min(self.nic_bps, self.disk_read_bps, self.disk_write_bps) <= 0:
+            raise ValueError("budgets must be positive")
+        if self.n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
+
+    def effective_nic_bps(self, stripes: int = 1) -> float:
+        """NIC budget available to one transfer using ``stripes`` stripes.
+
+        A transfer can engage at most ``min(stripes, n_servers)`` servers;
+        each contributes a full NIC budget.
+        """
+        return self.nic_bps * min(max(stripes, 1), self.n_servers)
+
+    def disk_budget_bps(self, writing: bool, stripes: int = 1) -> float:
+        """Disk budget for one transfer (striped across cluster members)."""
+        per = self.disk_write_bps if writing else self.disk_read_bps
+        return per * min(max(stripes, 1), self.n_servers)
+
+
+@dataclasses.dataclass
+class DtnCluster:
+    """Registry of DTN specs per site, with pseudo-link capacity export.
+
+    ``capacities_for`` answers "which pseudo-links and capacities does a
+    transfer between these endpoints consume?", the question the fluid
+    simulator asks when building its allocation problem.
+    """
+
+    specs: dict[str, DtnSpec] = dataclasses.field(default_factory=dict)
+
+    def add(self, spec: DtnSpec) -> None:
+        if spec.site in self.specs:
+            raise ValueError(f"duplicate DTN spec for {spec.site}")
+        self.specs[spec.site] = spec
+
+    def spec(self, site: str) -> DtnSpec:
+        if site not in self.specs:
+            raise KeyError(f"no DTN spec for site {site!r}")
+        return self.specs[site]
+
+    def pseudo_capacities(self) -> dict[tuple[str, str], float]:
+        """Capacity of every host/disk pseudo-link across the cluster set.
+
+        Cluster-wide totals: a site's host budget is ``nic_bps *
+        n_servers`` shared by everything the site serves concurrently, and
+        likewise for the disk pools.  (Per-transfer stripe limits are
+        applied as demand caps, not here.)
+        """
+        caps: dict[tuple[str, str], float] = {}
+        for site, spec in self.specs.items():
+            caps[host_link(site)] = spec.nic_bps * spec.n_servers
+            caps[disk_link(site, writing=False)] = spec.disk_read_bps * spec.n_servers
+            caps[disk_link(site, writing=True)] = spec.disk_write_bps * spec.n_servers
+        return caps
+
+    def transfer_pseudo_links(
+        self,
+        src: str,
+        dst: str,
+        src_endpoint: EndpointKind,
+        dst_endpoint: EndpointKind,
+    ) -> list[tuple[str, str]]:
+        """Pseudo-links one transfer from ``src`` to ``dst`` occupies."""
+        links = [host_link(src), host_link(dst)]
+        if src_endpoint is EndpointKind.DISK:
+            links.append(disk_link(src, writing=False))
+        if dst_endpoint is EndpointKind.DISK:
+            links.append(disk_link(dst, writing=True))
+        return links
+
+    def transfer_demand_cap_bps(
+        self,
+        src: str,
+        dst: str,
+        src_endpoint: EndpointKind,
+        dst_endpoint: EndpointKind,
+        stripes: int = 1,
+    ) -> float:
+        """Per-transfer ceiling from endpoint hardware (before network/TCP).
+
+        The cap is the tightest of: source NIC, destination NIC, source
+        disk read (if disk-backed), destination disk write (if
+        disk-backed) — each scaled by the stripes the transfer can use.
+        """
+        s_spec = self.spec(src)
+        d_spec = self.spec(dst)
+        cap = min(
+            s_spec.effective_nic_bps(stripes), d_spec.effective_nic_bps(stripes)
+        )
+        if src_endpoint is EndpointKind.DISK:
+            cap = min(cap, s_spec.disk_budget_bps(writing=False, stripes=stripes))
+        if dst_endpoint is EndpointKind.DISK:
+            cap = min(cap, d_spec.disk_budget_bps(writing=True, stripes=stripes))
+        return cap

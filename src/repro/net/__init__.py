@@ -1,0 +1,30 @@
+"""Network substrate: topology, TCP model, fair sharing, SNMP, cross traffic.
+
+The paper measured transfers riding the production ESnet backbone; this
+package stands in for that backbone at flow-level fidelity:
+
+* :mod:`~repro.net.topology` — ESnet-like site/router graph (10 G links)
+* :mod:`~repro.net.tcp` — slow start / window / Mathis throughput model
+* :mod:`~repro.net.flows` — weighted max-min fair bandwidth sharing
+* :mod:`~repro.net.routing` — IP default routes and VC explicit routes
+* :mod:`~repro.net.snmp` — 30 s per-interface byte counters
+* :mod:`~repro.net.crosstraffic` — background general-purpose flows
+* :mod:`~repro.net.tstat` — per-connection loss reporting (tstat-style)
+"""
+
+from .flows import FlowSpec, max_min_fair
+from .snmp import SnmpCollector, SnmpCounter
+from .tcp import TcpPathModel
+from .topology import SITES, Link, Topology, esnet_like
+
+__all__ = [
+    "FlowSpec",
+    "max_min_fair",
+    "SnmpCollector",
+    "SnmpCounter",
+    "TcpPathModel",
+    "SITES",
+    "Link",
+    "Topology",
+    "esnet_like",
+]

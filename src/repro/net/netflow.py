@@ -1,0 +1,181 @@
+"""NetFlow-style flow records: what routers actually export.
+
+The deployed HNTES prototype identified α flows from router NetFlow data,
+not from GridFTP logs (which a network operator does not have).  This
+module supplies that vantage point:
+
+* :class:`FlowRecord` — the v5-ish record: endpoints, ports, byte and
+  packet counts, first/last timestamps;
+* :func:`export_from_transfers` — what a router on the path would export
+  for a transfer log, including 1-in-N *packet sampling* (routers cannot
+  afford per-packet accounting at 10 G) and per-stream record splitting
+  (each TCP connection is its own flow to the router);
+* :func:`aggregate_to_transfers` — the inverse HNTES needs: merge
+  per-connection records back into per-movement records, rescaling for
+  the sampling rate;
+* :func:`identify_alpha_from_netflow` — α identification on sampled
+  records, with the rate threshold applied to the *rescaled* estimate.
+
+The sampling-error properties (unbiased in expectation, noisy for short
+flows) are what the tests pin down — they are the reason HNTES identifies
+on daily aggregates rather than single observations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..gridftp.records import TransferLog
+
+__all__ = [
+    "FlowRecord",
+    "export_from_transfers",
+    "aggregate_to_transfers",
+    "identify_alpha_from_netflow",
+]
+
+_MTU = 1500  # bytes per packet, for packet-count synthesis
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FlowRecord:
+    """One exported flow record (NetFlow v5 essentials)."""
+
+    src_host: int
+    dst_host: int
+    src_port: int
+    dst_port: int
+    first: float  # seconds
+    last: float
+    bytes: float  # OBSERVED bytes (after sampling)
+    packets: int  # OBSERVED packets
+    sampling_n: int  # 1-in-N sampling the exporter applied
+
+    @property
+    def estimated_bytes(self) -> float:
+        """Unbiased byte estimate: observed times the sampling factor."""
+        return self.bytes * self.sampling_n
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.last - self.first, 0.0)
+
+
+def export_from_transfers(
+    log: TransferLog,
+    sampling_n: int = 100,
+    rng: np.random.Generator | None = None,
+    base_port: int = 50_000,
+) -> list[FlowRecord]:
+    """Synthesize the router's flow records for a transfer log.
+
+    Each transfer becomes ``streams`` per-connection records (distinct
+    ephemeral source ports), its bytes split evenly across them.  With
+    1-in-``sampling_n`` packet sampling, each connection's observed packet
+    count is binomial; connections whose samples all miss export nothing
+    — short flows disappear, the classic NetFlow bias.
+    """
+    if sampling_n < 1:
+        raise ValueError("sampling_n must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    records: list[FlowRecord] = []
+    for i in range(len(log)):
+        size = float(log.size[i])
+        streams = int(log.streams[i])
+        start = float(log.start[i])
+        end = float(log.end[i])
+        per_conn = size / streams
+        pkts = max(int(np.ceil(per_conn / _MTU)), 1)
+        for s in range(streams):
+            observed_pkts = (
+                pkts if sampling_n == 1 else int(rng.binomial(pkts, 1.0 / sampling_n))
+            )
+            if observed_pkts == 0:
+                continue
+            observed_bytes = observed_pkts * (per_conn / pkts)
+            records.append(
+                FlowRecord(
+                    src_host=int(log.local_host[i]),
+                    dst_host=int(log.remote_host[i]),
+                    src_port=base_port + (i * 64 + s) % 10_000,
+                    dst_port=2811,  # the GridFTP data port convention
+                    first=start,
+                    last=end,
+                    bytes=observed_bytes,
+                    packets=observed_pkts,
+                    sampling_n=sampling_n,
+                )
+            )
+    return records
+
+
+def aggregate_to_transfers(
+    records: list[FlowRecord], gap_s: float = 1.0
+) -> TransferLog:
+    """Merge per-connection records back into per-movement rows.
+
+    Records with the same (src, dst) whose time extents overlap (within
+    ``gap_s``) are one movement — the parallel streams of one transfer.
+    Byte counts are sampling-rescaled and summed; the movement's interval
+    is the union.  The stream count is recovered as the record count.
+    """
+    by_pair: dict[tuple[int, int], list[FlowRecord]] = {}
+    for r in records:
+        by_pair.setdefault((r.src_host, r.dst_host), []).append(r)
+
+    starts, durations, sizes, streams, lhs, rhs = [], [], [], [], [], []
+    for (src, dst), recs in by_pair.items():
+        recs.sort(key=lambda r: r.first)
+        group: list[FlowRecord] = []
+        group_end = -np.inf
+
+        def flush() -> None:
+            if not group:
+                return
+            first = min(r.first for r in group)
+            last = max(r.last for r in group)
+            starts.append(first)
+            durations.append(max(last - first, 1e-9))
+            sizes.append(sum(r.estimated_bytes for r in group))
+            streams.append(len(group))
+            lhs.append(src)
+            rhs.append(dst)
+
+        for r in recs:
+            if group and r.first - group_end > gap_s:
+                flush()
+                group = []
+            group.append(r)
+            group_end = max(group_end, r.last)
+        flush()
+    return TransferLog(
+        {
+            "start": starts,
+            "duration": durations,
+            "size": sizes,
+            "streams": np.maximum(streams, 1),
+            "local_host": lhs,
+            "remote_host": rhs,
+        }
+    ).sorted_by_start()
+
+
+def identify_alpha_from_netflow(
+    records: list[FlowRecord],
+    min_rate_bps: float = 1e9,
+    min_bytes: float = 1e9,
+) -> set[tuple[int, int]]:
+    """Host pairs whose aggregated, rescaled traffic qualifies as α.
+
+    This is the HNTES input path: the operator never sees GridFTP logs,
+    only sampled flow records, yet the α pairs fall out the same.
+    """
+    movements = aggregate_to_transfers(records)
+    tput = movements.throughput_bps
+    mask = (tput >= min_rate_bps) & (movements.size >= min_bytes)
+    return {
+        (int(movements.local_host[i]), int(movements.remote_host[i]))
+        for i in np.flatnonzero(mask)
+    }

@@ -1,0 +1,233 @@
+"""TCP throughput model: slow start, window limits, and the Mathis formula.
+
+The paper's stream analysis (Section VII-B) hinges on two TCP behaviours:
+
+* **Slow start and congestion avoidance** — each connection's congestion
+  window starts at one MSS and doubles per RTT until it reaches the
+  slow-start threshold (``ssthresh``); beyond that it grows *linearly* at
+  one MSS per RTT.  A single stream chasing a multi-hundred-Mbps rate
+  spends a long time in the linear phase, while 8 parallel streams each
+  need only an eighth of the window and often stay inside slow start —
+  which is why 8-stream transfers beat 1-stream transfers for small and
+  medium files and the two converge only for large ones (Fig. 3).
+
+* **Loss response** — with random loss rate *p*, a single stream's steady
+  throughput is capped by the Mathis bound ``MSS/RTT * C/sqrt(p)``; *n*
+  streams get *n* times that.  When losses are rare (the paper's finding
+  (iii)), the cap is far above the path rate and stream count stops
+  mattering for large files (Fig. 4).
+
+The model is deliberately fluid: it answers "how long does a transfer of
+S bytes take at steady rate R over a path with RTT t and loss p, using n
+streams?" analytically, without per-packet simulation.  That is the right
+fidelity for reproducing log-level statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+__all__ = ["TcpPathModel", "MATHIS_C"]
+
+#: Mathis et al. constant for the steady-state loss bound (~sqrt(3/2)).
+MATHIS_C = math.sqrt(3.0 / 2.0)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TcpPathModel:
+    """End-to-end TCP behaviour of one wide-area path.
+
+    Parameters
+    ----------
+    rtt_s:
+        Round-trip time in seconds (SLAC--BNL: ~80 ms).
+    bottleneck_bps:
+        Path bottleneck rate in bits per second (typically a 10 G link).
+    loss_rate:
+        Random segment loss probability; 0 disables the Mathis cap.
+    mss_bytes:
+        Maximum segment size.
+    max_window_bytes:
+        Per-stream send/receive window limit (socket buffer).  ``None``
+        means autotuned/unlimited, i.e. only the bottleneck caps the rate.
+    ssthresh_bytes:
+        Per-stream slow-start threshold: window growth is exponential
+        below it and linear (congestion avoidance) above it.  ``None``
+        disables the linear phase (pure slow start to the steady rate).
+    """
+
+    rtt_s: float
+    bottleneck_bps: float = 10e9
+    loss_rate: float = 0.0
+    mss_bytes: int = 1460
+    max_window_bytes: float | None = None
+    ssthresh_bytes: float | None = 1.2e6
+
+    def __post_init__(self) -> None:
+        if self.rtt_s <= 0:
+            raise ValueError("RTT must be positive")
+        if self.bottleneck_bps <= 0:
+            raise ValueError("bottleneck rate must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if self.mss_bytes <= 0:
+            raise ValueError("MSS must be positive")
+
+    # -- steady-state rate -------------------------------------------------
+
+    def mathis_rate_bps(self) -> float:
+        """Mathis steady-state bound for ONE stream, bits/second.
+
+        Infinite when the path is loss-free — the cap simply never binds.
+        """
+        if self.loss_rate == 0.0:
+            return math.inf
+        return (self.mss_bytes * 8.0 / self.rtt_s) * MATHIS_C / math.sqrt(self.loss_rate)
+
+    def window_rate_bps(self) -> float:
+        """Per-stream rate cap imposed by the window limit, bits/second."""
+        if self.max_window_bytes is None:
+            return math.inf
+        return self.max_window_bytes * 8.0 / self.rtt_s
+
+    def steady_rate_bps(self, n_streams: int = 1) -> float:
+        """Aggregate steady-state rate of ``n_streams`` parallel connections.
+
+        The per-stream rate is the tightest of the Mathis bound and the
+        window cap; the aggregate is additionally capped by the path
+        bottleneck.
+        """
+        if n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+        per_stream = min(self.mathis_rate_bps(), self.window_rate_bps())
+        if math.isinf(per_stream):
+            return self.bottleneck_bps
+        return min(n_streams * per_stream, self.bottleneck_bps)
+
+    # -- slow start ---------------------------------------------------------
+
+    def slow_start_rtts(self, target_bps: float, n_streams: int = 1) -> float:
+        """RTT count for the aggregate window to ramp from n*MSS to ``target_bps``."""
+        if target_bps <= 0:
+            return 0.0
+        initial_bps = n_streams * self.mss_bytes * 8.0 / self.rtt_s
+        if initial_bps >= target_bps:
+            return 0.0
+        return math.log2(target_bps / initial_bps)
+
+    def slow_start_bytes(self, target_bps: float, n_streams: int = 1) -> float:
+        """Bytes delivered during the slow-start ramp to ``target_bps``.
+
+        The window doubles each RTT, so the bytes sent over the ramp form a
+        geometric series summing to just under twice the final
+        window — i.e. about ``2 * target_rate * RTT / 8`` bytes.
+        """
+        rtts = self.slow_start_rtts(target_bps, n_streams)
+        if rtts == 0.0:
+            return 0.0
+        initial_bytes_per_rtt = n_streams * self.mss_bytes
+        # sum of initial * 2^k for k in [0, rtts) == initial * (2^rtts - 1)
+        return initial_bytes_per_rtt * (2.0**rtts - 1.0)
+
+    # -- congestion avoidance -------------------------------------------------
+
+    def ss_exit_rate_bps(self, n_streams: int = 1) -> float:
+        """Aggregate rate at which the streams leave slow start.
+
+        Each stream's window doubles up to ``ssthresh_bytes``, i.e. up to a
+        per-stream rate of ``ssthresh * 8 / RTT``; infinite when the linear
+        phase is disabled.
+        """
+        if self.ssthresh_bytes is None:
+            return math.inf
+        return n_streams * self.ssthresh_bytes * 8.0 / self.rtt_s
+
+    def linear_slope_bps_per_s(self, n_streams: int = 1) -> float:
+        """Aggregate rate growth in congestion avoidance (bits/s per second).
+
+        Each stream adds one MSS of window per RTT: MSS*8/RTT bits/s every
+        RTT, i.e. MSS*8/RTT^2 per second, times the stream count.
+        """
+        return n_streams * self.mss_bytes * 8.0 / self.rtt_s**2
+
+    def startup_penalty_s(self, target_bps: float, n_streams: int = 1) -> float:
+        """Extra transfer time attributable to the window ramp, in seconds.
+
+        Covers both the exponential (slow start) and linear (congestion
+        avoidance) phases up to ``target_bps``: the ramp moves fewer bytes
+        than steady-rate transmission over the same wall time, and the
+        difference is a fixed additive penalty the fluid simulator charges
+        before the flow runs at its allocated rate.
+        """
+        if target_bps <= 0:
+            return 0.0
+        r0 = min(target_bps, self.ss_exit_rate_bps(n_streams))
+        rtts = self.slow_start_rtts(r0, n_streams)
+        ramp_bytes = self.slow_start_bytes(r0, n_streams)
+        penalty = rtts * self.rtt_s - ramp_bytes * 8.0 / target_bps
+        if r0 < target_bps:
+            a = self.linear_slope_bps_per_s(n_streams)
+            t2 = (target_bps - r0) / a
+            b2 = (r0 + target_bps) / 2.0 * t2 / 8.0
+            penalty += t2 - b2 * 8.0 / target_bps
+        return max(penalty, 0.0)
+
+    # -- whole-transfer questions -------------------------------------------
+
+    def transfer_duration_s(
+        self, size_bytes: float, n_streams: int = 1, rate_cap_bps: float | None = None
+    ) -> float:
+        """Time to move ``size_bytes`` with ``n_streams`` streams.
+
+        ``rate_cap_bps`` imposes an external ceiling (server share, VC
+        rate); the effective steady rate is the minimum of the TCP steady
+        rate and the cap.  The window ramp is modeled in three exact
+        phases: geometric growth to the slow-start exit rate, linear
+        growth to the steady rate, then constant-rate transfer; transfers
+        that end inside either ramp phase are inverted analytically.
+        """
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        if size_bytes == 0:
+            return 0.0
+        steady = self.steady_rate_bps(n_streams)
+        if rate_cap_bps is not None:
+            steady = min(steady, rate_cap_bps)
+        if steady <= 0:
+            raise ValueError("effective steady rate must be positive")
+        r0 = min(steady, self.ss_exit_rate_bps(n_streams))
+
+        # phase 1: slow start to r0
+        ramp_bytes = self.slow_start_bytes(r0, n_streams)
+        if size_bytes < ramp_bytes:
+            # bytes after k RTTs = initial * (2^k - 1); invert for k
+            initial = n_streams * self.mss_bytes
+            k = math.log2(size_bytes / initial + 1.0)
+            return k * self.rtt_s
+        t = self.slow_start_rtts(r0, n_streams) * self.rtt_s
+        left = size_bytes - ramp_bytes
+
+        # phase 2: congestion avoidance from r0 to steady
+        if r0 < steady:
+            a = self.linear_slope_bps_per_s(n_streams)
+            t2_full = (steady - r0) / a
+            b2_full = (r0 + steady) / 2.0 * t2_full / 8.0
+            if left <= b2_full:
+                # (r0*t2 + a*t2^2/2) / 8 = left  =>  a*t2^2/2 + r0*t2 - 8*left = 0
+                t2 = (-r0 + math.sqrt(r0**2 + 16.0 * a * left)) / a
+                return t + t2
+            t += t2_full
+            left -= b2_full
+
+        # phase 3: steady state
+        return t + left * 8.0 / steady
+
+    def transfer_throughput_bps(
+        self, size_bytes: float, n_streams: int = 1, rate_cap_bps: float | None = None
+    ) -> float:
+        """Effective throughput (size / duration) of one transfer."""
+        d = self.transfer_duration_s(size_bytes, n_streams, rate_cap_bps)
+        if d == 0.0:
+            return 0.0
+        return size_bytes * 8.0 / d

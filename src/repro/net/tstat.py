@@ -1,0 +1,149 @@
+"""tstat-style per-connection TCP statistics.
+
+Section VII-B closes with: "We plan to test this hypothesis [that packet
+losses are rare] using tstat, a tool that reports packet loss information
+on a per-TCP-connection basis."  This module implements that future-work
+item against the simulated substrate: a passive monitor that, given a
+transfer and its path model, reports the per-connection segment counts,
+retransmissions, and the effective loss estimate — and an analysis that
+runs the paper's hypothesis test over a whole log.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..gridftp.records import TransferLog
+from .tcp import TcpPathModel
+
+__all__ = [
+    "ConnectionStats",
+    "observe_transfer",
+    "LossHypothesisResult",
+    "loss_hypothesis_test",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ConnectionStats:
+    """What a tstat probe reports for one transfer's connections."""
+
+    n_connections: int
+    segments_out: int
+    retransmits: int
+    rtt_avg_s: float
+    #: retransmit fraction (the tstat "loss" estimate)
+    loss_estimate: float
+    #: was the observed throughput consistent with a loss-free path?
+    loss_free_consistent: bool
+
+
+def observe_transfer(
+    size_bytes: float,
+    duration_s: float,
+    n_connections: int,
+    path: TcpPathModel,
+    rng: np.random.Generator | None = None,
+) -> ConnectionStats:
+    """Synthesize the tstat view of one transfer.
+
+    Segment counts follow from size and MSS; retransmissions are drawn
+    binomially from the path's loss rate (what a real probe would count).
+    The consistency flag compares the observed throughput with the
+    loss-free model prediction: a transfer running far below the loss-free
+    envelope *could* have been loss-limited, one at the envelope could
+    not — the paper's Fig. 4 argument made per-connection.
+    """
+    if size_bytes <= 0 or duration_s <= 0:
+        raise ValueError("size and duration must be positive")
+    if n_connections < 1:
+        raise ValueError("need at least one connection")
+    rng = rng or np.random.default_rng(0)
+    segments = int(np.ceil(size_bytes / path.mss_bytes))
+    retransmits = (
+        int(rng.binomial(segments, path.loss_rate)) if path.loss_rate > 0 else 0
+    )
+    observed_bps = size_bytes * 8.0 / duration_s
+    # loss-free envelope: what the model says this transfer could do at best
+    envelope_bps = path.transfer_throughput_bps(size_bytes, n_connections)
+    consistent = observed_bps <= envelope_bps * 1.05
+    return ConnectionStats(
+        n_connections=n_connections,
+        segments_out=segments + retransmits,
+        retransmits=retransmits,
+        rtt_avg_s=path.rtt_s,
+        loss_estimate=retransmits / max(segments, 1),
+        loss_free_consistent=consistent,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class LossHypothesisResult:
+    """Outcome of the rare-loss hypothesis test over a log."""
+
+    n_transfers: int
+    total_segments: int
+    total_retransmits: int
+    mean_loss_estimate: float
+    #: median per-connection Mathis ceiling at the estimated loss, bps
+    mathis_ceiling_bps: float
+    #: fraction of transfers whose throughput EXCEEDS that ceiling —
+    #: impossible under sustained loss, hence evidence of rare loss
+    fraction_above_ceiling: float
+
+    @property
+    def losses_are_rare(self) -> bool:
+        """The paper's conclusion: loss too rare to shape throughput."""
+        return self.mean_loss_estimate < 1e-4 or self.fraction_above_ceiling > 0.25
+
+
+def loss_hypothesis_test(
+    log: TransferLog,
+    path: TcpPathModel,
+    rng: np.random.Generator | None = None,
+) -> LossHypothesisResult:
+    """Run the Section VII-B future-work test over every transfer in ``log``.
+
+    For each transfer a tstat observation is synthesized; the aggregate
+    retransmit fraction estimates the path loss rate, and the Mathis bound
+    at that estimate is compared against the observed throughputs.  On a
+    genuinely lossy path, per-stream throughput cannot exceed the bound;
+    observing many transfers above it falsifies sustained loss.
+    """
+    rng = rng or np.random.default_rng(0)
+    ok = log.duration > 0
+    sizes = log.size[ok]
+    durations = log.duration[ok]
+    conns = (log.streams[ok] * log.stripes[ok]).astype(int)
+    if sizes.size == 0:
+        raise ValueError("log has no transfers with positive duration")
+
+    total_segments = 0
+    total_retx = 0
+    for i in range(sizes.size):
+        stats = observe_transfer(
+            float(sizes[i]), float(durations[i]), int(conns[i]), path, rng
+        )
+        total_segments += stats.segments_out - stats.retransmits
+        total_retx += stats.retransmits
+    loss_est = total_retx / max(total_segments, 1)
+
+    # Mathis ceiling per connection at the estimated loss, times streams
+    if loss_est > 0:
+        per_conn = (path.mss_bytes * 8.0 / path.rtt_s) * 1.2247 / np.sqrt(loss_est)
+        ceiling = np.median(per_conn * conns)
+        observed = sizes * 8.0 / durations
+        above = float((observed > ceiling).mean())
+    else:
+        ceiling = float("inf")
+        above = 0.0
+    return LossHypothesisResult(
+        n_transfers=int(sizes.size),
+        total_segments=int(total_segments),
+        total_retransmits=int(total_retx),
+        mean_loss_estimate=float(loss_est),
+        mathis_ceiling_bps=float(ceiling),
+        fraction_above_ceiling=above,
+    )

@@ -1,0 +1,32 @@
+"""Discrete-event simulation layer: engine, fluid transfers, service replay.
+
+* :mod:`~repro.sim.engine` — event loop and clock
+* :mod:`~repro.sim.experiment` — the fluid transfer simulator (jobs ->
+  transfer logs + SNMP counters)
+* :mod:`~repro.sim.replay` — IP-routed vs dynamic-VC service comparison
+"""
+
+from .engine import EventLoop
+from .scenarios import (
+    anl_nersc_mechanistic,
+    default_dtns,
+    nersc_ornl_snmp_experiment,
+    vc_replay_scenario,
+)
+from .experiment import FluidSimulator, SimResult
+from .replay import CircuitPlan, ServiceComparison, compare_ip_vs_vc, plan_circuits, replay_jobs
+
+__all__ = [
+    "EventLoop",
+    "anl_nersc_mechanistic",
+    "default_dtns",
+    "nersc_ornl_snmp_experiment",
+    "vc_replay_scenario",
+    "FluidSimulator",
+    "SimResult",
+    "CircuitPlan",
+    "ServiceComparison",
+    "compare_ip_vs_vc",
+    "plan_circuits",
+    "replay_jobs",
+]

@@ -1,0 +1,367 @@
+"""The fluid transfer simulator: jobs -> logs + SNMP counters.
+
+This is the mechanistic substrate standing in for the paper's production
+measurement environment.  Transfers are fluid flows whose instantaneous
+rates are recomputed at every event (arrival, slow-start completion, flow
+completion) by a two-pass weighted max-min allocation:
+
+1. **VC pass** — circuit-backed flows are allocated first, each against
+   its guaranteed rate and its endpoints' host/disk pools (a circuit
+   guarantees the *network*, not the servers — the paper's finding (v)).
+2. **best-effort pass** — remaining flows share the network links left
+   after subtracting the circuit allocations, plus the residual host/disk
+   pools.
+
+TCP slow start appears as a per-flow startup penalty during which the flow
+moves no fluid (the analytic penalty from
+:meth:`repro.net.tcp.TcpPathModel.startup_penalty_s`), so short transfers
+see exactly the stream-count effect of Figures 3--4.
+
+Every completed transfer is logged as a
+:class:`~repro.gridftp.records.TransferRecord`; every byte moved is
+deposited into the per-link SNMP counters, Table X style.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+from ..gridftp.client import TransferJob
+from ..gridftp.records import TransferLog, TransferRecord, TransferType
+from ..gridftp.server import DtnCluster
+from ..net.flows import FlowSpec, max_min_fair
+from ..net.snmp import SnmpCollector
+from ..net.tcp import TcpPathModel
+from ..net.topology import Topology
+from ..vc.circuits import VirtualCircuit
+from .engine import EventLoop
+
+__all__ = ["FluidSimulator", "SimResult"]
+
+_EPS_BYTES = 1.0  # remaining-byte tolerance for completion
+
+
+@dataclasses.dataclass
+class _Flow:
+    """Internal per-transfer simulation state."""
+
+    flow_id: int
+    job: TransferJob
+    path: list[str]
+    net_links: list[tuple[str, str]]
+    pseudo_links: list[tuple[str, str]]
+    demand_cap_bps: float
+    submit_time: float
+    active_time: float  # submit + slow-start penalty
+    remaining_bytes: float
+    rate_bps: float = 0.0
+    vc: VirtualCircuit | None = None
+    done: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class SimResult:
+    """Output of one simulator run."""
+
+    log: TransferLog
+    snmp: SnmpCollector
+    n_events: int
+
+
+class FluidSimulator:
+    """Event-driven fluid simulation of GridFTP transfers over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The network (sites, routers, links).
+    dtns:
+        Per-site server resource budgets.
+    loss_rate:
+        Random loss probability used by the per-path TCP model (paper
+        finding (iii): effectively zero on these paths).
+    max_window_bytes:
+        Per-stream TCP window limit; ``None`` models autotuned buffers.
+    ssthresh_bytes:
+        Per-stream slow-start threshold for the window ramp; DTNs with
+        tuned stacks and reused data channels warrant a high value.
+    snmp_t0, snmp_bin_seconds:
+        SNMP counter epoch and cadence.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        dtns: DtnCluster,
+        loss_rate: float = 0.0,
+        max_window_bytes: float | None = None,
+        ssthresh_bytes: float | None = 1.2e6,
+        snmp_t0: float = 0.0,
+        snmp_bin_seconds: float = 30.0,
+    ) -> None:
+        self.topology = topology
+        self.dtns = dtns
+        self.loss_rate = loss_rate
+        self.max_window_bytes = max_window_bytes
+        self.ssthresh_bytes = ssthresh_bytes
+        self.snmp = SnmpCollector(snmp_t0, snmp_bin_seconds)
+        self._flows: dict[int, _Flow] = {}
+        self._next_flow_id = 0
+        self._records: list[TransferRecord] = []
+        self._loop = EventLoop(snmp_t0)
+        self._completion_event = None
+        self._last_advance = snmp_t0
+        #: scheduled outages: link key -> list of (t_down, t_up)
+        self._outages: dict[tuple[str, str], list[tuple[float, float]]] = {}
+
+    # -- failure injection ---------------------------------------------------
+
+    def schedule_link_outage(
+        self, key: tuple[str, str], t_down: float, t_up: float
+    ) -> None:
+        """Take link ``key`` down over [t_down, t_up).
+
+        Flows crossing the link stall at zero rate for the outage (their
+        logged durations absorb the stall) and resume when it returns —
+        the failure mode GridFTP's fault recovery exists for.  Must be
+        called before the affected interval is simulated.
+        """
+        if t_up <= t_down:
+            raise ValueError("outage must have positive duration")
+        if t_down < self._loop.now:
+            raise ValueError("cannot schedule an outage in the past")
+        if key not in {link.key for link in self.topology.links()}:
+            raise KeyError(f"unknown link {key}")
+        self._outages.setdefault(key, []).append((t_down, t_up))
+        # rate changes at both edges: force reallocation there
+        self._loop.schedule(t_down, self._recompute)
+        self._loop.schedule(t_up, self._recompute)
+
+    def _link_capacity_now(self, key: tuple[str, str], capacity: float) -> float:
+        now = self._loop.now
+        for t_down, t_up in self._outages.get(key, ()):
+            if t_down <= now < t_up:
+                return 0.0
+        return capacity
+
+    # -- job intake --------------------------------------------------------
+
+    def submit(
+        self,
+        job: TransferJob,
+        vc: VirtualCircuit | None = None,
+        explicit_path: list[str] | None = None,
+    ) -> int:
+        """Queue one job; returns its flow id.
+
+        ``vc`` pins the transfer to a provisioned circuit (rate guarantee
+        along ``vc.path``); ``explicit_path`` routes a best-effort flow off
+        the IP default (used by the α-redirection experiments).
+        """
+        if job.submit_time < self._loop.now:
+            raise ValueError("job submitted in the simulator's past")
+        if vc is not None and explicit_path is not None:
+            raise ValueError("give either a circuit or an explicit path, not both")
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        self._loop.schedule(
+            job.submit_time, lambda: self._on_arrival(flow_id, job, vc, explicit_path)
+        )
+        return flow_id
+
+    def submit_all(self, jobs: Sequence[TransferJob]) -> list[int]:
+        """Queue many best-effort jobs."""
+        return [self.submit(j) for j in jobs]
+
+    # -- event handlers -------------------------------------------------------
+
+    def _tcp_model(self, path: list[str]) -> TcpPathModel:
+        return TcpPathModel(
+            rtt_s=self.topology.path_rtt_s(path),
+            bottleneck_bps=self.topology.path_bottleneck_bps(path),
+            loss_rate=self.loss_rate,
+            max_window_bytes=self.max_window_bytes,
+            ssthresh_bytes=self.ssthresh_bytes,
+        )
+
+    def _on_arrival(
+        self,
+        flow_id: int,
+        job: TransferJob,
+        vc: VirtualCircuit | None,
+        explicit_path: list[str] | None,
+    ) -> None:
+        now = self._loop.now
+        self._advance(now)
+        if vc is not None:
+            path = list(vc.path)
+        elif explicit_path is not None:
+            path = explicit_path
+        else:
+            path = self.topology.path(job.src, job.dst)
+        tcp = self._tcp_model(path)
+        dtn_cap = self.dtns.transfer_demand_cap_bps(
+            job.src, job.dst, job.src_endpoint, job.dst_endpoint, job.stripes
+        )
+        # total parallel connections: streams per stripe
+        n_conn = job.streams * job.stripes
+        demand = min(tcp.steady_rate_bps(n_conn), dtn_cap)
+        if vc is not None:
+            demand = min(demand, vc.rate_bps)
+        penalty = tcp.startup_penalty_s(demand, n_conn)
+        flow = _Flow(
+            flow_id=flow_id,
+            job=job,
+            path=path,
+            net_links=self.topology.path_links(path),
+            pseudo_links=self.dtns.transfer_pseudo_links(
+                job.src, job.dst, job.src_endpoint, job.dst_endpoint
+            ),
+            demand_cap_bps=demand,
+            submit_time=now,
+            active_time=now + penalty,
+            remaining_bytes=job.size_bytes,
+            vc=vc,
+        )
+        self._flows[flow_id] = flow
+        if penalty > 0:
+            self._loop.schedule(flow.active_time, self._recompute)
+        self._recompute()
+
+    def _active_flows(self) -> list[_Flow]:
+        now = self._loop.now
+        return [
+            f
+            for f in self._flows.values()
+            if not f.done and f.active_time <= now and f.remaining_bytes > 0
+        ]
+
+    def _advance(self, to_time: float) -> None:
+        """Move fluid at current rates from the last advance point to ``to_time``."""
+        dt = to_time - self._last_advance
+        if dt < 0:
+            raise RuntimeError("advance moved backwards")
+        if dt > 0:
+            for f in self._flows.values():
+                if f.done or f.rate_bps <= 0:
+                    continue
+                moved = min(f.rate_bps * dt / 8.0, f.remaining_bytes)
+                if moved > 0:
+                    self.snmp.add_bytes(
+                        f.net_links, self._last_advance, to_time, moved
+                    )
+                    f.remaining_bytes -= moved
+        self._last_advance = to_time
+        # complete flows that drained
+        for f in list(self._flows.values()):
+            if not f.done and f.remaining_bytes <= _EPS_BYTES:
+                self._complete(f, to_time)
+
+    def _complete(self, flow: _Flow, now: float) -> None:
+        flow.done = True
+        flow.remaining_bytes = 0.0
+        flow.rate_bps = 0.0
+        job = flow.job
+        self._records.append(
+            TransferRecord(
+                start=flow.submit_time,
+                duration=max(now - flow.submit_time, 1e-9),
+                size=job.size_bytes,
+                transfer_type=TransferType.RETR,
+                streams=job.streams,
+                stripes=job.stripes,
+                local_host=self.topology.host_id(job.src),
+                remote_host=self.topology.host_id(job.dst),
+            )
+        )
+        del self._flows[flow.flow_id]
+
+    def _recompute(self) -> None:
+        """Reallocate rates among active flows and reschedule the next completion."""
+        now = self._loop.now
+        self._advance(now)
+        active = self._active_flows()
+        active_ids = {f.flow_id for f in active}
+        # zero rates for flows still in slow-start hold
+        for f in self._flows.values():
+            if not f.done and f.flow_id not in active_ids:
+                f.rate_bps = 0.0
+        if active:
+            self._allocate(active)
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        next_t = math.inf
+        for f in active:
+            if f.rate_bps > 0:
+                t = now + f.remaining_bytes * 8.0 / f.rate_bps
+                next_t = min(next_t, t)
+        if math.isfinite(next_t):
+            self._completion_event = self._loop.schedule(next_t, self._recompute)
+
+    def _allocate(self, active: list[_Flow]) -> None:
+        caps: dict[tuple[str, str], float] = {}
+        for link in self.topology.links():
+            caps[link.key] = self._link_capacity_now(link.key, link.capacity_bps)
+        caps.update(self.dtns.pseudo_capacities())
+
+        vc_flows = [f for f in active if f.vc is not None]
+        be_flows = [f for f in active if f.vc is None]
+
+        # Pass 1: circuit flows — guaranteed network rate, shared servers.
+        if vc_flows:
+            specs = []
+            for f in vc_flows:
+                guard = (f"vc:{f.vc.circuit_id}", f"vc:{f.vc.circuit_id}")
+                # a circuit is only as alive as its physical path: an
+                # outage on any traversed link stalls the flow too
+                path_up = all(caps.get(key, 0.0) > 0.0 for key in f.net_links)
+                caps[guard] = f.vc.rate_bps if path_up else 0.0
+                specs.append(
+                    FlowSpec(
+                        flow_id=f.flow_id,
+                        links=tuple(f.pseudo_links) + (guard,),
+                        demand_bps=f.demand_cap_bps,
+                        weight=float(f.job.streams * f.job.stripes),
+                    )
+                )
+            rates = max_min_fair(specs, caps)
+            for f in vc_flows:
+                f.rate_bps = rates[f.flow_id]
+                # circuits consume their guarantee on the physical links
+                for key in f.net_links:
+                    caps[key] = max(caps[key] - f.rate_bps, 0.0)
+                for key in f.pseudo_links:
+                    caps[key] = max(caps[key] - f.rate_bps, 0.0)
+
+        # Pass 2: best-effort flows over the residual capacities.
+        if be_flows:
+            specs = [
+                FlowSpec(
+                    flow_id=f.flow_id,
+                    links=tuple(f.net_links) + tuple(f.pseudo_links),
+                    demand_bps=f.demand_cap_bps,
+                    weight=float(f.job.streams * f.job.stripes),
+                )
+                for f in be_flows
+            ]
+            rates = max_min_fair(specs, caps)
+            for f in be_flows:
+                f.rate_bps = rates[f.flow_id]
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> SimResult:
+        """Drain all events (or stop at ``until``) and return logs + counters."""
+        self._loop.run(until=until, max_events=max_events)
+        self._advance(self._loop.now)
+        log = TransferLog.from_records(
+            sorted(self._records, key=lambda r: r.start)
+        )
+        return SimResult(log=log, snmp=self.snmp, n_events=self._loop.n_processed)
+
+    @property
+    def now(self) -> float:
+        return self._loop.now

@@ -1,0 +1,345 @@
+"""Prebuilt mechanistic experiments mirroring the paper's measurement setups.
+
+Two scenarios:
+
+* :func:`nersc_ornl_snmp_experiment` — the Section VII-C setup: 32 GB test
+  transfers ride the NERSC--ORNL path through the fluid simulator while
+  light general-purpose cross traffic and occasional other science flows
+  touch the same backbone links; every byte lands in 30 s SNMP counters.
+  Feeds Tables X--XIII.
+
+* :func:`anl_nersc_mechanistic` — the Section VII-D setup run end-to-end
+  through the simulator: four endpoint categories of test transfers
+  against a NERSC DTN whose disk-write pool is the bottleneck, with
+  shared-server contention producing the throughput variance Eq. (2)
+  probes.  A mechanistic alternative to
+  :func:`repro.workload.synth.nersc_anl_tests`.
+
+Both return the transfer log *and* enough context (link series, category
+masks) for the core analyses to run unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..gridftp.client import TransferJob
+from ..gridftp.records import TransferLog
+from ..gridftp.server import DtnCluster, DtnSpec, EndpointKind
+from ..net.crosstraffic import CrossTrafficConfig, generate_cross_traffic
+from ..net.topology import Topology, esnet_like
+from .experiment import FluidSimulator
+
+__all__ = [
+    "default_dtns",
+    "SnmpExperiment",
+    "nersc_ornl_snmp_experiment",
+    "MechanisticAnl",
+    "anl_nersc_mechanistic",
+    "ReplayScenario",
+    "vc_replay_scenario",
+]
+
+
+def default_dtns(topology: Topology) -> DtnCluster:
+    """DTN budgets for every site, tuned to the paper's observed regimes.
+
+    NERSC's disk-write pool is the tightest (Fig. 1's bottleneck); NCAR's
+    cluster width is 3 (the 2009 ``frost`` configuration).
+    """
+    cluster = DtnCluster()
+    cluster.add(DtnSpec("NERSC", nic_bps=7e9, disk_read_bps=4.5e9, disk_write_bps=2.3e9))
+    cluster.add(DtnSpec("ANL", nic_bps=6e9, disk_read_bps=4.5e9, disk_write_bps=4e9))
+    cluster.add(DtnSpec("ORNL", nic_bps=6e9, disk_read_bps=4.5e9, disk_write_bps=3.5e9))
+    cluster.add(DtnSpec("NCAR", nic_bps=2.2e9, disk_read_bps=1.8e9, disk_write_bps=1.5e9, n_servers=3))
+    cluster.add(DtnSpec("NICS", nic_bps=6e9, disk_read_bps=4.5e9, disk_write_bps=4e9))
+    cluster.add(DtnSpec("SLAC", nic_bps=5e9, disk_read_bps=4e9, disk_write_bps=3e9))
+    cluster.add(DtnSpec("BNL", nic_bps=5e9, disk_read_bps=4e9, disk_write_bps=3e9))
+    cluster.add(DtnSpec("LANL", nic_bps=5e9, disk_read_bps=4e9, disk_write_bps=3e9))
+    return cluster
+
+
+@dataclasses.dataclass(frozen=True)
+class SnmpExperiment:
+    """Everything Tables X--XIII need from one simulated campaign."""
+
+    #: the 32 GB test transfers, time-sorted
+    test_log: TransferLog
+    #: full simulator log (tests + other science flows)
+    full_log: TransferLog
+    #: SNMP series per monitored router egress, named rt1..rt5
+    links: dict[str, tuple[np.ndarray, np.ndarray]]
+    topology: Topology
+
+
+def nersc_ornl_snmp_experiment(
+    seed: int = 2010,
+    n_tests: int = 145,
+    days: int = 30,
+    cross_traffic: bool = True,
+) -> SnmpExperiment:
+    """Simulate the 32 GB NERSC--ORNL campaign with SNMP collection.
+
+    ``n_tests`` 32 GB jobs start at 2 AM or 8 AM over ``days`` days.  A
+    modest population of *other* science transfers (NERSC->ANL,
+    SLAC->NICS) occasionally shares links of the monitored path, creating
+    the throughput quartile structure; general-purpose cross traffic stays
+    light, so the α flows dominate the byte counts (the paper's surprising
+    finding (iv)).
+    """
+    rng = np.random.default_rng(seed)
+    topology = esnet_like()
+    dtns = default_dtns(topology)
+    # tuned DTN stacks: big ssthresh, so slow start reaches multi-Gbps fast
+    sim = FluidSimulator(topology, dtns, ssthresh_bytes=8e6, snmp_t0=0.0)
+
+    # 32 GB test jobs: serialized inside each 2 AM / 8 AM window (the test
+    # script runs them back to back), never overlapping each other
+    test_jobs = []
+    slots = [(d, h) for d in range(days) for h in (2, 8)]
+    rng.shuffle(slots)
+    per_slot = -(-n_tests // len(slots))  # ceil division
+    slot_counts = np.zeros(len(slots), dtype=int)
+    for i in range(n_tests):
+        slot_counts[i % len(slots)] += 1
+    for (day, hour), count in zip(slots, slot_counts):
+        for k in range(count):
+            # cron-driven test scripts fire on :00/:30 boundaries, which
+            # aligns transfer starts with the 30 s SNMP bins (and is why
+            # Eq. 1's partial-first-bin term is usually exact for them)
+            t = day * 86_400.0 + hour * 3600.0 + k * 720.0 + 0.2
+            test_jobs.append(
+                TransferJob(
+                    submit_time=t,
+                    src="NERSC",
+                    dst="ORNL",
+                    size_bytes=float(rng.uniform(32e9, 34e9)),
+                    streams=8,
+                    stripes=1,
+                    src_endpoint=EndpointKind.DISK,
+                    dst_endpoint=EndpointKind.DISK,
+                )
+            )
+    test_jobs.sort(key=lambda j: j.submit_time)
+
+    # companions: other transfers the NERSC DTN serves around the test
+    # windows, contending for CPU/disk but routed OFF the monitored path
+    # (NERSC -> ANL rides the northern backbone), so they create the
+    # throughput variance without polluting the monitored byte counters
+    other_jobs = []
+    for job in test_jobs:
+        for _ in range(int(rng.poisson(1.3))):
+            other_jobs.append(
+                TransferJob(
+                    submit_time=job.submit_time + float(rng.uniform(-90, 90)),
+                    src="NERSC",
+                    dst="ANL",
+                    size_bytes=float(rng.uniform(5e9, 30e9)),
+                    streams=8,
+                )
+            )
+    # unrelated α flows entering the monitored path midway (LANL -> ORNL
+    # touches only the last monitored links): two overlap tests, lifting
+    # the maximum observed load on those links to "slightly more than half
+    # the link capacity" (Table XIII) while the upstream links stay clean
+    # (per-router correlation differences, Table XI)
+    for _ in range(4):
+        other_jobs.append(
+            TransferJob(
+                submit_time=float(rng.uniform(0, days * 86_400.0)),
+                src="LANL",
+                dst="NICS",
+                size_bytes=float(rng.uniform(10e9, 40e9)),
+                streams=8,
+            )
+        )
+    for job in rng.choice(len(test_jobs), size=2, replace=False):
+        other_jobs.append(
+            TransferJob(
+                submit_time=test_jobs[int(job)].submit_time + 20.0,
+                src="LANL",
+                dst="NICS",
+                size_bytes=30e9,
+                streams=8,
+            )
+        )
+    other_jobs = [j for j in other_jobs if j.submit_time >= 0]
+    other_jobs.sort(key=lambda j: j.submit_time)
+
+    for job in test_jobs:
+        sim.submit(job)
+    for job in other_jobs:
+        sim.submit(job)
+
+    horizon = days * 86_400.0 + 4 * 3600.0
+    if cross_traffic:
+        generate_cross_traffic(
+            topology,
+            0.0,
+            horizon,
+            config=CrossTrafficConfig(
+                arrival_rate_per_s=0.008,
+                mean_size_bytes=3e6,
+                rate_cap_bps=30e6,
+            ),
+            rng=rng,
+            collector=sim.snmp,
+        )
+    result = sim.run()
+
+    nersc = topology.host_id("NERSC")
+    ornl = topology.host_id("ORNL")
+    mask = (result.log.local_host == nersc) & (result.log.remote_host == ornl)
+    test_log = result.log.select(mask)
+
+    # monitor the backbone egresses along the path the tests actually take
+    # (the paper had SNMP for 5 of the 7 ESnet routers on its path)
+    path = topology.path("NERSC", "ORNL")
+    backbone = [
+        key
+        for key in topology.path_links(path)
+        if key[0].startswith("rt-") and key[1].startswith("rt-")
+    ]
+    links = {
+        f"rt{i + 1}": sim.snmp.counter(key).series()
+        for i, key in enumerate(backbone[:5])
+    }
+    return SnmpExperiment(
+        test_log=test_log, full_log=result.log, links=links, topology=topology
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class MechanisticAnl:
+    """Simulator-produced ANL->NERSC test set with category masks."""
+
+    log: TransferLog
+    masks: dict[str, np.ndarray]
+
+    def category(self, name: str) -> TransferLog:
+        return self.log.select(self.masks[name])
+
+    def mm_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.masks["mem-mem"])
+
+
+def anl_nersc_mechanistic(seed: int = 42, n_batches: int = 110) -> MechanisticAnl:
+    """Run the four-category ANL->NERSC tests through the fluid simulator.
+
+    Jobs arrive in overlapping batches; the NERSC disk-write pool
+    bottlenecks the ``*-disk`` categories while shared NIC budgets couple
+    every concurrent transfer — Table VI's ordering and Eq. (2)'s weak
+    correlation both emerge mechanistically.
+    """
+    rng = np.random.default_rng(seed)
+    topology = esnet_like()
+    dtns = default_dtns(topology)
+    sim = FluidSimulator(topology, dtns)
+
+    categories = {
+        "mem-mem": (EndpointKind.MEMORY, EndpointKind.MEMORY, 84),
+        "mem-disk": (EndpointKind.MEMORY, EndpointKind.DISK, 78),
+        "disk-mem": (EndpointKind.DISK, EndpointKind.MEMORY, 87),
+        "disk-disk": (EndpointKind.DISK, EndpointKind.DISK, 85),
+    }
+    jobs: list[tuple[TransferJob, str]] = []
+    batch_t = np.sort(rng.uniform(0, n_batches * 1800.0, size=n_batches))
+    for name, (src_ep, dst_ep, count) in categories.items():
+        for _ in range(count):
+            b = int(rng.integers(0, n_batches))
+            jobs.append(
+                (
+                    TransferJob(
+                        submit_time=float(batch_t[b] + rng.uniform(0, 120.0)),
+                        src="ANL",
+                        dst="NERSC",
+                        size_bytes=float(rng.uniform(18e9, 22e9)),
+                        streams=8,
+                        src_endpoint=src_ep,
+                        dst_endpoint=dst_ep,
+                    ),
+                    name,
+                )
+            )
+    jobs.sort(key=lambda jn: jn[0].submit_time)
+    for job, _ in jobs:
+        sim.submit(job)
+    result = sim.run()
+
+    # map log rows back to categories via (submit time, size) identity
+    log = result.log
+    key_to_cat = {(round(j.submit_time, 6), round(j.size_bytes, 3)): n for j, n in jobs}
+    cats = np.array(
+        [
+            key_to_cat[(round(float(log.start[i]), 6), round(float(log.size[i]), 3))]
+            for i in range(len(log))
+        ]
+    )
+    masks = {name: cats == name for name in categories}
+    return MechanisticAnl(log=log, masks=masks)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayScenario:
+    """Inputs for the IP-vs-VC replay comparison (extension Ext-A)."""
+
+    topology: Topology
+    dtns: DtnCluster
+    jobs: list[TransferJob]
+    contenders: list[TransferJob]
+    vc_rate_bps: float
+
+
+def vc_replay_scenario(seed: int = 11, n_jobs: int = 40) -> ReplayScenario:
+    """A contended campaign where the VC-vs-IP difference is visible.
+
+    One NERSC->ORNL session of back-to-back transfers, while bursts of
+    memory-to-memory α flows from SLAC and LANL converge on a widened NICS
+    DTN and saturate the shared southern backbone links.  Under IP-routed
+    service the session's transfers are squeezed by whatever the
+    contenders are doing at that moment; with a 3 Gbps circuit they are
+    isolated from it (but still subject to their own server limits).
+    """
+    rng = np.random.default_rng(seed)
+    topology = esnet_like()
+    dtns = default_dtns(topology)
+    # widen NICS so the contender fan-in can actually fill the 10 G links
+    dtns.specs["NICS"] = DtnSpec(
+        "NICS", nic_bps=6e9, disk_read_bps=4.5e9, disk_write_bps=4e9, n_servers=2
+    )
+    jobs = []
+    t = 100.0
+    for _ in range(n_jobs):
+        jobs.append(
+            TransferJob(
+                submit_time=t,
+                src="NERSC",
+                dst="ORNL",
+                size_bytes=float(rng.uniform(8e9, 14e9)),
+                streams=8,
+            )
+        )
+        t += float(rng.uniform(70, 100))
+    contenders = []
+    for _ in range(60):
+        src = "SLAC" if rng.random() < 0.5 else "LANL"
+        contenders.append(
+            TransferJob(
+                submit_time=float(rng.uniform(0.0, t)),
+                src=src,
+                dst="NICS",
+                size_bytes=float(rng.uniform(20e9, 40e9)),
+                streams=8,
+                src_endpoint=EndpointKind.MEMORY,
+                dst_endpoint=EndpointKind.MEMORY,
+            )
+        )
+    return ReplayScenario(
+        topology=topology,
+        dtns=dtns,
+        jobs=jobs,
+        contenders=contenders,
+        vc_rate_bps=3e9,
+    )

@@ -1,0 +1,46 @@
+"""Virtual-circuit substrate: OSCARS-like reservations, IDCP, policies.
+
+* :mod:`~repro.vc.circuits` — circuit objects and setup-delay models
+* :mod:`~repro.vc.scheduler` — time-bandwidth admission control per link
+* :mod:`~repro.vc.oscars` — the single-domain IDC (createReservation API)
+* :mod:`~repro.vc.idcp` — sequential inter-domain chaining
+* :mod:`~repro.vc.policy` — session-hold and α-redirection policies
+* :mod:`~repro.vc.hntes` — offline α identification + firewall filters
+* :mod:`~repro.vc.lambdastation` — application-signalled redirection
+* :mod:`~repro.vc.provisioner` — the batch automatic-signalling daemon
+"""
+
+from .circuits import (
+    BatchSignalling,
+    CircuitState,
+    HardwareSignalling,
+    SetupDelayModel,
+    VirtualCircuit,
+)
+from .hntes import HntesController
+from .lambdastation import LambdaStation, Treatment, TransferIntent
+from .oscars import OscarsIDC, ReservationRejected, ReservationRequest
+from .policy import AlphaRedirector, SessionHoldPolicy
+from .provisioner import AutoProvisioner
+from .scheduler import AdmissionError, BandwidthScheduler, Reservation
+
+__all__ = [
+    "BatchSignalling",
+    "CircuitState",
+    "HardwareSignalling",
+    "SetupDelayModel",
+    "VirtualCircuit",
+    "HntesController",
+    "LambdaStation",
+    "Treatment",
+    "TransferIntent",
+    "OscarsIDC",
+    "ReservationRejected",
+    "ReservationRequest",
+    "AlphaRedirector",
+    "AutoProvisioner",
+    "SessionHoldPolicy",
+    "AdmissionError",
+    "BandwidthScheduler",
+    "Reservation",
+]

@@ -1,0 +1,115 @@
+"""Virtual circuit objects and setup-delay models.
+
+A dynamic VC is a rate-guaranteed, explicitly-routed connection set up
+before data flows and released afterwards (Section II).  Two setup-delay
+regimes from the paper are modeled:
+
+* **batch signalling** — the production OSCARS IDC collects provisioning
+  requests starting in the next minute and signals them in a batch, so a
+  request for *immediate* use waits out the rest of the current batch
+  window: worst case one full minute, mean half that, modeled here as the
+  time to the next batch boundary.
+* **hardware signalling** — a hypothetical hardware control plane bounded
+  only by one cross-country RTT (~50 ms).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+__all__ = ["CircuitState", "VirtualCircuit", "SetupDelayModel", "BatchSignalling", "HardwareSignalling"]
+
+
+class CircuitState(enum.Enum):
+    """Lifecycle of a reservation-backed circuit."""
+
+    RESERVED = "reserved"  # accepted, awaiting start time
+    ACTIVE = "active"  # provisioned, carrying traffic
+    RELEASED = "released"  # torn down (duration ended or cancelled)
+
+
+@dataclasses.dataclass
+class VirtualCircuit:
+    """A provisioned (or pending) virtual circuit.
+
+    ``rate_bps`` is guaranteed end-to-end along ``path`` from
+    ``start_time`` to ``end_time``.  Idle guaranteed capacity is shareable
+    by other traffic (a VC is not a hard circuit), which is why holding a
+    VC across short gaps is cheap — the paper's argument for g > 0.
+    """
+
+    circuit_id: int
+    path: tuple[str, ...]
+    rate_bps: float
+    start_time: float
+    end_time: float
+    state: CircuitState = CircuitState.RESERVED
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("circuit rate must be positive")
+        if self.end_time <= self.start_time:
+            raise ValueError("circuit must have positive duration")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time - self.start_time
+
+    def activate(self) -> None:
+        if self.state is not CircuitState.RESERVED:
+            raise RuntimeError(f"cannot activate circuit in state {self.state}")
+        self.state = CircuitState.ACTIVE
+
+    def release(self) -> None:
+        if self.state is CircuitState.RELEASED:
+            raise RuntimeError("circuit already released")
+        self.state = CircuitState.RELEASED
+
+
+class SetupDelayModel:
+    """Strategy mapping a request instant to the circuit-usable instant."""
+
+    def ready_time(self, request_time: float) -> float:
+        """Earliest time a circuit requested at ``request_time`` can carry data."""
+        raise NotImplementedError
+
+    def worst_case_s(self) -> float:
+        """Upper bound of the setup delay (the paper quotes this figure)."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BatchSignalling(SetupDelayModel):
+    """OSCARS-style batch provisioning: ready at the next batch boundary.
+
+    With a 60 s batch window, a request lands in the batch signalled at the
+    next minute boundary — up to a full minute later, which is the "1 min
+    VC setup delay" the paper carries through its analysis.
+    """
+
+    batch_window_s: float = 60.0
+    signalling_s: float = 1.0  # router config time once the batch fires
+
+    def ready_time(self, request_time: float) -> float:
+        boundary = math.ceil(request_time / self.batch_window_s) * self.batch_window_s
+        if boundary == request_time:  # landed exactly on a boundary: next batch
+            boundary += self.batch_window_s
+        return boundary + self.signalling_s
+
+    def worst_case_s(self) -> float:
+        return self.batch_window_s + self.signalling_s
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class HardwareSignalling(SetupDelayModel):
+    """Hardware control plane: a fixed RTT-bounded delay (paper: 50 ms)."""
+
+    delay_s: float = 0.050
+
+    def ready_time(self, request_time: float) -> float:
+        return request_time + self.delay_s
+
+    def worst_case_s(self) -> float:
+        return self.delay_s

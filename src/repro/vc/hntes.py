@@ -1,0 +1,209 @@
+"""HNTES: hybrid network traffic engineering — offline α-flow steering.
+
+Section IV of the paper describes two intra-domain deployment options the
+UVA/ESnet team pursued:
+
+* **HNTES-style offline identification**: analyze yesterday's flow
+  records, extract the (source, destination) prefixes of α flows, and
+  install firewall filters at ingress routers that redirect matching
+  packets onto pre-configured MPLS LSPs.  No application involvement.
+
+* **Lambdastation-style application signalling**
+  (:mod:`repro.vc.lambdastation`): the application announces an upcoming
+  large transfer, and the network sets up redirection before it starts.
+
+This module implements the HNTES controller: daily analysis cycles over
+transfer logs, a persistent flow-identification database, firewall-filter
+rule generation, and precision/recall accounting of what the rules would
+have caught on the next day's traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.alpha_flows import AlphaFlowCriteria, classify_alpha_flows
+from ..gridftp.records import TransferLog
+
+__all__ = [
+    "FirewallFilter",
+    "IdentificationRecord",
+    "HntesController",
+    "RedirectionReport",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FirewallFilter:
+    """An ingress-router rule steering a (src, dst) pair onto an LSP."""
+
+    local_host: int
+    remote_host: int
+    lsp_name: str
+
+    def matches(self, local: int, remote: int) -> bool:
+        return self.local_host == local and self.remote_host == remote
+
+
+@dataclasses.dataclass
+class IdentificationRecord:
+    """Evidence accumulated about one host pair across analysis cycles."""
+
+    n_alpha_observations: int = 0
+    total_alpha_bytes: float = 0.0
+    last_seen_cycle: int = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class RedirectionReport:
+    """What the installed filters did to one day's traffic."""
+
+    cycle: int
+    n_transfers: int
+    n_redirected: int
+    n_alpha: int
+    n_alpha_redirected: int
+    bytes_total: float
+    bytes_redirected: float
+
+    @property
+    def recall(self) -> float:
+        """Fraction of α transfers the filters caught."""
+        if self.n_alpha == 0:
+            return float("nan")
+        return self.n_alpha_redirected / self.n_alpha
+
+    @property
+    def precision(self) -> float:
+        """Fraction of redirected transfers that really were α."""
+        if self.n_redirected == 0:
+            return float("nan")
+        return self.n_alpha_redirected / self.n_redirected
+
+    @property
+    def byte_coverage(self) -> float:
+        if self.bytes_total == 0:
+            return 0.0
+        return self.bytes_redirected / self.bytes_total
+
+
+class HntesController:
+    """Daily-cycle α-flow identification and filter management.
+
+    Usage pattern (mirroring the deployed HNTES prototype's offline mode)::
+
+        ctl = HntesController()
+        for day, log in enumerate(days):
+            report = ctl.apply_filters(log, cycle=day)   # today's effect
+            ctl.analyze(log, cycle=day)                  # learn for tomorrow
+
+    Filters are installed once a pair has produced at least
+    ``min_observations`` α transfers, and expire after
+    ``expiry_cycles`` cycles without new evidence — stale filters waste
+    router TCAM and can steer the wrong traffic.
+    """
+
+    def __init__(
+        self,
+        criteria: AlphaFlowCriteria | None = None,
+        min_observations: int = 1,
+        expiry_cycles: int = 30,
+    ) -> None:
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if expiry_cycles < 1:
+            raise ValueError("expiry_cycles must be >= 1")
+        self.criteria = criteria or AlphaFlowCriteria()
+        self.min_observations = min_observations
+        self.expiry_cycles = expiry_cycles
+        self._db: dict[tuple[int, int], IdentificationRecord] = {}
+        self._current_cycle = -1
+
+    # -- learning ------------------------------------------------------------
+
+    def analyze(self, log: TransferLog, cycle: int) -> int:
+        """Digest one cycle's log into the identification database.
+
+        Returns the number of pairs whose evidence grew this cycle.
+        """
+        if cycle < self._current_cycle:
+            raise ValueError("analysis cycles must be non-decreasing")
+        self._current_cycle = cycle
+        alpha = classify_alpha_flows(log, self.criteria)
+        touched: set[tuple[int, int]] = set()
+        lh = log.local_host
+        rh = log.remote_host
+        sizes = log.size
+        for i in np.flatnonzero(alpha):
+            pair = (int(lh[i]), int(rh[i]))
+            rec = self._db.setdefault(pair, IdentificationRecord())
+            rec.n_alpha_observations += 1
+            rec.total_alpha_bytes += float(sizes[i])
+            rec.last_seen_cycle = cycle
+            touched.add(pair)
+        return len(touched)
+
+    # -- filter state ----------------------------------------------------------
+
+    def active_filters(self, cycle: int | None = None) -> list[FirewallFilter]:
+        """The filters that would be installed at ``cycle`` (default: now)."""
+        cycle = self._current_cycle if cycle is None else cycle
+        out = []
+        for (local, remote), rec in sorted(self._db.items()):
+            if rec.n_alpha_observations < self.min_observations:
+                continue
+            if cycle - rec.last_seen_cycle > self.expiry_cycles:
+                continue
+            out.append(
+                FirewallFilter(local, remote, lsp_name=f"lsp-{local}-{remote}")
+            )
+        return out
+
+    def render_config(self, cycle: int | None = None) -> str:
+        """Router-ish configuration text for the active filters.
+
+        Purely illustrative syntax, but stable enough to diff between
+        cycles — which is how an operator would audit HNTES's changes.
+        """
+        lines = ["firewall {", "  family inet {"]
+        for f in self.active_filters(cycle):
+            lines += [
+                f"    filter redirect-{f.local_host}-{f.remote_host} {{",
+                f"      from source-host {f.local_host};",
+                f"      from destination-host {f.remote_host};",
+                f"      then lsp {f.lsp_name};",
+                "    }",
+            ]
+        lines += ["  }", "}"]
+        return "\n".join(lines)
+
+    # -- application -----------------------------------------------------------
+
+    def apply_filters(self, log: TransferLog, cycle: int) -> RedirectionReport:
+        """Evaluate the currently-installed filters against ``log``.
+
+        Call *before* :meth:`analyze` for the same cycle to get the honest
+        next-day evaluation (filters learned only from earlier cycles).
+        """
+        filters = {
+            (f.local_host, f.remote_host) for f in self.active_filters(cycle)
+        }
+        alpha = classify_alpha_flows(log, self.criteria)
+        lh = log.local_host
+        rh = log.remote_host
+        redirected = np.fromiter(
+            ((int(lh[i]), int(rh[i])) in filters for i in range(len(log))),
+            dtype=bool,
+            count=len(log),
+        )
+        return RedirectionReport(
+            cycle=cycle,
+            n_transfers=len(log),
+            n_redirected=int(redirected.sum()),
+            n_alpha=int(alpha.sum()),
+            n_alpha_redirected=int((redirected & alpha).sum()),
+            bytes_total=float(log.size.sum()),
+            bytes_redirected=float(log.size[redirected].sum()),
+        )

@@ -1,0 +1,165 @@
+"""Lambdastation-style application signalling of upcoming transfers.
+
+Section IV: "solutions such as Lambdastation can be used to have end user
+applications, which generate large-sized high-speed transfers, signal
+their intention (before starting their transfers) to network management
+systems ... allow the network management systems to configure the
+redirection of α flows to static intra-domain VCs, and even allow for
+dynamic intra-domain VC setup."
+
+This module implements that control loop against the local substrate:
+an application announces (src, dst, expected bytes, expected rate, start
+time); the station decides between three treatments —
+
+* ``IGNORE``      — too small/slow to bother (not an α flow),
+* ``STATIC_LSP``  — redirect onto a pre-configured intra-domain LSP
+                    (no admission control, shared),
+* ``DYNAMIC_VC``  — request a dedicated circuit from the IDC
+                    (rate-guaranteed, admission-controlled),
+
+and hands back a ticket the transfer tool uses when submitting the job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..net.topology import Topology
+from .oscars import OscarsIDC, ReservationRejected, ReservationRequest
+
+__all__ = [
+    "Treatment",
+    "TransferIntent",
+    "Ticket",
+    "LambdaStation",
+]
+
+
+class Treatment(enum.Enum):
+    """What the station decided to do with an announced transfer."""
+
+    IGNORE = "ignore"
+    STATIC_LSP = "static-lsp"
+    DYNAMIC_VC = "dynamic-vc"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TransferIntent:
+    """The application's pre-transfer announcement."""
+
+    src: str
+    dst: str
+    expected_bytes: float
+    expected_rate_bps: float
+    start_time: float
+
+    def __post_init__(self) -> None:
+        if self.expected_bytes <= 0 or self.expected_rate_bps <= 0:
+            raise ValueError("expected bytes and rate must be positive")
+
+    @property
+    def expected_duration_s(self) -> float:
+        return self.expected_bytes * 8.0 / self.expected_rate_bps
+
+
+@dataclasses.dataclass(frozen=True)
+class Ticket:
+    """The station's answer: treatment plus any provisioned resources."""
+
+    intent: TransferIntent
+    treatment: Treatment
+    #: explicit path for STATIC_LSP treatment (None otherwise)
+    lsp_path: tuple[str, ...] | None = None
+    #: circuit id for DYNAMIC_VC treatment (None otherwise)
+    circuit_id: int | None = None
+    #: earliest instant the transfer should start (after signalling)
+    go_time: float = 0.0
+
+
+class LambdaStation:
+    """Decide and provision treatment for announced transfers.
+
+    Parameters
+    ----------
+    topology, idc:
+        The domain and its circuit service.
+    alpha_rate_bps, alpha_bytes:
+        Announcements below either threshold are ignored (not α flows).
+    vc_rate_threshold_bps:
+        Announcements expecting at least this rate get a dynamic circuit;
+        α flows below it ride the shared static LSPs.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        idc: OscarsIDC,
+        alpha_rate_bps: float = 0.5e9,
+        alpha_bytes: float = 1e9,
+        vc_rate_threshold_bps: float = 2e9,
+    ) -> None:
+        self.topology = topology
+        self.idc = idc
+        self.alpha_rate_bps = alpha_rate_bps
+        self.alpha_bytes = alpha_bytes
+        self.vc_rate_threshold_bps = vc_rate_threshold_bps
+        self._static_lsps: dict[tuple[str, str], tuple[str, ...]] = {}
+        self.n_vc_fallbacks = 0
+
+    def preconfigure_lsp(self, src: str, dst: str, path: list[str] | None = None) -> None:
+        """Install a static intra-domain LSP between two sites.
+
+        Defaults to a non-IP-default path so redirected α flows stay out
+        of the general-purpose queues (the isolation positive #3).
+        """
+        if path is None:
+            from ..net.routing import k_shortest_paths
+
+            candidates = k_shortest_paths(self.topology, src, dst, k=2)
+            path = candidates[-1]  # the alternate, when one exists
+        self._static_lsps[(src, dst)] = tuple(path)
+
+    def announce(self, intent: TransferIntent, now: float | None = None) -> Ticket:
+        """Process an application announcement and return its ticket.
+
+        Dynamic-circuit requests that fail admission fall back to the
+        static LSP (if configured) and are counted in
+        :attr:`n_vc_fallbacks`; without an LSP the transfer is simply not
+        redirected.
+        """
+        now = intent.start_time if now is None else now
+        if (
+            intent.expected_rate_bps < self.alpha_rate_bps
+            or intent.expected_bytes < self.alpha_bytes
+        ):
+            return Ticket(intent, Treatment.IGNORE, go_time=intent.start_time)
+
+        if intent.expected_rate_bps >= self.vc_rate_threshold_bps:
+            request = ReservationRequest(
+                src=intent.src,
+                dst=intent.dst,
+                bandwidth_bps=intent.expected_rate_bps,
+                start_time=intent.start_time,
+                end_time=intent.start_time
+                + 1.5 * intent.expected_duration_s
+                + self.idc.setup_delay.worst_case_s(),
+            )
+            try:
+                vc = self.idc.create_reservation(request, request_time=now)
+                return Ticket(
+                    intent,
+                    Treatment.DYNAMIC_VC,
+                    circuit_id=vc.circuit_id,
+                    go_time=vc.start_time,
+                )
+            except ReservationRejected:
+                self.n_vc_fallbacks += 1
+
+        lsp = self._static_lsps.get((intent.src, intent.dst))
+        if lsp is not None:
+            return Ticket(
+                intent, Treatment.STATIC_LSP, lsp_path=lsp,
+                go_time=intent.start_time,
+            )
+        return Ticket(intent, Treatment.IGNORE, go_time=intent.start_time)

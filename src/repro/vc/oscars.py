@@ -1,0 +1,196 @@
+"""An OSCARS-like Inter-Domain Controller (IDC).
+
+OSCARS exposes ``createReservation(startTime, endTime, bandwidth,
+endpoints)`` and provisions the circuit at its start time, either by
+*automatic signalling* (the IDC batches provisioning requests starting in
+the next minute — hence the 1-minute setup delay for immediate-use
+requests) or by an explicit ``createPath`` message (Section IV).
+
+This class wires together path computation
+(:func:`repro.net.routing.least_congested_path`), admission control
+(:class:`repro.vc.scheduler.BandwidthScheduler`) and a setup-delay model
+(:mod:`repro.vc.circuits`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..net.routing import least_congested_path
+from ..net.topology import Topology
+from .circuits import (
+    BatchSignalling,
+    CircuitState,
+    SetupDelayModel,
+    VirtualCircuit,
+)
+from .scheduler import AdmissionError, BandwidthScheduler
+
+__all__ = ["ReservationRequest", "OscarsIDC", "ReservationRejected"]
+
+
+class ReservationRejected(Exception):
+    """createReservation failed admission on every candidate path."""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ReservationRequest:
+    """The createReservation message body (Section IV parameter list)."""
+
+    src: str
+    dst: str
+    bandwidth_bps: float
+    start_time: float
+    end_time: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.end_time <= self.start_time:
+            raise ValueError("end_time must exceed start_time")
+
+
+class OscarsIDC:
+    """Single-domain IDC: reservations, path choice, provisioning.
+
+    Parameters
+    ----------
+    topology:
+        The domain's network.
+    setup_delay:
+        Signalling model; defaults to 60 s batch signalling (production
+        OSCARS).  Immediate-use requests are adjusted so the circuit's
+        usable window starts at the signalling-ready time.
+    reservable_fraction:
+        Passed to the underlying :class:`BandwidthScheduler`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        setup_delay: SetupDelayModel | None = None,
+        reservable_fraction: float = 0.9,
+    ) -> None:
+        self.topology = topology
+        self.setup_delay = setup_delay or BatchSignalling()
+        self.scheduler = BandwidthScheduler(topology, reservable_fraction)
+        self._circuits: dict[int, VirtualCircuit] = {}
+        self._circuit_reservation: dict[int, int] = {}
+
+    # -- the IDC API ------------------------------------------------------------
+
+    def create_reservation(
+        self,
+        request: ReservationRequest,
+        request_time: float | None = None,
+        explicit_path: list[str] | None = None,
+    ) -> VirtualCircuit:
+        """Admit a reservation and return the (not yet active) circuit.
+
+        ``request_time`` defaults to ``request.start_time`` (an
+        immediate-use request).  When the signalling-ready time falls after
+        the requested start, the usable window is pushed back to it — this
+        is the setup-delay overhead the paper's Table IV weighs against
+        session duration.
+
+        Raises :class:`ReservationRejected` when no candidate path has the
+        bandwidth over the window.
+        """
+        if request_time is None:
+            request_time = request.start_time
+        if request_time > request.start_time:
+            raise ValueError("cannot request a reservation after its start time")
+        ready = self.setup_delay.ready_time(request_time)
+        usable_start = max(request.start_time, ready)
+        if usable_start >= request.end_time:
+            raise ReservationRejected(
+                "setup delay consumes the whole requested window "
+                f"(ready at {usable_start}, window ends {request.end_time})"
+            )
+        if explicit_path is None:
+            committed = self.scheduler.committed_now(usable_start)
+            path = least_congested_path(
+                self.topology, request.src, request.dst, committed
+            )
+        else:
+            path = explicit_path
+        try:
+            reservation = self.scheduler.reserve(
+                path, request.bandwidth_bps, usable_start, request.end_time
+            )
+        except AdmissionError as exc:
+            raise ReservationRejected(str(exc)) from exc
+        vc = VirtualCircuit(
+            circuit_id=reservation.reservation_id,
+            path=tuple(path),
+            rate_bps=request.bandwidth_bps,
+            start_time=usable_start,
+            end_time=request.end_time,
+        )
+        self._circuits[vc.circuit_id] = vc
+        self._circuit_reservation[vc.circuit_id] = reservation.reservation_id
+        return vc
+
+    def provision(self, circuit_id: int, now: float) -> VirtualCircuit:
+        """Activate a reserved circuit at its start time (automatic signalling)."""
+        vc = self._circuits[circuit_id]
+        if now < vc.start_time:
+            raise RuntimeError(
+                f"circuit {circuit_id} not provisionable before {vc.start_time}"
+            )
+        vc.activate()
+        return vc
+
+    def create_path(
+        self, circuit_id: int, now: float, signalling_s: float = 1.0
+    ) -> VirtualCircuit:
+        """Explicit message signalling: the Section IV alternative.
+
+        Instead of waiting for the automatic batch daemon, the user (or
+        application) sends an explicit createPath message; the circuit is
+        active ``signalling_s`` later — router configuration time only,
+        no batch-boundary wait.  Only valid inside the reservation window.
+        """
+        vc = self._circuits[circuit_id]
+        ready = now + signalling_s
+        if ready < vc.start_time:
+            raise RuntimeError(
+                f"createPath before the reservation window (starts {vc.start_time})"
+            )
+        if ready >= vc.end_time:
+            raise RuntimeError("createPath after the reservation window closed")
+        vc.activate()
+        return vc
+
+    def teardown(self, circuit_id: int, now: float | None = None) -> None:
+        """Release a circuit (and its reservation tail, when torn down early)."""
+        vc = self._circuits.pop(circuit_id)
+        reservation_id = self._circuit_reservation.pop(circuit_id)
+        vc.release()
+        at = None
+        if now is not None and vc.start_time < now < vc.end_time:
+            at = now
+        self.scheduler.release(reservation_id, at=at)
+
+    def extend(self, circuit_id: int, new_end: float) -> VirtualCircuit:
+        """Push a circuit's end time out (gap-``g`` hold policy support)."""
+        reservation_id = self._circuit_reservation[circuit_id]
+        self.scheduler.extend(reservation_id, new_end)
+        old = self._circuits[circuit_id]
+        new_vc = VirtualCircuit(
+            circuit_id=old.circuit_id,
+            path=old.path,
+            rate_bps=old.rate_bps,
+            start_time=old.start_time,
+            end_time=max(old.end_time, new_end),
+            state=old.state,
+        )
+        self._circuits[circuit_id] = new_vc
+        return new_vc
+
+    def circuit(self, circuit_id: int) -> VirtualCircuit:
+        return self._circuits[circuit_id]
+
+    @property
+    def active_circuits(self) -> list[VirtualCircuit]:
+        return [c for c in self._circuits.values() if c.state is CircuitState.ACTIVE]

@@ -1,0 +1,125 @@
+"""Unit tests for burstiness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.burstiness import (
+    burstiness_with_without,
+    link_burstiness,
+    porcupine_elephant_overlap,
+    transfer_burstiness,
+)
+from repro.gridftp.records import TransferLog
+from repro.net.snmp import SnmpCounter
+
+
+class TestLinkBurstiness:
+    def test_constant_series_zero_cv(self):
+        b = link_burstiness(np.full(10, 100.0))
+        assert b.cv == 0.0
+        assert b.peak_to_mean == pytest.approx(1.0)
+
+    def test_bursty_series(self):
+        counts = np.zeros(100)
+        counts[::10] = 1000.0
+        b = link_burstiness(counts)
+        assert b.cv == pytest.approx(3.0)
+        assert b.peak_to_mean == pytest.approx(10.0)
+
+    def test_exclude_idle(self):
+        counts = np.array([0.0, 0.0, 100.0, 100.0])
+        full = link_burstiness(counts)
+        busy = link_burstiness(counts, include_idle=False)
+        assert full.cv > busy.cv
+        assert busy.n_bins == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            link_burstiness(np.zeros(0))
+
+    def test_all_zero_series(self):
+        b = link_burstiness(np.zeros(5))
+        assert b.cv == 0.0 and b.mean_bytes == 0.0
+
+
+class TestWithWithout:
+    def test_removing_alpha_flow_reduces_burstiness(self):
+        """A Sarvotham-style check against real SNMP counters."""
+        total = SnmpCounter(bin_seconds=30.0)
+        alpha = SnmpCounter(bin_seconds=30.0)
+        # steady background over an hour
+        total.add_bytes(0.0, 3600.0, 3600.0 * 50e6 / 8)
+        # one 2.5 Gbps alpha transfer for 2 minutes
+        total.add_bytes(1000.0, 1120.0, 120.0 * 2.5e9 / 8)
+        alpha.add_bytes(1000.0, 1120.0, 120.0 * 2.5e9 / 8)
+        _, t_counts = total.series()
+        a_counts = np.zeros_like(t_counts)
+        _, a_series = alpha.series()
+        a_counts[: a_series.size] = a_series
+        with_alpha, without = burstiness_with_without(t_counts, a_counts)
+        assert with_alpha.peak_to_mean > 3 * without.peak_to_mean
+        assert with_alpha.cv > without.cv
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            burstiness_with_without(np.zeros(3), np.zeros(4))
+
+
+def make_log(rates_gbps, sizes=None, durations=None):
+    n = len(rates_gbps)
+    sizes = np.asarray(sizes if sizes is not None else [10e9] * n, dtype=float)
+    tput = np.asarray(rates_gbps) * 1e9
+    durations = (
+        np.asarray(durations, dtype=float)
+        if durations is not None
+        else sizes * 8 / tput
+    )
+    return TransferLog(
+        {
+            "start": np.arange(n) * 1e4,
+            "duration": durations,
+            "size": sizes,
+            "remote_host": [1] * n,
+        }
+    )
+
+
+class TestTransferBurstiness:
+    def test_fast_flow_scores_high(self):
+        log = make_log([0.2, 0.2, 0.2, 2.5])
+        scores = transfer_burstiness(log)
+        assert scores[3] > 5 * scores[0]
+
+    def test_short_transfers_discounted(self):
+        # same rate, but one transfer lasts 3 s < the 30 s bin
+        log = make_log([1.0, 1.0], sizes=[30e9, 0.375e9])
+        scores = transfer_burstiness(log)
+        assert scores[1] < scores[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transfer_burstiness(make_log([1.0]), timescale_s=0.0)
+
+    def test_empty_log(self):
+        assert transfer_burstiness(TransferLog()).size == 0
+
+
+class TestPorcupineElephant:
+    def test_overlap_high_when_big_is_fast(self):
+        rng = np.random.default_rng(0)
+        n = 400
+        sizes = rng.lognormal(21, 1.5, n)
+        tput = 50e6 * (sizes / sizes.min()) ** 0.5  # bigger -> faster
+        log = TransferLog(
+            {
+                "start": np.arange(n) * 1e4,
+                "duration": sizes * 8 / tput,
+                "size": sizes,
+                "remote_host": [1] * n,
+            }
+        )
+        overlap = porcupine_elephant_overlap(log)
+        assert overlap > 0.6  # Lan-Heidemann reported 68%
+
+    def test_small_log_nan(self):
+        assert np.isnan(porcupine_elephant_overlap(make_log([1.0, 2.0])))

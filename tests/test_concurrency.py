@@ -1,0 +1,150 @@
+"""Unit tests for the Eq. (2) concurrency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.concurrency import (
+    concurrency_analysis,
+    concurrency_profile,
+    default_capacity_bps,
+    overlap_weighted_load,
+    predicted_throughput,
+)
+from repro.gridftp.records import TransferLog
+
+
+def log_from(rows):
+    """rows: (start, duration, size)."""
+    return TransferLog(
+        {
+            "start": [r[0] for r in rows],
+            "duration": [r[1] for r in rows],
+            "size": [r[2] for r in rows],
+            "remote_host": [1] * len(rows),
+        }
+    )
+
+
+class TestConcurrencyProfile:
+    def test_lone_transfer(self):
+        log = log_from([(0.0, 10.0, 1e9)])
+        p = concurrency_profile(log, 0)
+        assert p.counts.tolist() == [1]
+        assert p.total_duration == pytest.approx(10.0)
+        assert p.mean_concurrency() == pytest.approx(1.0)
+
+    def test_step_profile(self):
+        # subject [0, 10); competitor [4, 6)
+        log = log_from([(0.0, 10.0, 1e9), (4.0, 2.0, 1e8)])
+        p = concurrency_profile(log, 0)
+        assert p.counts.tolist() == [1, 2, 1]
+        assert p.durations.tolist() == [4.0, 2.0, 4.0]
+
+    def test_mean_concurrency_time_weighted(self):
+        log = log_from([(0.0, 10.0, 1e9), (0.0, 5.0, 1e8)])
+        p = concurrency_profile(log, 0)
+        assert p.mean_concurrency() == pytest.approx(1.5)
+
+    def test_partial_overlap_clipped(self):
+        log = log_from([(5.0, 10.0, 1e9), (0.0, 7.0, 1e8)])
+        p = concurrency_profile(log, 0)
+        # competitor active [5, 7) within the subject window
+        assert p.counts.tolist() == [2, 1]
+        assert p.durations.tolist() == [2.0, 8.0]
+
+
+class TestOverlapWeightedLoad:
+    def test_no_competitors(self):
+        log = log_from([(0.0, 10.0, 1e9)])
+        load = overlap_weighted_load(log, np.array([0]))
+        assert load[0] == 0.0
+
+    def test_full_overlap_equals_competitor_rate(self):
+        # competitor at 0.8 Gbps fully covering the subject
+        log = log_from([(0.0, 10.0, 1e9), (0.0, 10.0, 1e9)])
+        load = overlap_weighted_load(log, np.array([0]))
+        assert load[0] == pytest.approx(0.8e9)
+
+    def test_half_overlap_half_rate(self):
+        log = log_from([(0.0, 10.0, 1e9), (5.0, 5.0, 0.5e9)])
+        # competitor rate 0.8 Gbps, active half the subject's window
+        load = overlap_weighted_load(log, np.array([0]))
+        assert load[0] == pytest.approx(0.4e9)
+
+    def test_excludes_self(self):
+        log = log_from([(0.0, 10.0, 1e9)])
+        assert overlap_weighted_load(log, np.array([0]))[0] == 0.0
+
+
+class TestPrediction:
+    def test_leftover_capacity(self):
+        log = log_from([(0.0, 10.0, 1e9), (0.0, 10.0, 1e9)])
+        pred = predicted_throughput(log, np.array([0]), capacity_bps=2e9)
+        assert pred[0] == pytest.approx(2e9 - 0.8e9)
+
+    def test_floor_at_zero(self):
+        log = log_from([(0.0, 10.0, 1e9), (0.0, 10.0, 10e9)])
+        pred = predicted_throughput(log, np.array([0]), capacity_bps=1e9)
+        assert pred[0] == 0.0
+
+    def test_capacity_validation(self):
+        log = log_from([(0.0, 1.0, 1.0)])
+        with pytest.raises(ValueError):
+            predicted_throughput(log, np.array([0]), capacity_bps=0.0)
+
+    def test_default_capacity_percentile(self):
+        log = log_from([(i * 100.0, 10.0, r * 1.25e9) for i, r in enumerate(range(1, 11))])
+        cap = default_capacity_bps(log)
+        tput = log.throughput_bps
+        assert cap == pytest.approx(np.percentile(tput, 90))
+
+
+class TestAnalysis:
+    def make_coupled_log(self, seed=0, n=120):
+        """Transfers whose actual rate drops with concurrent load."""
+        rng = np.random.default_rng(seed)
+        starts = np.sort(rng.uniform(0, 5_000.0, n))
+        base = rng.uniform(0.8e9, 1.2e9, n)
+        durations = 20e9 * 8 / base
+        # two-pass coupling, mirroring the workload generator's approach
+        for _ in range(2):
+            ends = starts + durations
+            load = np.zeros(n)
+            tput = 20e9 * 8 / durations
+            for i in range(n):
+                ov = np.clip(np.minimum(ends, ends[i]) - np.maximum(starts, starts[i]), 0, None)
+                ov[i] = 0
+                load[i] = (tput * ov).sum() / durations[i]
+            durations = 20e9 * 8 / (base * np.clip(1 - 0.3 * load / 3e9, 0.3, 1.0))
+        return TransferLog(
+            {"start": starts, "duration": durations, "size": [20e9] * n,
+             "remote_host": [1] * n}
+        )
+
+    def test_positive_correlation_when_coupled(self):
+        log = self.make_coupled_log()
+        a = concurrency_analysis(log, capacity_bps=4e9)
+        assert a.correlation > 0.2
+
+    def test_correlation_invariant_to_capacity_when_unfloored(self):
+        log = self.make_coupled_log()
+        a1 = concurrency_analysis(log, capacity_bps=8e9)
+        a2 = concurrency_analysis(log, capacity_bps=16e9)
+        assert a1.correlation == pytest.approx(a2.correlation, abs=1e-9)
+
+    def test_subset_selection(self):
+        log = self.make_coupled_log()
+        subset = np.arange(0, 40)
+        a = concurrency_analysis(log, subset=subset, capacity_bps=4e9)
+        assert a.actual_bps.shape == (40,)
+        assert a.predicted_bps.shape == (40,)
+
+    def test_quartile_correlations_reported(self):
+        log = self.make_coupled_log()
+        a = concurrency_analysis(log, capacity_bps=4e9)
+        assert len(a.quartile_correlations) == 4
+
+    def test_empty_subset_rejected(self):
+        log = self.make_coupled_log()
+        with pytest.raises(ValueError):
+            concurrency_analysis(log, subset=np.array([], dtype=int))

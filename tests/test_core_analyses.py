@@ -1,0 +1,366 @@
+"""Unit tests for the per-factor core analyses (throughput, stripes,
+streams, time-of-day, alpha flows, VC suitability)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alpha_flows import (
+    AlphaFlowCriteria,
+    classify_alpha_flows,
+    classify_lan_heidemann,
+    link_fraction,
+)
+from repro.core.sessions import group_sessions
+from repro.core.streams import (
+    GB,
+    MB,
+    bandwidth_delay_product,
+    convergence_size,
+    scatter_series,
+    stream_comparison,
+)
+from repro.core.stripes import (
+    by_stripes,
+    by_year,
+    epoch_of_year,
+    size_range_slice,
+    top_fraction_size_threshold,
+    variance_table,
+)
+from repro.core.throughput import (
+    categorized_throughput,
+    duration_summary,
+    path_report,
+    throughput_summary,
+    transfer_throughput_bps,
+)
+from repro.core.timeofday import (
+    hour_of_day,
+    time_of_day_analysis,
+    time_of_day_effect_ratio,
+)
+from repro.core.vc_suitability import (
+    AMORTIZATION_FACTOR,
+    min_suitable_session_size,
+    suitability_table,
+    vc_suitability,
+)
+from repro.gridftp.records import TransferLog
+
+
+def simple_log(sizes, durations, starts=None, **cols):
+    n = len(sizes)
+    base = {
+        "start": starts if starts is not None else np.arange(n) * 1000.0,
+        "duration": durations,
+        "size": sizes,
+        "remote_host": [9] * n,
+    }
+    base.update(cols)
+    return TransferLog(base)
+
+
+class TestThroughput:
+    def test_zero_duration_excluded(self):
+        log = simple_log([1e6, 1e6], [0.0, 1.0])
+        tputs = transfer_throughput_bps(log)
+        assert tputs.shape == (1,)
+
+    def test_summary_units(self):
+        log = simple_log([1e9], [8.0])
+        assert throughput_summary(log).median == pytest.approx(1e9)
+
+    def test_duration_summary(self):
+        log = simple_log([1e6, 1e6], [10.0, 30.0])
+        assert duration_summary(log).mean == pytest.approx(20.0)
+
+    def test_categorized(self):
+        cats = {
+            "fast": simple_log([1e9] * 4, [4.0] * 4),
+            "slow": simple_log([1e9] * 4, [16.0] * 4),
+        }
+        out = categorized_throughput(cats)
+        assert out[0].category == "fast"
+        assert out[0].summary.median > out[1].summary.median
+        assert out[0].box.n == 4
+
+    def test_path_report(self):
+        log = simple_log([32e9] * 3, [100.0, 200.0, 80.0])
+        rep = path_report(log)
+        assert rep.n_transfers == 3
+        assert rep.max_throughput_gbps == pytest.approx(32 * 8 / 80, rel=1e-6)
+        assert rep.exceeds_rate_count(2.5e9, log) == 2
+
+
+class TestStripes:
+    def test_size_range_slice(self):
+        log = simple_log([3e9, 4.5e9, 16.5e9], [1, 1, 1])
+        assert len(size_range_slice(log, 4e9, 5e9)) == 1
+        assert len(size_range_slice(log, 16e9, 17e9)) == 1
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            size_range_slice(simple_log([1], [1]), 5, 5)
+
+    def test_by_year_grouping(self):
+        starts = [epoch_of_year(2009) + 100, epoch_of_year(2010) + 100,
+                  epoch_of_year(2010) + 200]
+        log = simple_log([1e9] * 3, [1.0] * 3, starts=starts)
+        groups = by_year(log)
+        assert [g.key for g in groups] == [2009, 2010]
+        assert groups[1].n_transfers == 2
+
+    def test_by_stripes_median_ordering(self):
+        # stripes 1 at 1 Gbps, stripes 3 at 3 Gbps
+        log = simple_log(
+            [1e9] * 6,
+            [8.0, 8.0, 8.0, 8.0 / 3, 8.0 / 3, 8.0 / 3],
+            stripes=[1, 1, 1, 3, 3, 3],
+        )
+        groups = by_stripes(log)
+        assert [g.key for g in groups] == [1, 3]
+        assert groups[1].throughput.median > groups[0].throughput.median
+
+    def test_variance_table(self):
+        table = variance_table({"16G": simple_log([16e9] * 3, [10, 20, 30])})
+        assert "16G" in table
+        assert table["16G"].n == 3
+
+    def test_top_fraction_threshold(self):
+        log = simple_log(list(np.arange(1, 101, dtype=float)), [1.0] * 100)
+        thr = top_fraction_size_threshold(log, 0.05)
+        assert 94 <= thr <= 96
+
+    def test_top_fraction_validation(self):
+        with pytest.raises(ValueError):
+            top_fraction_size_threshold(simple_log([1], [1]), 1.5)
+
+    def test_empty_groups(self):
+        assert by_year(TransferLog()) == []
+        assert by_stripes(TransferLog()) == []
+
+
+class TestStreams:
+    def make_stream_log(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        sizes = rng.uniform(1e6, 900e6, n)
+        streams = np.where(rng.random(n) < 0.5, 1, 8)
+        # synthetic: 8-stream transfers twice as fast below 200 MB
+        base = 200e6
+        tput = np.where((streams == 8) & (sizes < 200e6), 2 * base, base)
+        durations = sizes * 8 / tput
+        return TransferLog(
+            {"start": np.arange(n, dtype=float), "duration": durations,
+             "size": sizes, "streams": streams}
+        )
+
+    def test_comparison_medians(self):
+        log = self.make_stream_log()
+        cmp = stream_comparison(log, 50 * MB, 0, 1 * GB)
+        left, m1, m8 = cmp.common_bins()
+        small = left < 150e6
+        assert np.all(m8[small] > 1.5 * m1[small])
+        big = left > 400e6
+        assert np.allclose(m8[big], m1[big], rtol=0.01)
+
+    def test_convergence_size_found(self):
+        log = self.make_stream_log()
+        cmp = stream_comparison(log, 50 * MB, 0, 1 * GB)
+        conv = convergence_size(cmp, tolerance=0.05, min_count=10)
+        assert conv is not None
+        assert 150e6 <= conv <= 300e6
+
+    def test_counts_figure(self):
+        log = self.make_stream_log()
+        cmp = stream_comparison(log, 100 * MB, 0, 1 * GB)
+        assert cmp.one_stream.count.sum() + cmp.multi_stream.count.sum() <= len(log)
+        assert cmp.multi_stream_count > 0
+
+    def test_scatter_series(self):
+        log = simple_log([1e6, 2e6], [1.0, 2.0])
+        x, y = scatter_series(log)
+        assert x.shape == y.shape == (2,)
+        assert y[0] == pytest.approx(8e6)
+
+    def test_bdp(self):
+        assert bandwidth_delay_product(10e9, 0.08) == pytest.approx(1e8)
+        with pytest.raises(ValueError):
+            bandwidth_delay_product(0, 0.08)
+
+
+class TestTimeOfDay:
+    def test_hour_of_day(self):
+        hours = hour_of_day(np.array([0.0, 3600.0 * 26]))
+        assert hours[0] == 0.0
+        assert hours[1] == pytest.approx(2.0)
+
+    def test_utc_offset(self):
+        assert hour_of_day(np.array([0.0]), utc_offset_hours=-7)[0] == 17.0
+
+    def test_grouping(self):
+        starts = [2 * 3600.0, 2 * 3600 + 60, 8 * 3600.0]
+        log = simple_log([1e9] * 3, [10.0] * 3, starts=starts)
+        groups = time_of_day_analysis(log)
+        assert [g.hour for g in groups] == [2, 8]
+        assert groups[0].n_transfers == 2
+
+    def test_effect_ratio_small_when_hours_similar(self):
+        rng = np.random.default_rng(1)
+        starts = np.concatenate([
+            2 * 3600 + rng.uniform(0, 600, 40),
+            8 * 3600 + rng.uniform(0, 600, 40),
+        ])
+        durations = rng.uniform(90, 110, 80)
+        log = simple_log([32e9] * 80, durations, starts=starts)
+        ratio = time_of_day_effect_ratio(time_of_day_analysis(log))
+        assert ratio < 1.0
+
+    def test_effect_ratio_single_group_nan(self):
+        log = simple_log([1e9], [1.0], starts=[2 * 3600.0])
+        assert np.isnan(time_of_day_effect_ratio(time_of_day_analysis(log)))
+
+
+class TestAlphaFlows:
+    def test_classification(self):
+        log = simple_log([10e9, 10e9, 1e5], [40.0, 400.0, 1.0])
+        mask = classify_alpha_flows(log)  # 2 Gbps, 0.2 Gbps, tiny
+        assert mask.tolist() == [True, False, False]
+
+    def test_custom_criteria(self):
+        log = simple_log([10e9], [400.0])
+        crit = AlphaFlowCriteria(min_rate_bps=0.1e9)
+        assert classify_alpha_flows(log, crit).all()
+
+    def test_lan_heidemann_counts(self):
+        rng = np.random.default_rng(2)
+        log = simple_log(rng.lognormal(15, 2, 500), rng.uniform(1, 100, 500))
+        summary = classify_lan_heidemann(log)
+        assert summary.n_flows == 500
+        assert summary.n_elephant == 50
+        assert summary.n_alpha <= min(summary.n_elephant, summary.n_cheetah)
+        assert 0 <= summary.fraction(summary.n_alpha) <= 1
+
+    def test_empty_log(self):
+        summary = classify_lan_heidemann(TransferLog())
+        assert summary.n_flows == 0
+
+    def test_link_fraction(self):
+        log = simple_log([32e9], [100.0])
+        assert link_fraction(log, 10e9)[0] == pytest.approx(0.256)
+        with pytest.raises(ValueError):
+            link_fraction(log, 0)
+
+
+class TestVcSuitability:
+    def make_sessions(self):
+        # two sessions: one tiny (1 MB), one huge (100 GB)
+        rows = [(0.0, 1.0, 1e6), (10_000.0, 100.0, 50e9), (10_150.0, 100.0, 50e9)]
+        log = TransferLog(
+            {
+                "start": [r[0] for r in rows],
+                "duration": [r[1] for r in rows],
+                "size": [r[2] for r in rows],
+                "remote_host": [3] * 3,
+            }
+        )
+        return group_sessions(log, 60.0), log
+
+    def test_suitability_split(self):
+        sessions, _ = self.make_sessions()
+        result = vc_suitability(sessions, 60.0, reference_throughput_bps=1e9)
+        # hypothetical durations: 0.008 s and 800 s; threshold 600 s
+        assert result.n_suitable_sessions == 1
+        assert result.n_suitable_transfers == 2
+        assert result.percent_sessions == pytest.approx(50.0)
+        assert result.percent_transfers == pytest.approx(100 * 2 / 3)
+
+    def test_zero_setup_accepts_all(self):
+        sessions, _ = self.make_sessions()
+        result = vc_suitability(sessions, 0.0, reference_throughput_bps=1e9)
+        assert result.n_suitable_sessions == len(sessions)
+
+    def test_default_reference_is_q3(self):
+        sessions, log = self.make_sessions()
+        result = vc_suitability(sessions, 60.0)
+        tput = log.throughput_bps
+        assert result.reference_throughput_bps == pytest.approx(
+            np.percentile(tput[tput > 0], 75)
+        )
+
+    def test_min_suitable_size(self):
+        size = min_suitable_session_size(60.0, 682.2e6)
+        assert size == pytest.approx(AMORTIZATION_FACTOR * 60 * 682.2e6 / 8)
+        # the paper's 42 MB example at 50 ms
+        assert min_suitable_session_size(0.05, 682.2e6) == pytest.approx(
+            42.6e6, rel=0.01
+        )
+
+    def test_grid_shape(self):
+        _, log = self.make_sessions()
+        grid = suitability_table(log, g_values=[0.0, 60.0], setup_delays=[60.0])
+        assert set(grid) == {(0.0, 60.0), (60.0, 60.0)}
+
+    def test_invalid_inputs(self):
+        sessions, _ = self.make_sessions()
+        with pytest.raises(ValueError):
+            vc_suitability(sessions, -1.0, reference_throughput_bps=1e9)
+        with pytest.raises(ValueError):
+            vc_suitability(sessions, 60.0, reference_throughput_bps=0.0)
+
+
+class TestInterarrival:
+    def _times(self, kind, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        if kind == "poisson":
+            return np.cumsum(rng.exponential(10.0, n))
+        if kind == "regular":
+            return np.arange(n) * 10.0
+        # bursty: batches of 20 back-to-back, long gaps between
+        batches = np.cumsum(rng.exponential(1000.0, n // 20))
+        offsets = np.arange(20) * 0.01
+        return (batches[:, None] + offsets[None, :]).ravel()
+
+    def test_poisson_cv_near_one(self):
+        from repro.core.interarrival import interarrival_cv
+
+        assert interarrival_cv(self._times("poisson")) == pytest.approx(1.0, abs=0.15)
+
+    def test_regular_burstiness_negative(self):
+        from repro.core.interarrival import burstiness_index
+
+        assert burstiness_index(self._times("regular")) == pytest.approx(-1.0)
+
+    def test_bursty_burstiness_high(self):
+        from repro.core.interarrival import burstiness_index
+
+        assert burstiness_index(self._times("bursty")) > 0.5
+
+    def test_short_input_nan(self):
+        from repro.core.interarrival import interarrival_cv
+
+        assert np.isnan(interarrival_cv(np.array([1.0, 2.0])))
+
+    def test_peak_hour(self):
+        from repro.core.interarrival import peak_hour_concentration
+
+        times = 2 * 3600.0 + np.arange(100) * 10.0  # all inside hour 2
+        assert peak_hour_concentration(times) == 1.0
+
+    def test_arrival_report_on_workload(self):
+        from repro.core.interarrival import arrival_report
+        from repro.workload.synth import ncar_nics
+
+        report = arrival_report(ncar_nics(seed=4, n_transfers=5000))
+        assert report.n_sessions < report.n_transfers
+        # the session/batch structure: transfers burstier than sessions
+        assert report.batching_visible
+        assert report.transfer_burstiness > 0.3
+
+    def test_too_few_rejected(self):
+        from repro.core.interarrival import arrival_report
+        from repro.gridftp.records import TransferLog
+
+        with pytest.raises(ValueError):
+            arrival_report(TransferLog({"start": [1.0], "duration": [1.0],
+                                        "size": [1.0], "remote_host": [1]}))

@@ -1,0 +1,123 @@
+"""Unit and property tests for workload distribution primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.distributions import (
+    LogNormal,
+    TruncatedLogNormal,
+    lognormal_sigma_for_tail,
+    split_total,
+    weighted_choice,
+)
+
+
+class TestLogNormal:
+    def test_median_parameterization(self):
+        d = LogNormal(median=100.0, sigma=1.0)
+        rng = np.random.default_rng(0)
+        samples = d.sample(rng, 50_000)
+        assert np.median(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_mean_formula(self):
+        d = LogNormal(median=10.0, sigma=0.5)
+        assert d.mean == pytest.approx(10.0 * np.exp(0.125))
+
+    def test_quantile_inverts_tail(self):
+        d = LogNormal(median=1.0, sigma=2.0)
+        x = d.quantile(0.9)
+        assert d.tail_probability(x) == pytest.approx(0.1, rel=1e-6)
+
+    def test_tail_probability_at_median(self):
+        assert LogNormal(5.0, 1.0).tail_probability(5.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0, 1.0)
+        with pytest.raises(ValueError):
+            LogNormal(1.0, -1.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e6),
+        st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=40)
+    def test_samples_positive(self, median, sigma):
+        d = LogNormal(median, sigma)
+        samples = d.sample(np.random.default_rng(1), 100)
+        assert np.all(samples > 0)
+
+
+class TestTruncatedLogNormal:
+    def test_support_respected(self):
+        d = TruncatedLogNormal(LogNormal(100.0, 2.0), lo=10.0, hi=1000.0)
+        samples = d.sample(np.random.default_rng(2), 5000)
+        assert samples.min() >= 10.0
+        assert samples.max() <= 1000.0
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            TruncatedLogNormal(LogNormal(1.0, 1.0), lo=5.0, hi=5.0)
+
+    def test_degenerate_band_clips(self):
+        # band far in the tail: resampling gives up and clips
+        d = TruncatedLogNormal(LogNormal(1.0, 0.1), lo=1e6, hi=2e6)
+        samples = d.sample(np.random.default_rng(3), 10)
+        assert np.all((samples >= 1e6) & (samples <= 2e6))
+
+
+class TestSigmaForTail:
+    def test_calibration_roundtrip(self):
+        sigma = lognormal_sigma_for_tail(median=1.1e9, x=30e9, tail_prob=0.125)
+        d = LogNormal(1.1e9, sigma)
+        assert d.tail_probability(30e9) == pytest.approx(0.125, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lognormal_sigma_for_tail(10.0, 5.0, 0.1)
+        with pytest.raises(ValueError):
+            lognormal_sigma_for_tail(1.0, 2.0, 0.6)
+
+
+class TestWeightedChoice:
+    def test_distribution(self):
+        rng = np.random.default_rng(4)
+        out = weighted_choice(rng, np.array([1, 2]), np.array([0.9, 0.1]), 10_000)
+        assert 0.85 < (out == 1).mean() < 0.95
+
+    def test_bad_probs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, np.array([1, 2]), np.array([0.5, 0.4]), 10)
+
+
+class TestSplitTotal:
+    def test_sum_exact(self):
+        rng = np.random.default_rng(5)
+        parts = split_total(rng, 1e9, 17)
+        assert parts.sum() == pytest.approx(1e9)
+        assert parts.shape == (17,)
+        assert np.all(parts > 0)
+
+    def test_single_part(self):
+        rng = np.random.default_rng(6)
+        assert split_total(rng, 42.0, 1)[0] == pytest.approx(42.0)
+
+    def test_validation(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            split_total(rng, 1.0, 0)
+        with pytest.raises(ValueError):
+            split_total(rng, 0.0, 3)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e12),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=40)
+    def test_conservation_property(self, total, n):
+        rng = np.random.default_rng(8)
+        parts = split_total(rng, total, n)
+        assert parts.sum() == pytest.approx(total, rel=1e-9)

@@ -1,0 +1,102 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.engine import EventLoop
+
+
+class TestEventLoop:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(5.0, lambda: seen.append(5))
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(3.0, lambda: seen.append(3))
+        loop.run()
+        assert seen == [1, 3, 5]
+        assert loop.now == 5.0
+
+    def test_fifo_tie_break(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append("a"))
+        loop.schedule(1.0, lambda: seen.append("b"))
+        loop.run()
+        assert seen == ["a", "b"]
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop(start_time=10.0)
+        with pytest.raises(ValueError):
+            loop.schedule(5.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        loop = EventLoop(start_time=10.0)
+        seen = []
+        loop.schedule_in(5.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [15.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule_in(-1.0, lambda: None)
+
+    def test_cancel(self):
+        loop = EventLoop()
+        seen = []
+        ev = loop.schedule(1.0, lambda: seen.append("x"))
+        ev.cancel()
+        loop.run()
+        assert seen == []
+        assert loop.n_processed == 0
+
+    def test_run_until_leaves_future_events(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(10.0, lambda: seen.append(10))
+        loop.run(until=5.0)
+        assert seen == [1]
+        assert loop.now == 5.0
+        loop.run()
+        assert seen == [1, 10]
+
+    def test_event_at_until_boundary_runs(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(5.0, lambda: seen.append(5))
+        loop.run(until=5.0)
+        assert seen == [5]
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.schedule_in(1.0, lambda: seen.append("second"))
+
+        loop.schedule(0.0, first)
+        loop.run()
+        assert seen == ["first", "second"]
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def rearm():
+            loop.schedule_in(1.0, rearm)
+
+        loop.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError):
+            loop.run(max_events=50)
+
+    def test_peek_skips_cancelled(self):
+        loop = EventLoop()
+        ev = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert loop.peek_time() == 2.0
+
+    def test_run_until_advances_clock_when_idle(self):
+        loop = EventLoop()
+        loop.run(until=42.0)
+        assert loop.now == 42.0

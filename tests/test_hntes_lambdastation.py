@@ -1,0 +1,159 @@
+"""Unit tests for HNTES and Lambdastation deployment machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.alpha_flows import AlphaFlowCriteria
+from repro.gridftp.records import TransferLog
+from repro.net.topology import esnet_like
+from repro.vc.circuits import HardwareSignalling
+from repro.vc.hntes import HntesController
+from repro.vc.lambdastation import LambdaStation, Treatment, TransferIntent
+from repro.vc.oscars import OscarsIDC
+
+
+def day_log(pairs_rates, start=0.0):
+    """pairs_rates: list of (local, remote, gbps, n)."""
+    rows = []
+    t = start
+    for local, remote, gbps, n in pairs_rates:
+        for _ in range(n):
+            size = 10e9
+            rows.append((t, size * 8 / (gbps * 1e9), size, local, remote))
+            t += 5000.0
+    return TransferLog(
+        {
+            "start": [r[0] for r in rows],
+            "duration": [r[1] for r in rows],
+            "size": [r[2] for r in rows],
+            "local_host": [r[3] for r in rows],
+            "remote_host": [r[4] for r in rows],
+        }
+    )
+
+
+class TestHntesController:
+    def make(self, **kw):
+        defaults = dict(
+            criteria=AlphaFlowCriteria(min_rate_bps=1e9, min_size_bytes=1e9)
+        )
+        defaults.update(kw)
+        return HntesController(**defaults)
+
+    def test_learning_installs_filters(self):
+        ctl = self.make()
+        ctl.analyze(day_log([(1, 2, 2.0, 3)]), cycle=0)
+        filters = ctl.active_filters()
+        assert len(filters) == 1
+        assert filters[0].matches(1, 2)
+
+    def test_slow_pairs_not_flagged(self):
+        ctl = self.make()
+        ctl.analyze(day_log([(1, 2, 0.2, 5)]), cycle=0)
+        assert ctl.active_filters() == []
+
+    def test_min_observations_threshold(self):
+        ctl = self.make(min_observations=3)
+        ctl.analyze(day_log([(1, 2, 2.0, 2)]), cycle=0)
+        assert ctl.active_filters() == []
+        ctl.analyze(day_log([(1, 2, 2.0, 1)]), cycle=1)
+        assert len(ctl.active_filters()) == 1
+
+    def test_filters_expire(self):
+        ctl = self.make(expiry_cycles=2)
+        ctl.analyze(day_log([(1, 2, 2.0, 1)]), cycle=0)
+        assert len(ctl.active_filters(cycle=2)) == 1
+        assert ctl.active_filters(cycle=3) == []
+
+    def test_next_day_evaluation(self):
+        """Filters learned on day 0 catch day-1 traffic of the same pair."""
+        ctl = self.make()
+        day0 = day_log([(1, 2, 2.0, 4), (3, 4, 0.1, 4)])
+        ctl.analyze(day0, cycle=0)
+        day1 = day_log([(1, 2, 2.0, 5), (3, 4, 0.1, 5)], start=1e6)
+        report = ctl.apply_filters(day1, cycle=1)
+        assert report.recall == pytest.approx(1.0)
+        assert report.n_redirected == 5  # only the flagged pair
+        assert report.precision == pytest.approx(1.0)
+
+    def test_report_before_learning_catches_nothing(self):
+        ctl = self.make()
+        report = ctl.apply_filters(day_log([(1, 2, 2.0, 3)]), cycle=0)
+        assert report.n_redirected == 0
+        assert np.isnan(report.precision)
+
+    def test_render_config(self):
+        ctl = self.make()
+        ctl.analyze(day_log([(7, 9, 2.0, 1)]), cycle=0)
+        config = ctl.render_config()
+        assert "redirect-7-9" in config
+        assert "lsp lsp-7-9" in config
+
+    def test_cycle_regression_rejected(self):
+        ctl = self.make()
+        ctl.analyze(day_log([(1, 2, 2.0, 1)]), cycle=5)
+        with pytest.raises(ValueError):
+            ctl.analyze(day_log([(1, 2, 2.0, 1)]), cycle=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HntesController(min_observations=0)
+        with pytest.raises(ValueError):
+            HntesController(expiry_cycles=0)
+
+
+class TestLambdaStation:
+    def make(self, **kw):
+        topo = esnet_like()
+        idc = OscarsIDC(topo, setup_delay=HardwareSignalling(), **kw)
+        return topo, idc, LambdaStation(topo, idc)
+
+    def test_small_transfer_ignored(self):
+        _, _, station = self.make()
+        intent = TransferIntent("NERSC", "ORNL", 1e8, 1e9, 100.0)
+        assert station.announce(intent).treatment is Treatment.IGNORE
+
+    def test_fast_alpha_gets_dynamic_vc(self):
+        topo, idc, station = self.make()
+        intent = TransferIntent("NERSC", "ORNL", 50e9, 3e9, 100.0)
+        ticket = station.announce(intent, now=50.0)
+        assert ticket.treatment is Treatment.DYNAMIC_VC
+        assert ticket.circuit_id is not None
+        assert ticket.go_time >= intent.start_time
+        assert idc.circuit(ticket.circuit_id).rate_bps == 3e9
+
+    def test_moderate_alpha_uses_static_lsp(self):
+        topo, _, station = self.make()
+        station.preconfigure_lsp("NERSC", "ORNL")
+        intent = TransferIntent("NERSC", "ORNL", 50e9, 1e9, 100.0)
+        ticket = station.announce(intent)
+        assert ticket.treatment is Treatment.STATIC_LSP
+        assert ticket.lsp_path is not None
+        assert ticket.lsp_path[0] == "NERSC" and ticket.lsp_path[-1] == "ORNL"
+
+    def test_vc_rejection_falls_back_to_lsp(self):
+        topo = esnet_like()
+        idc = OscarsIDC(
+            topo, setup_delay=HardwareSignalling(), reservable_fraction=0.01
+        )
+        station = LambdaStation(topo, idc)
+        station.preconfigure_lsp("NERSC", "ORNL")
+        intent = TransferIntent("NERSC", "ORNL", 50e9, 3e9, 100.0)
+        ticket = station.announce(intent)
+        assert ticket.treatment is Treatment.STATIC_LSP
+        assert station.n_vc_fallbacks == 1
+
+    def test_no_lsp_no_vc_means_ignore(self):
+        topo = esnet_like()
+        idc = OscarsIDC(
+            topo, setup_delay=HardwareSignalling(), reservable_fraction=0.01
+        )
+        station = LambdaStation(topo, idc)
+        intent = TransferIntent("NERSC", "ORNL", 50e9, 3e9, 100.0)
+        assert station.announce(intent).treatment is Treatment.IGNORE
+
+    def test_intent_validation(self):
+        with pytest.raises(ValueError):
+            TransferIntent("a", "b", 0.0, 1e9, 0.0)
+        intent = TransferIntent("a", "b", 8e9, 1e9, 0.0)
+        assert intent.expected_duration_s == pytest.approx(64.0)

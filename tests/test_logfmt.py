@@ -1,0 +1,116 @@
+"""Unit tests for the usage and netlogger log formats."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.gridftp.logfmt import (
+    format_netlogger_line,
+    parse_netlogger_line,
+    read_netlogger_log,
+    read_usage_log,
+    write_netlogger_log,
+    write_usage_log,
+)
+from repro.gridftp.records import ANONYMIZED_HOST, TransferLog, TransferType
+
+
+def sample_log(n=7, seed=2):
+    rng = np.random.default_rng(seed)
+    return TransferLog(
+        {
+            "start": np.sort(rng.uniform(0, 1e6, n)).round(6),
+            "duration": rng.uniform(0.5, 500, n).round(6),
+            "size": rng.integers(1e3, 1e10, n).astype(float),
+            "transfer_type": rng.integers(0, 2, n),
+            "streams": rng.integers(1, 9, n),
+            "stripes": rng.integers(1, 5, n),
+            "tcp_buffer": rng.integers(0, 1 << 22, n),
+            "block_size": np.full(n, 262144),
+            "local_host": rng.integers(0, 5, n),
+            "remote_host": rng.integers(0, 5, n),
+        }
+    )
+
+
+class TestUsageFormat:
+    def test_roundtrip_file(self, tmp_path):
+        log = sample_log()
+        path = tmp_path / "usage.log"
+        write_usage_log(log, path)
+        assert read_usage_log(path) == log
+
+    def test_roundtrip_stream(self):
+        log = sample_log(3)
+        buf = io.StringIO()
+        write_usage_log(log, buf)
+        buf.seek(0)
+        assert read_usage_log(buf) == log
+
+    def test_header_comment_present(self, tmp_path):
+        path = tmp_path / "u.log"
+        write_usage_log(sample_log(1), path)
+        assert path.read_text().startswith("#")
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "e.log"
+        write_usage_log(TransferLog(), path)
+        assert len(read_usage_log(path)) == 0
+
+    def test_malformed_row_rejected(self):
+        buf = io.StringIO("# header\n1.0 2.0 3.0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_usage_log(buf)
+
+    def test_blank_lines_skipped(self):
+        buf = io.StringIO("\n\n# c\n")
+        assert len(read_usage_log(buf)) == 0
+
+
+class TestNetloggerFormat:
+    def test_line_roundtrip(self):
+        log = sample_log(1)
+        line = format_netlogger_line(log, 0)
+        parsed = parse_netlogger_line(line)
+        rec = log.record(0)
+        assert parsed["start"] == pytest.approx(rec.start)
+        assert parsed["size"] == rec.size
+        assert parsed["streams"] == rec.streams
+        assert parsed["transfer_type"] == int(rec.transfer_type)
+
+    def test_file_roundtrip(self, tmp_path):
+        log = sample_log(5)
+        path = tmp_path / "gridftp.log"
+        write_netlogger_log(log, path)
+        back = read_netlogger_log(path)
+        assert back == log
+
+    def test_anonymized_dest_token(self):
+        log = sample_log(1).anonymize_remote()
+        line = format_netlogger_line(log, 0)
+        assert "DEST=ANON" in line
+        assert parse_netlogger_line(line)["remote_host"] == ANONYMIZED_HOST
+
+    def test_unknown_keys_ignored(self):
+        line = "START=1.0 DURATION=2.0 NBYTES=3 FOO=bar CODE=226"
+        parsed = parse_netlogger_line(line)
+        assert parsed["size"] == 3.0
+        assert "FOO" not in parsed
+
+    def test_missing_mandatory_rejected(self):
+        with pytest.raises(ValueError, match="mandatory"):
+            parse_netlogger_line("DURATION=1.0 NBYTES=5")
+
+    def test_type_token_parsed(self):
+        line = "START=0 DURATION=1 NBYTES=2 TYPE=STOR"
+        assert parse_netlogger_line(line)["transfer_type"] == int(TransferType.STOR)
+
+    def test_read_from_iterable(self):
+        lines = ["START=0 DURATION=1 NBYTES=100", ""]
+        log = read_netlogger_log(lines)
+        assert len(log) == 1
+        assert log.size[0] == 100.0
+
+    def test_read_empty(self):
+        assert len(read_netlogger_log([])) == 0

@@ -1,0 +1,109 @@
+"""Additional cross-module property tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridftp.records import TransferLog, TransferRecord, TransferType
+from repro.gridftp.usagestats import decode_packet, encode_packet
+from repro.net.netflow import aggregate_to_transfers, export_from_transfers
+from repro.net.queueing import fifo_waits, poisson_arrivals
+
+
+@st.composite
+def record_strategy(draw):
+    return TransferRecord(
+        start=draw(st.floats(min_value=0, max_value=4e9)),
+        duration=draw(st.floats(min_value=0, max_value=1e6)),
+        size=float(draw(st.integers(min_value=0, max_value=10**13))),
+        transfer_type=draw(st.sampled_from(list(TransferType))),
+        streams=draw(st.integers(min_value=1, max_value=64)),
+        stripes=draw(st.integers(min_value=1, max_value=16)),
+        tcp_buffer=draw(st.integers(min_value=0, max_value=1 << 30)),
+        block_size=draw(st.integers(min_value=1, max_value=1 << 24)),
+        local_host=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        remote_host=draw(st.integers(min_value=-1, max_value=2**31 - 1)),
+    )
+
+
+class TestUsageStatsCodecProperties:
+    @given(record_strategy(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100)
+    def test_packet_roundtrip(self, rec, seq):
+        decoded, got_seq = decode_packet(encode_packet(rec, seq))
+        assert got_seq == seq
+        assert decoded.start == rec.start
+        assert decoded.duration == rec.duration
+        assert decoded.size == rec.size
+        assert decoded.streams == rec.streams
+        assert decoded.stripes == rec.stripes
+        assert decoded.transfer_type is rec.transfer_type
+        assert decoded.local_host == rec.local_host
+
+    @given(record_strategy(), st.integers(min_value=0, max_value=59))
+    @settings(max_examples=60)
+    def test_any_single_byte_flip_detected(self, rec, pos):
+        payload = bytearray(encode_packet(rec, 0))
+        payload[pos % len(payload)] ^= 0x01
+        from repro.gridftp.usagestats import PacketError
+
+        with pytest.raises(PacketError):
+            decode_packet(bytes(payload))
+
+
+class TestStructuredRoundtripProperty:
+    @given(st.lists(record_strategy(), min_size=0, max_size=30))
+    @settings(max_examples=50)
+    def test_structured_array_roundtrip(self, recs):
+        log = TransferLog.from_records(recs)
+        back = TransferLog.from_structured(log.to_structured())
+        assert back == log
+
+
+class TestNetflowConservationProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1e6, max_value=1e11),  # size
+                st.integers(min_value=1, max_value=16),  # streams
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_unsampled_aggregation_conserves_bytes(self, rows):
+        log = TransferLog(
+            {
+                "start": np.arange(len(rows)) * 1e5,
+                "duration": [100.0] * len(rows),
+                "size": [r[0] for r in rows],
+                "streams": [r[1] for r in rows],
+                "local_host": [1] * len(rows),
+                "remote_host": [2] * len(rows),
+            }
+        )
+        records = export_from_transfers(log, sampling_n=1)
+        movements = aggregate_to_transfers(records)
+        assert movements.size.sum() == pytest.approx(log.size.sum(), rel=1e-9)
+
+
+class TestQueueTheoryCheck:
+    def test_md1_mean_wait(self):
+        """M/D/1: E[W] = rho * S / (2 (1 - rho)) — the Lindley simulation
+        must agree with queueing theory at moderate load."""
+        rng = np.random.default_rng(42)
+        link = 10e9
+        service = 1500 * 8 / link
+        rho = 0.7
+        arrivals = poisson_arrivals(rho * link, 20.0, rng)
+        waits = fifo_waits(arrivals, service)
+        expected = rho * service / (2 * (1 - rho))
+        assert waits.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_waits_nonnegative_property(self):
+        rng = np.random.default_rng(1)
+        arrivals = poisson_arrivals(5e9, 5.0, rng)
+        waits = fifo_waits(arrivals, 1500 * 8 / 10e9)
+        assert np.all(waits >= 0)

@@ -1,0 +1,186 @@
+"""Unit tests for netflow export, diurnal arrivals, and distribution fits."""
+
+import numpy as np
+import pytest
+
+from repro.core.distfit import fit_lognormal, skew_report, tail_index
+from repro.core.sessions import group_sessions
+from repro.gridftp.records import TransferLog
+from repro.net.netflow import (
+    aggregate_to_transfers,
+    export_from_transfers,
+    identify_alpha_from_netflow,
+)
+from repro.workload.diurnal import DiurnalProfile, hourly_histogram, sample_arrivals
+from repro.workload.synth import ncar_nics
+
+
+def small_log():
+    return TransferLog(
+        {
+            "start": [0.0, 500.0],
+            "duration": [100.0, 40.0],
+            "size": [20e9, 10e9],
+            "streams": [8, 1],
+            "local_host": [1, 1],
+            "remote_host": [2, 2],
+        }
+    )
+
+
+class TestNetflowExport:
+    def test_unsampled_export_one_record_per_stream(self):
+        records = export_from_transfers(small_log(), sampling_n=1)
+        assert len(records) == 9  # 8 + 1 connections
+        first = [r for r in records if r.first == 0.0]
+        assert len(first) == 8
+        assert sum(r.bytes for r in first) == pytest.approx(20e9)
+
+    def test_sampling_unbiased_in_expectation(self):
+        log = small_log()
+        rng = np.random.default_rng(0)
+        totals = []
+        for _ in range(60):
+            recs = export_from_transfers(log, sampling_n=100, rng=rng)
+            totals.append(sum(r.estimated_bytes for r in recs))
+        assert np.mean(totals) == pytest.approx(30e9, rel=0.05)
+
+    def test_short_flows_can_vanish(self):
+        tiny = TransferLog(
+            {"start": [0.0], "duration": [0.1], "size": [3000.0],
+             "streams": [1], "local_host": [1], "remote_host": [2]}
+        )
+        rng = np.random.default_rng(3)
+        vanished = 0
+        for _ in range(200):
+            if not export_from_transfers(tiny, sampling_n=100, rng=rng):
+                vanished += 1
+        assert vanished > 150  # 2 packets at 1-in-100: usually unseen
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            export_from_transfers(small_log(), sampling_n=0)
+
+
+class TestNetflowAggregation:
+    def test_streams_merge_back_to_movements(self):
+        records = export_from_transfers(small_log(), sampling_n=1)
+        movements = aggregate_to_transfers(records)
+        assert len(movements) == 2
+        assert movements.streams[0] == 8
+        assert movements.size[0] == pytest.approx(20e9)
+        assert movements.size[1] == pytest.approx(10e9)
+
+    def test_alpha_identification_survives_sampling(self):
+        # 20 GB in 100 s = 1.6 Gbps: an alpha pair
+        records = export_from_transfers(
+            small_log(), sampling_n=100, rng=np.random.default_rng(1)
+        )
+        pairs = identify_alpha_from_netflow(records, min_rate_bps=1e9)
+        assert (1, 2) in pairs
+
+    def test_slow_pairs_not_identified(self):
+        slow = TransferLog(
+            {"start": [0.0], "duration": [1000.0], "size": [10e9],
+             "streams": [4], "local_host": [5], "remote_host": [6]}
+        )
+        records = export_from_transfers(slow, sampling_n=1)
+        assert identify_alpha_from_netflow(records, min_rate_bps=1e9) == set()
+
+    def test_roundtrip_on_realistic_log(self):
+        log = ncar_nics(seed=6, n_transfers=2000)
+        records = export_from_transfers(log, sampling_n=1)
+        movements = aggregate_to_transfers(records, gap_s=0.5)
+        # overlapping concurrent transfers of one session merge: fewer or
+        # equal movements, but byte totals conserve
+        assert len(movements) <= len(log)
+        assert movements.size.sum() == pytest.approx(log.size.sum(), rel=1e-6)
+
+
+class TestDiurnal:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(hourly=(1.0,) * 23)
+        with pytest.raises(ValueError):
+            DiurnalProfile(hourly=(0.0,) * 24)
+
+    def test_flat_profile_uniform_rate(self):
+        profile = DiurnalProfile()
+        t = np.linspace(0, 7 * 86_400, 1000)
+        assert np.allclose(profile.intensity_at(t), 1.0)
+
+    def test_business_hours_shape(self):
+        profile = DiurnalProfile.business_hours()
+        noon = profile.intensity_at(np.array([12.5 * 3600]))[0]
+        night = profile.intensity_at(np.array([4.5 * 3600]))[0]
+        assert noon > 2 * night
+
+    def test_weekend_factor(self):
+        profile = DiurnalProfile(weekend_factor=0.5)
+        # epoch day 2 is a Saturday (Jan 3 1970)
+        saturday_noon = 2 * 86_400 + 12 * 3600
+        thursday_noon = 12 * 3600
+        assert profile.intensity_at(np.array([saturday_noon]))[0] == pytest.approx(
+            0.5 * profile.intensity_at(np.array([thursday_noon]))[0]
+        )
+
+    def test_sampled_arrivals_follow_profile(self):
+        profile = DiurnalProfile.business_hours()
+        arrivals = sample_arrivals(
+            profile, 0.05, 0.0, 14 * 86_400.0, rng=np.random.default_rng(2)
+        )
+        hist = hourly_histogram(arrivals)
+        assert hist[10] > 2 * hist[4]  # mid-morning >> pre-dawn
+
+    def test_mean_rate_preserved(self):
+        profile = DiurnalProfile.business_hours()
+        span = 28 * 86_400.0
+        arrivals = sample_arrivals(
+            profile, 0.02, 0.0, span, rng=np.random.default_rng(4)
+        )
+        # weekend factor < 1 pulls the weekly mean below the base slightly
+        assert 0.6 * 0.02 * span < arrivals.size < 1.1 * 0.02 * span
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            sample_arrivals(DiurnalProfile(), 1.0, 10.0, 10.0)
+        with pytest.raises(ValueError):
+            sample_arrivals(DiurnalProfile(), 0.0, 0.0, 10.0)
+
+
+class TestDistFit:
+    def test_fit_recovers_parameters(self):
+        rng = np.random.default_rng(5)
+        sample = rng.lognormal(np.log(1e9), 2.0, 5000)
+        fit = fit_lognormal(sample)
+        assert fit.median == pytest.approx(1e9, rel=0.15)
+        assert fit.sigma == pytest.approx(2.0, rel=0.1)
+        assert fit.ks_pvalue > 0.01  # the truth should not be rejected
+
+    def test_fit_rejects_wrong_family(self):
+        rng = np.random.default_rng(6)
+        sample = rng.uniform(1.0, 2.0, 5000)
+        fit = fit_lognormal(sample)
+        assert fit.ks_pvalue < 0.01
+
+    def test_tail_index_pareto(self):
+        rng = np.random.default_rng(7)
+        alpha = 1.5
+        sample = (1.0 / rng.random(20_000)) ** (1.0 / alpha)
+        assert tail_index(sample) == pytest.approx(alpha, rel=0.15)
+
+    def test_skew_report_on_sessions(self):
+        """The generator's session sizes are lognormal-ish and right-skewed."""
+        log = ncar_nics(seed=8, n_transfers=8000)
+        sessions = group_sessions(log, 60.0)
+        report = skew_report(sessions.total_size)
+        assert report.is_skewed_right
+        assert report.fit.sigma > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_lognormal(np.ones(3))
+        with pytest.raises(ValueError):
+            tail_index(np.ones(100), tail_fraction=0.9)
+        with pytest.raises(ValueError):
+            skew_report(np.array([1.0]))

@@ -1,0 +1,91 @@
+"""Unit tests for the automatic-signalling provisioner daemon."""
+
+import pytest
+
+from repro.net.topology import esnet_like
+from repro.sim.engine import EventLoop
+from repro.vc.circuits import CircuitState, HardwareSignalling
+from repro.vc.oscars import OscarsIDC, ReservationRequest
+from repro.vc.provisioner import AutoProvisioner
+
+
+def setup():
+    topo = esnet_like()
+    # hardware signalling so create_reservation itself adds no delay;
+    # the BATCHING of the daemon is what we measure
+    idc = OscarsIDC(topo, setup_delay=HardwareSignalling(0.0))
+    loop = EventLoop(0.0)
+    prov = AutoProvisioner(idc, loop, batch_window_s=60.0)
+    return topo, idc, loop, prov
+
+
+class TestAutoProvisioner:
+    def test_activates_at_next_boundary(self):
+        topo, idc, loop, prov = setup()
+        vc = idc.create_reservation(
+            ReservationRequest("NERSC", "ORNL", 1e9, 90.0, 10_000.0),
+            request_time=0.0,
+        )
+        prov.start()
+        loop.run(until=200.0)
+        assert idc.circuit(vc.circuit_id).state is CircuitState.ACTIVE
+        # start 90 s -> activation at the 120 s boundary
+        provisioned = [a for a in prov.actions if a.action == "provisioned"]
+        assert provisioned[0].time == 120.0
+        assert prov.activation_delay(vc.circuit_id) == pytest.approx(30.0)
+
+    def test_worst_case_is_one_batch_window(self):
+        """Circuits starting just after a boundary wait nearly a full window."""
+        topo, idc, loop, prov = setup()
+        vc = idc.create_reservation(
+            ReservationRequest("NERSC", "ORNL", 1e9, 60.1, 10_000.0),
+            request_time=0.0,
+        )
+        prov.start()
+        loop.run(until=200.0)
+        delay = prov.activation_delay(vc.circuit_id)
+        assert 59.0 <= delay <= 60.0
+
+    def test_releases_expired_circuits(self):
+        topo, idc, loop, prov = setup()
+        idc.create_reservation(
+            ReservationRequest("NERSC", "ORNL", 1e9, 50.0, 100.0),
+            request_time=0.0,
+        )
+        prov.start()
+        loop.run(until=300.0)
+        actions = [a.action for a in prov.actions]
+        assert actions == ["provisioned", "released"]
+        assert idc.active_circuits == []
+
+    def test_batch_activates_multiple(self):
+        topo, idc, loop, prov = setup()
+        for k in range(3):
+            idc.create_reservation(
+                ReservationRequest("NERSC", "ORNL", 0.5e9, 70.0 + k, 10_000.0),
+                request_time=0.0,
+            )
+        prov.start()
+        loop.run(until=130.0)
+        provisioned = [a for a in prov.actions if a.action == "provisioned"]
+        assert len(provisioned) == 3
+        assert all(a.time == 120.0 for a in provisioned)
+
+    def test_stop_disarms(self):
+        topo, idc, loop, prov = setup()
+        prov.start()
+        prov.stop()
+        loop.run(until=1_000.0)
+        # only the already-scheduled first tick ran; no rearming
+        assert loop.n_processed <= 1
+
+    def test_double_start_rejected(self):
+        topo, idc, loop, prov = setup()
+        prov.start()
+        with pytest.raises(RuntimeError):
+            prov.start()
+
+    def test_bad_window(self):
+        topo, idc, loop, _ = setup()
+        with pytest.raises(ValueError):
+            AutoProvisioner(idc, loop, batch_window_s=0.0)

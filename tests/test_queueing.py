@@ -1,0 +1,106 @@
+"""Unit tests for the packet-level queueing / jitter model."""
+
+import numpy as np
+import pytest
+
+from repro.net.queueing import (
+    alpha_burst_arrivals,
+    fifo_waits,
+    isolated_gp_waits,
+    jitter_comparison,
+    poisson_arrivals,
+)
+
+
+class TestArrivalProcesses:
+    def test_poisson_count(self):
+        rng = np.random.default_rng(0)
+        arrivals = poisson_arrivals(1e9, 10.0, rng)
+        expected = 1e9 / (8 * 1500) * 10
+        assert arrivals.size == pytest.approx(expected, rel=0.05)
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_poisson_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 1.0, rng)
+
+    def test_burst_structure(self):
+        arrivals = alpha_burst_arrivals(2.5e9, 0.2, 0.05, 10e9)
+        # 4 bursts of rate*rtt/pkt = 2.5e9*0.05/12000 ~ 10417 packets
+        per_burst = int(round(2.5e9 * 0.05 / 12000))
+        assert arrivals.size == pytest.approx(4 * per_burst, rel=0.01)
+        # within a burst, spacing is the serialization time (back to back)
+        gaps = np.diff(arrivals[:100])
+        assert np.allclose(gaps, 12000 / 10e9)
+
+    def test_burst_mean_rate_preserved(self):
+        arrivals = alpha_burst_arrivals(2e9, 10.0, 0.06, 10e9)
+        carried = arrivals.size * 1500 * 8 / 10.0
+        assert carried == pytest.approx(2e9, rel=0.02)
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            alpha_burst_arrivals(11e9, 1.0, 0.05, 10e9)
+        with pytest.raises(ValueError):
+            alpha_burst_arrivals(1e9, 1.0, 0.0, 10e9)
+
+
+class TestFifoWaits:
+    def test_idle_queue_no_wait(self):
+        waits = fifo_waits(np.array([0.0, 10.0, 20.0]), service_s=1.0)
+        assert np.allclose(waits, 0.0)
+
+    def test_back_to_back_accumulates(self):
+        waits = fifo_waits(np.array([0.0, 0.0, 0.0]), service_s=2.0)
+        assert np.allclose(waits, [0.0, 2.0, 4.0])
+
+    def test_lindley_recovery(self):
+        # packet at t=0, next at t=1 with service 2: waits 1; third at t=10: idle
+        waits = fifo_waits(np.array([0.0, 1.0, 10.0]), service_s=2.0)
+        assert np.allclose(waits, [0.0, 1.0, 0.0])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            fifo_waits(np.array([1.0, 0.0]), 1.0)
+
+    def test_empty(self):
+        assert fifo_waits(np.zeros(0), 1.0).size == 0
+
+    def test_utilization_scaling(self):
+        """Waits blow up as offered load approaches capacity (M/D/1)."""
+        rng = np.random.default_rng(1)
+        light = fifo_waits(poisson_arrivals(3e9, 2.0, rng), 1500 * 8 / 10e9)
+        rng = np.random.default_rng(1)
+        heavy = fifo_waits(poisson_arrivals(9e9, 2.0, rng), 1500 * 8 / 10e9)
+        assert heavy.mean() > 5 * light.mean()
+
+
+class TestIsolation:
+    def test_isolated_never_behind_alpha(self):
+        rng = np.random.default_rng(2)
+        gp = poisson_arrivals(0.5e9, 2.0, rng)
+        waits = isolated_gp_waits(gp, 10e9, alpha_guarantee_bps=2.5e9)
+        # residual 7.5G for 0.5G of GP: essentially no queueing
+        assert np.percentile(waits, 99) < 20e-6
+
+    def test_guarantee_validation(self):
+        with pytest.raises(ValueError):
+            isolated_gp_waits(np.zeros(1), 10e9, alpha_guarantee_bps=10e9)
+
+    def test_jitter_comparison_reduces(self):
+        c = jitter_comparison(duration_s=2.0, seed=3)
+        assert c.shared_p99 > 10 * c.isolated_p99
+        assert c.jitter_reduction > 0.8
+        assert c.n_gp_packets > 10_000
+
+    def test_jitter_scales_with_alpha_burst(self):
+        """Bigger α windows (longer RTT) -> worse shared-queue jitter."""
+        short = jitter_comparison(rtt_s=0.02, duration_s=2.0, seed=4)
+        long = jitter_comparison(rtt_s=0.08, duration_s=2.0, seed=4)
+        assert long.shared_p99 > 2 * short.shared_p99
+
+    def test_no_alpha_no_difference(self):
+        """With a negligible α flow both treatments look alike."""
+        c = jitter_comparison(alpha_rate_bps=1e6, duration_s=1.0, seed=5)
+        assert c.shared_p99 < 20e-6

@@ -1,0 +1,197 @@
+"""Unit tests for repro.gridftp.records."""
+
+import numpy as np
+import pytest
+
+from repro.gridftp.records import (
+    ANONYMIZED_HOST,
+    TransferLog,
+    TransferRecord,
+    TransferType,
+)
+
+
+def make_log(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return TransferLog(
+        {
+            "start": np.sort(rng.uniform(0, 1000, n)),
+            "duration": rng.uniform(1, 50, n),
+            "size": rng.uniform(1e6, 1e9, n),
+            "streams": rng.integers(1, 9, n),
+            "stripes": rng.integers(1, 4, n),
+            "local_host": np.zeros(n, dtype=np.int32),
+            "remote_host": np.full(n, 7, dtype=np.int32),
+        }
+    )
+
+
+class TestTransferType:
+    def test_parse_stor_variants(self):
+        for text in ("STOR", "stor", "store", "S"):
+            assert TransferType.parse(text) is TransferType.STOR
+
+    def test_parse_retr_variants(self):
+        for text in ("RETR", "retr", "retrieve", "r"):
+            assert TransferType.parse(text) is TransferType.RETR
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            TransferType.parse("PUT")
+
+
+class TestTransferRecord:
+    def test_end_and_throughput(self):
+        rec = TransferRecord(start=10.0, duration=4.0, size=1e9)
+        assert rec.end == 14.0
+        assert rec.throughput_bps == pytest.approx(2e9)
+
+    def test_zero_duration_throughput_is_zero(self):
+        rec = TransferRecord(start=0.0, duration=0.0, size=100.0)
+        assert rec.throughput_bps == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TransferRecord(start=0, duration=1, size=-1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TransferRecord(start=0, duration=-1, size=1)
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ValueError):
+            TransferRecord(start=0, duration=1, size=1, streams=0)
+
+    def test_zero_stripes_rejected(self):
+        with pytest.raises(ValueError):
+            TransferRecord(start=0, duration=1, size=1, stripes=0)
+
+
+class TestTransferLogConstruction:
+    def test_empty_log(self):
+        log = TransferLog()
+        assert len(log) == 0
+        assert list(log) == []
+
+    def test_missing_columns_get_defaults(self):
+        log = TransferLog({"start": [1.0], "duration": [2.0], "size": [3.0]})
+        assert log.streams[0] == 1
+        assert log.remote_host[0] == ANONYMIZED_HOST
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(KeyError):
+            TransferLog({"bogus": [1]})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TransferLog({"start": [1.0, 2.0], "size": [1.0]})
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TransferLog({"start": [0.0], "duration": [1.0], "size": [-5.0]})
+
+    def test_two_dimensional_column_rejected(self):
+        with pytest.raises(ValueError):
+            TransferLog({"start": np.zeros((2, 2))})
+
+    def test_from_records_roundtrip(self):
+        recs = [
+            TransferRecord(start=1.0, duration=2.0, size=3e6, streams=4),
+            TransferRecord(start=5.0, duration=1.0, size=7e6, stripes=2),
+        ]
+        log = TransferLog.from_records(recs)
+        assert len(log) == 2
+        assert log.record(0) == recs[0]
+        assert log.record(1) == recs[1]
+
+    def test_concatenate(self):
+        a, b = make_log(3, seed=1), make_log(4, seed=2)
+        cat = TransferLog.concatenate([a, b])
+        assert len(cat) == 7
+        assert np.array_equal(cat.start[:3], a.start)
+
+    def test_concatenate_empty_list(self):
+        assert len(TransferLog.concatenate([])) == 0
+
+
+class TestTransferLogAccess:
+    def test_record_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_log(3).record(3)
+
+    def test_record_negative_index(self):
+        log = make_log(3)
+        assert log.record(-1) == log.record(2)
+
+    def test_end_column(self):
+        log = make_log(5)
+        assert np.allclose(log.end, log.start + log.duration)
+
+    def test_throughput_column(self):
+        log = make_log(5)
+        assert np.allclose(log.throughput_bps, log.size * 8 / log.duration)
+
+    def test_throughput_zero_duration(self):
+        log = TransferLog({"start": [0.0], "duration": [0.0], "size": [10.0]})
+        assert log.throughput_bps[0] == 0.0
+
+    def test_iteration_yields_records(self):
+        log = make_log(4)
+        recs = list(log)
+        assert len(recs) == 4
+        assert all(isinstance(r, TransferRecord) for r in recs)
+
+    def test_equality(self):
+        assert make_log(4, seed=3) == make_log(4, seed=3)
+        assert make_log(4, seed=3) != make_log(4, seed=4)
+
+    def test_repr(self):
+        assert "4" in repr(make_log(4))
+
+
+class TestTransferLogTransforms:
+    def test_select_boolean_mask(self):
+        log = make_log(10)
+        mask = log.size > np.median(log.size)
+        sub = log.select(mask)
+        assert len(sub) == int(mask.sum())
+        assert np.all(sub.size > np.median(log.size))
+
+    def test_select_index_array(self):
+        log = make_log(10)
+        sub = log.select(np.array([2, 5, 7]))
+        assert len(sub) == 3
+        assert sub.record(0) == log.record(2)
+
+    def test_sorted_by_start(self):
+        log = make_log(10, seed=9)
+        shuffled = log.select(np.random.default_rng(0).permutation(10))
+        resorted = shuffled.sorted_by_start()
+        assert np.all(np.diff(resorted.start) >= 0)
+
+    def test_structured_roundtrip(self):
+        log = make_log(6)
+        arr = log.to_structured()
+        assert arr.shape == (6,)
+        back = TransferLog.from_structured(arr)
+        assert back == log
+
+    def test_anonymize_remote(self):
+        log = make_log(5)
+        anon = log.anonymize_remote()
+        assert anon.is_anonymized
+        assert not log.is_anonymized  # original untouched
+
+    def test_pairs(self):
+        log = make_log(5)
+        pairs = log.pairs()
+        assert pairs.shape == (1, 2)
+        assert tuple(pairs[0]) == (0, 7)
+
+    def test_for_pair(self):
+        log = make_log(5)
+        assert len(log.for_pair(0, 7)) == 5
+        assert len(log.for_pair(1, 7)) == 0
+
+    def test_empty_log_is_not_anonymized(self):
+        assert not TransferLog().is_anonymized

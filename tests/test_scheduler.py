@@ -1,0 +1,194 @@
+"""Unit tests for the time-bandwidth admission scheduler."""
+
+import pytest
+
+from repro.net.topology import esnet_like
+from repro.vc.scheduler import AdmissionError, BandwidthScheduler
+
+
+@pytest.fixture
+def topo():
+    return esnet_like()
+
+
+@pytest.fixture
+def sched(topo):
+    return BandwidthScheduler(topo, reservable_fraction=1.0)
+
+
+def path(topo):
+    return topo.path("NERSC", "ORNL")
+
+
+class TestReserve:
+    def test_simple_admission(self, sched, topo):
+        res = sched.reserve(path(topo), 1e9, 0.0, 100.0)
+        assert res.rate_bps == 1e9
+        assert sched.active_reservations == [res]
+
+    def test_capacity_exceeded_rejected(self, sched, topo):
+        with pytest.raises(AdmissionError):
+            sched.reserve(path(topo), 11e9, 0.0, 100.0)
+
+    def test_overlapping_reservations_stack(self, sched, topo):
+        sched.reserve(path(topo), 6e9, 0.0, 100.0)
+        with pytest.raises(AdmissionError):
+            sched.reserve(path(topo), 6e9, 50.0, 150.0)
+
+    def test_disjoint_windows_both_admitted(self, sched, topo):
+        sched.reserve(path(topo), 8e9, 0.0, 100.0)
+        res = sched.reserve(path(topo), 8e9, 100.0, 200.0)  # starts at prior end
+        assert res.rate_bps == 8e9
+
+    def test_atomicity_on_rejection(self, sched, topo):
+        p = path(topo)
+        sched.reserve(p, 9e9, 0.0, 100.0)
+        with pytest.raises(AdmissionError):
+            sched.reserve(p, 2e9, 0.0, 100.0)
+        # the failed attempt must not have consumed anything
+        assert sched.available_rate(p, 0.0, 100.0) == pytest.approx(1e9)
+
+    def test_zero_rate_rejected(self, sched, topo):
+        with pytest.raises(ValueError):
+            sched.reserve(path(topo), 0.0, 0.0, 1.0)
+
+    def test_empty_window_rejected(self, sched, topo):
+        with pytest.raises(ValueError):
+            sched.reserve(path(topo), 1e9, 5.0, 5.0)
+
+    def test_reservable_fraction(self, topo):
+        sched = BandwidthScheduler(topo, reservable_fraction=0.5)
+        with pytest.raises(AdmissionError):
+            sched.reserve(path(topo), 6e9, 0.0, 10.0)
+        sched.reserve(path(topo), 5e9, 0.0, 10.0)
+
+    def test_bad_fraction(self, topo):
+        with pytest.raises(ValueError):
+            BandwidthScheduler(topo, reservable_fraction=0.0)
+
+
+class TestAvailability:
+    def test_full_capacity_when_empty(self, sched, topo):
+        assert sched.available_rate(path(topo), 0, 10) == pytest.approx(10e9)
+
+    def test_reduced_by_reservation(self, sched, topo):
+        sched.reserve(path(topo), 3e9, 0.0, 100.0)
+        assert sched.available_rate(path(topo), 50.0, 60.0) == pytest.approx(7e9)
+
+    def test_peak_not_average(self, sched, topo):
+        """Two half-window reservations overlapping the query both count at peak."""
+        p = path(topo)
+        sched.reserve(p, 4e9, 0.0, 50.0)
+        sched.reserve(p, 4e9, 25.0, 100.0)
+        # instant 25-50 carries 8 Gbps committed
+        assert sched.available_rate(p, 0.0, 100.0) == pytest.approx(2e9)
+
+    def test_bad_window(self, sched, topo):
+        with pytest.raises(ValueError):
+            sched.available_rate(path(topo), 10.0, 10.0)
+
+    def test_committed_now(self, sched, topo):
+        p = path(topo)
+        sched.reserve(p, 2e9, 0.0, 100.0)
+        committed = sched.committed_now(50.0)
+        for key in topo.path_links(p):
+            assert committed[key] == pytest.approx(2e9)
+        committed_after = sched.committed_now(150.0)
+        for key in topo.path_links(p):
+            assert committed_after[key] == 0.0
+
+
+class TestReleaseAndExtend:
+    def test_release_returns_capacity(self, sched, topo):
+        p = path(topo)
+        res = sched.reserve(p, 8e9, 0.0, 100.0)
+        sched.release(res.reservation_id)
+        assert sched.available_rate(p, 0.0, 100.0) == pytest.approx(10e9)
+
+    def test_release_unknown(self, sched):
+        with pytest.raises(KeyError):
+            sched.release(42)
+
+    def test_early_release_keeps_consumed_head(self, sched, topo):
+        p = path(topo)
+        res = sched.reserve(p, 8e9, 0.0, 100.0)
+        sched.release(res.reservation_id, at=40.0)
+        # head [0, 40) still committed; tail returned
+        assert sched.available_rate(p, 0.0, 40.0) == pytest.approx(2e9)
+        assert sched.available_rate(p, 40.0, 100.0) == pytest.approx(10e9)
+
+    def test_extend_tail_admission(self, sched, topo):
+        p = path(topo)
+        res = sched.reserve(p, 8e9, 0.0, 100.0)
+        new = sched.extend(res.reservation_id, 200.0)
+        assert new.end == 200.0
+        assert sched.available_rate(p, 150.0, 160.0) == pytest.approx(2e9)
+
+    def test_extend_blocked_by_later_reservation(self, sched, topo):
+        p = path(topo)
+        res = sched.reserve(p, 8e9, 0.0, 100.0)
+        sched.reserve(p, 8e9, 100.0, 200.0)
+        with pytest.raises(AdmissionError):
+            sched.extend(res.reservation_id, 150.0)
+
+    def test_extend_noop_when_shorter(self, sched, topo):
+        res = sched.reserve(path(topo), 1e9, 0.0, 100.0)
+        same = sched.extend(res.reservation_id, 50.0)
+        assert same.end == 100.0
+
+    def test_extend_unknown(self, sched):
+        with pytest.raises(KeyError):
+            sched.extend(7, 100.0)
+
+
+class TestFindEarliestSlot:
+    def test_empty_calendar_immediate(self, sched, topo):
+        t = sched.find_earliest_slot(path(topo), 5e9, 600.0, not_before=100.0)
+        assert t == 100.0
+
+    def test_waits_for_release(self, sched, topo):
+        p = path(topo)
+        sched.reserve(p, 8e9, 0.0, 1000.0)
+        t = sched.find_earliest_slot(p, 5e9, 600.0, not_before=0.0)
+        assert t == 1000.0
+
+    def test_fits_in_gap_between_reservations(self, sched, topo):
+        p = path(topo)
+        sched.reserve(p, 8e9, 0.0, 1000.0)
+        sched.reserve(p, 8e9, 2000.0, 3000.0)
+        t = sched.find_earliest_slot(p, 5e9, 900.0, not_before=0.0)
+        assert t == 1000.0  # the gap [1000, 2000) fits 900 s
+
+    def test_gap_too_short_skipped(self, sched, topo):
+        p = path(topo)
+        sched.reserve(p, 8e9, 0.0, 1000.0)
+        sched.reserve(p, 8e9, 1500.0, 3000.0)
+        t = sched.find_earliest_slot(p, 5e9, 900.0, not_before=0.0)
+        assert t == 3000.0  # 500 s gap cannot host 900 s
+
+    def test_small_rate_coexists(self, sched, topo):
+        p = path(topo)
+        sched.reserve(p, 8e9, 0.0, 1000.0)
+        t = sched.find_earliest_slot(p, 1e9, 600.0, not_before=0.0)
+        assert t == 0.0  # 8 + 1 <= 10: no need to wait
+
+    def test_no_slot_within_horizon(self, sched, topo):
+        p = path(topo)
+        sched.reserve(p, 8e9, 0.0, 10 * 86_400.0)
+        t = sched.find_earliest_slot(
+            p, 5e9, 600.0, not_before=0.0, horizon_s=86_400.0
+        )
+        assert t is None
+
+    def test_slot_is_actually_admissible(self, sched, topo):
+        """Whatever the search returns must pass real admission."""
+        p = path(topo)
+        sched.reserve(p, 6e9, 100.0, 900.0)
+        sched.reserve(p, 6e9, 1200.0, 2000.0)
+        t = sched.find_earliest_slot(p, 5e9, 250.0, not_before=0.0)
+        assert t is not None
+        sched.reserve(p, 5e9, t, t + 250.0)  # must not raise
+
+    def test_validation(self, sched, topo):
+        with pytest.raises(ValueError):
+            sched.find_earliest_slot(path(topo), 0.0, 1.0)

@@ -1,0 +1,85 @@
+"""Property tests for the admission scheduler (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import esnet_like
+from repro.vc.scheduler import AdmissionError, BandwidthScheduler
+
+_TOPO = esnet_like()
+_PATHS = [
+    _TOPO.path("NERSC", "ORNL"),
+    _TOPO.path("SLAC", "BNL"),
+    _TOPO.path("NCAR", "ANL"),
+]
+
+
+@st.composite
+def reservation_sequence(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    out = []
+    for _ in range(n):
+        path_idx = draw(st.integers(min_value=0, max_value=len(_PATHS) - 1))
+        rate = draw(st.floats(min_value=0.1e9, max_value=6e9))
+        start = draw(st.floats(min_value=0.0, max_value=5_000.0))
+        length = draw(st.floats(min_value=1.0, max_value=3_000.0))
+        out.append((path_idx, rate, start, start + length))
+    return out
+
+
+class TestSchedulerProperties:
+    @given(reservation_sequence())
+    @settings(max_examples=60, deadline=None)
+    def test_never_oversubscribed(self, seq):
+        """Whatever gets admitted, no instant commits more than the limit."""
+        sched = BandwidthScheduler(_TOPO, reservable_fraction=0.9)
+        admitted = []
+        for path_idx, rate, start, end in seq:
+            try:
+                sched.reserve(_PATHS[path_idx], rate, start, end)
+                admitted.append((path_idx, rate, start, end))
+            except AdmissionError:
+                pass
+        # check commitment at every event boundary on every used link
+        boundaries = sorted(
+            {t for _, _, s, e in admitted for t in (s, e)}
+        )
+        for t in boundaries:
+            committed = sched.committed_now(t + 1e-6)
+            for key, level in committed.items():
+                assert level <= 0.9 * _TOPO.link_capacity(key) + 1e-3
+
+    @given(reservation_sequence(), st.floats(min_value=0.1e9, max_value=5e9),
+           st.floats(min_value=10.0, max_value=1_000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_earliest_slot_always_admissible(self, seq, rate, duration):
+        """find_earliest_slot's answer must survive actual admission."""
+        sched = BandwidthScheduler(_TOPO, reservable_fraction=0.9)
+        for path_idx, r, start, end in seq:
+            try:
+                sched.reserve(_PATHS[path_idx], r, start, end)
+            except AdmissionError:
+                pass
+        slot = sched.find_earliest_slot(_PATHS[0], rate, duration, not_before=0.0)
+        if slot is not None:
+            sched.reserve(_PATHS[0], rate, slot, slot + duration)
+
+    @given(reservation_sequence())
+    @settings(max_examples=40, deadline=None)
+    def test_release_restores_full_capacity(self, seq):
+        sched = BandwidthScheduler(_TOPO, reservable_fraction=1.0)
+        ids = []
+        for path_idx, rate, start, end in seq:
+            try:
+                res = sched.reserve(_PATHS[path_idx], rate, start, end)
+                ids.append(res.reservation_id)
+            except AdmissionError:
+                pass
+        for rid in ids:
+            sched.release(rid)
+        for p in _PATHS:
+            assert sched.available_rate(p, 0.0, 10_000.0) == pytest.approx(
+                10e9
+            )

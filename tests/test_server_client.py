@@ -1,0 +1,124 @@
+"""Unit tests for the DTN model and GridFTP client scripts."""
+
+import numpy as np
+import pytest
+
+from repro.gridftp.client import SessionScript, TransferJob, expand_scripts
+from repro.gridftp.server import (
+    DtnCluster,
+    DtnSpec,
+    EndpointKind,
+    disk_link,
+    host_link,
+)
+
+
+class TestDtnSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DtnSpec("x", nic_bps=0)
+        with pytest.raises(ValueError):
+            DtnSpec("x", n_servers=0)
+
+    def test_effective_nic_scales_with_stripes_up_to_cluster(self):
+        spec = DtnSpec("x", nic_bps=1e9, n_servers=3)
+        assert spec.effective_nic_bps(1) == 1e9
+        assert spec.effective_nic_bps(3) == 3e9
+        assert spec.effective_nic_bps(10) == 3e9  # capped at cluster width
+
+    def test_disk_budget_direction(self):
+        spec = DtnSpec("x", disk_read_bps=4e9, disk_write_bps=2e9)
+        assert spec.disk_budget_bps(writing=False) == 4e9
+        assert spec.disk_budget_bps(writing=True) == 2e9
+
+
+class TestDtnCluster:
+    def make(self):
+        c = DtnCluster()
+        c.add(DtnSpec("A", nic_bps=6e9, disk_read_bps=4e9, disk_write_bps=2e9))
+        c.add(DtnSpec("B", nic_bps=5e9, disk_read_bps=3e9, disk_write_bps=3e9))
+        return c
+
+    def test_duplicate_rejected(self):
+        c = self.make()
+        with pytest.raises(ValueError):
+            c.add(DtnSpec("A"))
+
+    def test_unknown_site(self):
+        with pytest.raises(KeyError):
+            self.make().spec("Z")
+
+    def test_pseudo_capacities(self):
+        caps = self.make().pseudo_capacities()
+        assert caps[host_link("A")] == 6e9
+        assert caps[disk_link("A", writing=True)] == 2e9
+        assert caps[disk_link("A", writing=False)] == 4e9
+
+    def test_mem_mem_uses_no_disk_links(self):
+        links = self.make().transfer_pseudo_links(
+            "A", "B", EndpointKind.MEMORY, EndpointKind.MEMORY
+        )
+        assert links == [host_link("A"), host_link("B")]
+
+    def test_disk_disk_uses_read_and_write_pools(self):
+        links = self.make().transfer_pseudo_links(
+            "A", "B", EndpointKind.DISK, EndpointKind.DISK
+        )
+        assert disk_link("A", writing=False) in links
+        assert disk_link("B", writing=True) in links
+
+    def test_demand_cap_tightest_constraint(self):
+        c = self.make()
+        cap = c.transfer_demand_cap_bps(
+            "A", "B", EndpointKind.DISK, EndpointKind.DISK
+        )
+        # src read 4G, dst write 3G, nics 6/5 -> 3G
+        assert cap == pytest.approx(3e9)
+
+    def test_demand_cap_mem_mem(self):
+        c = self.make()
+        cap = c.transfer_demand_cap_bps(
+            "A", "B", EndpointKind.MEMORY, EndpointKind.MEMORY
+        )
+        assert cap == pytest.approx(5e9)
+
+
+class TestTransferJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferJob(0.0, "A", "B", size_bytes=0.0)
+        with pytest.raises(ValueError):
+            TransferJob(0.0, "A", "B", size_bytes=1.0, streams=0)
+
+
+class TestSessionScript:
+    def test_jobs_share_submit_time(self):
+        script = SessionScript(100.0, "A", "B", file_sizes=[1e6, 2e6, 3e6])
+        jobs = script.jobs()
+        assert len(jobs) == 3
+        assert all(j.submit_time == 100.0 for j in jobs)
+        assert [j.size_bytes for j in jobs] == [1e6, 2e6, 3e6]
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(ValueError):
+            SessionScript(0.0, "A", "B", file_sizes=[])
+
+    def test_jobs_with_gaps_spacing(self):
+        script = SessionScript(0.0, "A", "B", file_sizes=[1e6, 1e6, 1e6])
+        jobs = script.jobs_with_gaps(gaps_s=[5.0, -2.0], durations_s=[10.0, 10.0, 10.0])
+        assert jobs[0].submit_time == 0.0
+        assert jobs[1].submit_time == pytest.approx(15.0)
+        assert jobs[2].submit_time == pytest.approx(23.0)
+
+    def test_jobs_with_gaps_validation(self):
+        script = SessionScript(0.0, "A", "B", file_sizes=[1e6, 1e6])
+        with pytest.raises(ValueError):
+            script.jobs_with_gaps(gaps_s=[], durations_s=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            script.jobs_with_gaps(gaps_s=[1.0], durations_s=[1.0])
+
+    def test_expand_scripts_sorted(self):
+        a = SessionScript(50.0, "A", "B", file_sizes=[1e6])
+        b = SessionScript(10.0, "A", "B", file_sizes=[1e6])
+        jobs = expand_scripts([a, b])
+        assert [j.submit_time for j in jobs] == [10.0, 50.0]

@@ -1,0 +1,86 @@
+"""Property tests for the fluid simulator (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridftp.client import TransferJob
+from repro.gridftp.server import DtnCluster, DtnSpec, EndpointKind
+from repro.net.topology import esnet_like
+from repro.sim.experiment import FluidSimulator
+
+_TOPO = esnet_like()
+_PAIRS = [("NERSC", "ORNL"), ("SLAC", "NICS"), ("NCAR", "ANL"), ("LANL", "BNL")]
+
+
+def make_dtns():
+    dtns = DtnCluster()
+    for site in _TOPO.sites:
+        dtns.add(DtnSpec(site, nic_bps=6e9, disk_read_bps=5e9, disk_write_bps=4e9))
+    return dtns
+
+
+@st.composite
+def job_set(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    jobs = []
+    for _ in range(n):
+        pair = _PAIRS[draw(st.integers(min_value=0, max_value=len(_PAIRS) - 1))]
+        jobs.append(
+            TransferJob(
+                submit_time=draw(st.floats(min_value=0.0, max_value=300.0)),
+                src=pair[0],
+                dst=pair[1],
+                size_bytes=draw(st.floats(min_value=1e6, max_value=20e9)),
+                streams=draw(st.integers(min_value=1, max_value=8)),
+                src_endpoint=draw(st.sampled_from(list(EndpointKind))),
+                dst_endpoint=draw(st.sampled_from(list(EndpointKind))),
+            )
+        )
+    jobs.sort(key=lambda j: j.submit_time)
+    return jobs
+
+
+class TestFluidSimProperties:
+    @given(job_set())
+    @settings(max_examples=30, deadline=None)
+    def test_every_job_completes_and_bytes_conserve(self, jobs):
+        sim = FluidSimulator(_TOPO, make_dtns())
+        for j in jobs:
+            sim.submit(j)
+        result = sim.run()
+        assert len(result.log) == len(jobs)
+        total_logged = result.log.size.sum()
+        assert total_logged == pytest.approx(sum(j.size_bytes for j in jobs))
+
+    @given(job_set())
+    @settings(max_examples=30, deadline=None)
+    def test_durations_at_least_unconstrained_minimum(self, jobs):
+        """No transfer finishes faster than its demand cap allows."""
+        dtns = make_dtns()
+        sim = FluidSimulator(_TOPO, dtns)
+        for j in jobs:
+            sim.submit(j)
+        log = sim.run().log
+        for i in range(len(log)):
+            rec = log.record(i)
+            # the loosest possible bound: the NIC budget
+            assert rec.duration >= rec.size * 8.0 / 6e9 * (1 - 1e-6)
+
+    @given(job_set())
+    @settings(max_examples=20, deadline=None)
+    def test_snmp_source_access_link_conservation(self, jobs):
+        sim = FluidSimulator(_TOPO, make_dtns())
+        for j in jobs:
+            sim.submit(j)
+        result = sim.run()
+        by_src: dict[str, float] = {}
+        for j in jobs:
+            by_src[j.src] = by_src.get(j.src, 0.0) + j.size_bytes
+        for site, expected in by_src.items():
+            # the site's access link is the first hop of any of its paths
+            path = _TOPO.path(site, next(d for s, d in _PAIRS if s == site))
+            key = _TOPO.path_links(path)[0]
+            got = result.snmp.counter(key).total_bytes()
+            assert got == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,136 @@
+"""Unit and property tests for the SNMP byte counters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.snmp import SnmpCollector, SnmpCounter
+
+
+class TestSnmpCounter:
+    def test_single_bin_deposit(self):
+        c = SnmpCounter(bin_seconds=30.0)
+        c.add_bytes(5.0, 25.0, 600.0)
+        starts, counts = c.series()
+        assert counts[0] == pytest.approx(600.0)
+        assert starts[0] == 0.0
+
+    def test_spread_across_bins_proportional(self):
+        c = SnmpCounter(bin_seconds=30.0)
+        c.add_bytes(15.0, 45.0, 300.0)  # half in bin 0, half in bin 1
+        _, counts = c.series()
+        assert counts[0] == pytest.approx(150.0)
+        assert counts[1] == pytest.approx(150.0)
+
+    def test_conservation_many_bins(self):
+        c = SnmpCounter(bin_seconds=30.0)
+        c.add_bytes(7.0, 307.0, 12345.0)
+        assert c.total_bytes() == pytest.approx(12345.0)
+
+    def test_instantaneous_deposit(self):
+        c = SnmpCounter(bin_seconds=30.0)
+        c.add_bytes(31.0, 31.0, 99.0)
+        _, counts = c.series()
+        assert counts[1] == pytest.approx(99.0)
+
+    def test_zero_bytes_noop(self):
+        c = SnmpCounter()
+        c.add_bytes(0.0, 10.0, 0.0)
+        assert c.n_bins == 0
+
+    def test_before_epoch_rejected(self):
+        c = SnmpCounter(t0=100.0)
+        with pytest.raises(ValueError):
+            c.add_bytes(50.0, 60.0, 1.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SnmpCounter().add_bytes(0, 1, -1.0)
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SnmpCounter().add_bytes(10.0, 5.0, 1.0)
+
+    def test_bad_bin_seconds(self):
+        with pytest.raises(ValueError):
+            SnmpCounter(bin_seconds=0)
+
+    def test_bin_boundary_exact(self):
+        c = SnmpCounter(bin_seconds=30.0)
+        c.add_bytes(0.0, 30.0, 30.0)
+        _, counts = c.series()
+        assert len(counts) == 1
+        assert counts[0] == pytest.approx(30.0)
+
+    def test_utilization(self):
+        c = SnmpCounter(bin_seconds=30.0)
+        c.add_bytes(0.0, 30.0, 30.0 * 1e9 / 8)  # 1 Gbps for one bin
+        util = c.utilization(10e9)
+        assert util[0] == pytest.approx(0.1)
+
+    def test_accumulation_over_multiple_deposits(self):
+        c = SnmpCounter(bin_seconds=30.0)
+        c.add_bytes(0.0, 30.0, 100.0)
+        c.add_bytes(10.0, 20.0, 50.0)
+        _, counts = c.series()
+        assert counts[0] == pytest.approx(150.0)
+
+    @given(
+        st.floats(min_value=0, max_value=1e4),
+        st.floats(min_value=1e-3, max_value=1e4),
+        st.floats(min_value=0, max_value=1e9),
+    )
+    @settings(max_examples=80)
+    def test_conservation_property(self, start, length, nbytes):
+        c = SnmpCounter(bin_seconds=30.0)
+        c.add_bytes(start, start + length, nbytes)
+        assert c.total_bytes() == pytest.approx(nbytes, rel=1e-9, abs=1e-6)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=5e3),
+                st.floats(min_value=0, max_value=1e3),
+                st.floats(min_value=0, max_value=1e8),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_multi_deposit_conservation(self, deposits):
+        c = SnmpCounter(bin_seconds=30.0)
+        total = 0.0
+        for start, length, nbytes in deposits:
+            c.add_bytes(start, start + length, nbytes)
+            total += nbytes
+        assert c.total_bytes() == pytest.approx(total, rel=1e-9, abs=1e-6)
+
+
+class TestSnmpCollector:
+    def test_counter_created_on_touch(self):
+        col = SnmpCollector()
+        col.counter(("a", "b")).add_bytes(0, 10, 5.0)
+        assert ("a", "b") in col.keys()
+
+    def test_path_deposit(self):
+        col = SnmpCollector()
+        links = [("a", "b"), ("b", "c")]
+        col.add_bytes(links, 0.0, 10.0, 99.0)
+        for key in links:
+            assert col.counter(key).total_bytes() == pytest.approx(99.0)
+
+    def test_export_naming(self):
+        col = SnmpCollector()
+        col.add_bytes([("rt-x", "rt-y")], 0, 30, 10.0)
+        exported = col.export()
+        assert "rt-x--rt-y" in exported
+        starts, counts = exported["rt-x--rt-y"]
+        assert counts.sum() == pytest.approx(10.0)
+
+    def test_export_subset(self):
+        col = SnmpCollector()
+        col.add_bytes([("a", "b"), ("c", "d")], 0, 10, 1.0)
+        exported = col.export(keys=[("a", "b")])
+        assert list(exported) == ["a--b"]

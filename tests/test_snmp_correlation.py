@@ -1,0 +1,148 @@
+"""Unit tests for Eq. (1) byte attribution and Tables XI--XIII."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.snmp_correlation import (
+    attributed_bytes,
+    bins_within,
+    correlation_tables,
+    link_load_table,
+)
+from repro.gridftp.records import TransferLog
+from repro.net.snmp import SnmpCounter
+
+
+class TestAttributedBytes:
+    def test_fully_contained_bins(self):
+        # three bins of 30 s with 90 bytes each; transfer spans all three
+        bins = np.array([0.0, 30.0, 60.0])
+        counts = np.array([90.0, 90.0, 90.0])
+        assert attributed_bytes(bins, counts, 0.0, 90.0) == pytest.approx(270.0)
+
+    def test_partial_edges_pro_rated(self):
+        bins = np.array([0.0, 30.0, 60.0])
+        counts = np.array([30.0, 30.0, 30.0])
+        # transfer [15, 75): half of first, all of second, half of third
+        assert attributed_bytes(bins, counts, 15.0, 60.0) == pytest.approx(60.0)
+
+    def test_transfer_inside_one_bin(self):
+        bins = np.array([0.0])
+        counts = np.array([300.0])
+        # 10 of the 30 seconds -> one third of the bin
+        assert attributed_bytes(bins, counts, 10.0, 10.0) == pytest.approx(100.0)
+
+    def test_gap_in_bins_contributes_zero(self):
+        bins = np.array([0.0, 60.0])  # bin [30, 60) missing
+        counts = np.array([30.0, 30.0])
+        assert attributed_bytes(bins, counts, 0.0, 90.0) == pytest.approx(60.0)
+
+    def test_no_overlap(self):
+        bins = np.array([0.0])
+        counts = np.array([100.0])
+        assert attributed_bytes(bins, counts, 100.0, 10.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            attributed_bytes([0.0], [1.0], 0.0, -1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            attributed_bytes([0.0, 30.0], [1.0], 0.0, 10.0)
+
+    def test_consistency_with_snmp_counter(self):
+        """Attribution over a counter fed by one flow recovers its bytes
+        exactly when the transfer is bin-aligned."""
+        c = SnmpCounter(bin_seconds=30.0)
+        c.add_bytes(30.0, 120.0, 999.0)
+        bins, counts = c.series()
+        assert attributed_bytes(bins, counts, 30.0, 90.0) == pytest.approx(999.0)
+
+    @given(
+        st.floats(min_value=0, max_value=500),
+        st.floats(min_value=1.0, max_value=500),
+    )
+    @settings(max_examples=60)
+    def test_attribution_bounded_by_total(self, start, dur):
+        c = SnmpCounter(bin_seconds=30.0)
+        c.add_bytes(5.0, 700.0, 5000.0)
+        bins, counts = c.series()
+        b = attributed_bytes(bins, counts, start, dur)
+        assert 0.0 <= b <= 5000.0 + 1e-6
+
+
+class TestBinsWithin:
+    def test_selects_overlapping(self):
+        bins = np.arange(0, 300, 30.0)
+        counts = np.arange(10.0)
+        t, b = bins_within(bins, counts, 45.0, 100.0)
+        # overlap [45, 145): bins starting 30, 60, 90, 120
+        assert np.array_equal(t, [30.0, 60.0, 90.0, 120.0])
+        assert np.array_equal(b, [1.0, 2.0, 3.0, 4.0])
+
+
+def synthetic_experiment(other_scale=0.0, seed=0):
+    """n transfers on one link; other traffic scaled by other_scale."""
+    rng = np.random.default_rng(seed)
+    n = 40
+    sizes = rng.uniform(30e9, 36e9, n)
+    tput = rng.uniform(1e9, 3e9, n)
+    durations = sizes * 8 / tput
+    starts = np.arange(n) * 2000.0
+    counter = SnmpCounter(bin_seconds=30.0)
+    for s, d, size in zip(starts, durations, sizes):
+        counter.add_bytes(s, s + d, size)
+    if other_scale > 0:
+        for _ in range(200):
+            t0 = rng.uniform(0, starts[-1])
+            counter.add_bytes(t0, t0 + 60.0, other_scale * rng.uniform(1e8, 1e9))
+    log = TransferLog(
+        {"start": starts, "duration": durations, "size": sizes,
+         "remote_host": [1] * n}
+    )
+    bins, counts = counter.series()
+    return log, {"rt1": (bins, counts)}
+
+
+class TestCorrelationTables:
+    def test_alpha_dominated_link_high_correlation(self):
+        log, links = synthetic_experiment(other_scale=0.0)
+        total, other = correlation_tables(log, links)
+        assert total.overall["rt1"] > 0.7
+        # remaining traffic is only attribution noise: low correlation
+        assert abs(other.overall["rt1"]) < 0.5
+
+    def test_quartile_rows_present(self):
+        log, links = synthetic_experiment()
+        total, _ = correlation_tables(log, links)
+        assert set(total.per_quartile) == {1, 2, 3, 4}
+        assert set(total.per_quartile[1]) == {"rt1"}
+
+    def test_heavy_other_traffic_lowers_correlation(self):
+        log_clean, links_clean = synthetic_experiment(other_scale=0.0)
+        log_noisy, links_noisy = synthetic_experiment(other_scale=50.0)
+        clean, _ = correlation_tables(log_clean, links_clean)
+        noisy, _ = correlation_tables(log_noisy, links_noisy)
+        assert noisy.overall["rt1"] < clean.overall["rt1"]
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_tables(TransferLog(), {})
+
+
+class TestLinkLoadTable:
+    def test_load_near_transfer_rate_when_alone(self):
+        log, links = synthetic_experiment(other_scale=0.0)
+        loads = link_load_table(log, links)
+        tput = log.throughput_bps
+        # average link load during a transfer ~ its own throughput
+        assert loads["rt1"].mean == pytest.approx(tput.mean(), rel=0.15)
+
+    def test_load_rises_with_other_traffic(self):
+        log, links_clean = synthetic_experiment(other_scale=0.0, seed=3)
+        _, links_noisy = synthetic_experiment(other_scale=20.0, seed=3)
+        clean = link_load_table(log, links_clean)["rt1"]
+        noisy = link_load_table(log, links_noisy)["rt1"]
+        assert noisy.mean > clean.mean

@@ -1,0 +1,223 @@
+"""Unit and property tests for striping (MODE E) and the control channel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridftp.control import (
+    FtpError,
+    GridFtpServerSim,
+    ThirdPartyClient,
+)
+from repro.gridftp.records import TransferType
+from repro.gridftp.striping import (
+    StripeReassembler,
+    block_plan,
+    stripe_byte_counts,
+)
+
+
+class TestBlockPlan:
+    def test_blocks_cover_file_exactly(self):
+        plan = block_plan(1000, 300, 2)
+        assert [b.offset for b in plan] == [0, 300, 600, 900]
+        assert [b.length for b in plan] == [300, 300, 300, 100]
+        assert [b.stripe for b in plan] == [0, 1, 0, 1]
+
+    def test_zero_size_empty_plan(self):
+        assert block_plan(0, 100, 3) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_plan(-1, 100, 1)
+        with pytest.raises(ValueError):
+            block_plan(100, 0, 1)
+        with pytest.raises(ValueError):
+            block_plan(100, 10, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=16, max_value=777),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_plan_partitions_file(self, size, block, stripes):
+        plan = block_plan(size, block, stripes)
+        assert sum(b.length for b in plan) == size
+        cursor = 0
+        for b in plan:
+            assert b.offset == cursor
+            assert 0 <= b.stripe < stripes
+            cursor += b.length
+
+
+class TestStripeByteCounts:
+    @given(
+        st.integers(min_value=0, max_value=500_000),
+        st.integers(min_value=64, max_value=65536),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_closed_form_matches_plan(self, size, block, stripes):
+        counts = stripe_byte_counts(size, block, stripes)
+        plan = block_plan(size, block, stripes)
+        expected = np.zeros(stripes, dtype=np.int64)
+        for b in plan:
+            expected[b.stripe] += b.length
+        assert np.array_equal(counts, expected)
+
+    def test_balance_bound(self):
+        counts = stripe_byte_counts(10**9, 2**18, 4)
+        assert counts.max() - counts.min() <= 2**18
+
+
+class TestStripeReassembler:
+    def test_in_order_completion(self):
+        r = StripeReassembler(250)
+        r.receive(0, 100)
+        r.receive(100, 100)
+        assert not r.complete
+        r.receive(200, 50)
+        assert r.complete
+        assert r.restart_marker == 250
+
+    def test_out_of_order_restart_marker(self):
+        r = StripeReassembler(300)
+        r.receive(200, 100)
+        assert r.restart_marker == 0  # no contiguous prefix yet
+        r.receive(0, 100)
+        assert r.restart_marker == 100
+        r.receive(100, 100)
+        assert r.restart_marker == 300 and r.complete
+
+    def test_missing_ranges(self):
+        r = StripeReassembler(300)
+        r.receive(100, 50)
+        assert r.missing_ranges() == [(0, 100), (150, 300)]
+
+    def test_overlap_rejected(self):
+        r = StripeReassembler(300)
+        r.receive(0, 100)
+        with pytest.raises(ValueError, match="overlap"):
+            r.receive(50, 100)
+
+    def test_out_of_range_rejected(self):
+        r = StripeReassembler(100)
+        with pytest.raises(ValueError):
+            r.receive(50, 100)
+
+    def test_zero_file_complete(self):
+        assert StripeReassembler(0).complete
+
+    @given(st.integers(min_value=1, max_value=5000), st.randoms())
+    @settings(max_examples=60)
+    def test_any_arrival_order_reassembles(self, size, pyrandom):
+        plan = block_plan(size, 251, 3)
+        pyrandom.shuffle(plan)
+        r = StripeReassembler(size)
+        for b in plan:
+            r.receive(b.offset, b.length)
+        assert r.complete
+        assert r.bytes_received == size
+        assert r.missing_ranges() == []
+
+
+class TestControlChannel:
+    def make_server(self):
+        srv = GridFtpServerSim("anl-dtn1", host_id=1)
+        srv.add_file("/data/run42.nc", 16e9)
+        return srv
+
+    def test_login_flow(self):
+        chan = self.make_server().connect()
+        assert chan.handle("USER alice").startswith("331")
+        assert chan.handle("PASS secret").startswith("230")
+
+    def test_commands_require_auth(self):
+        chan = self.make_server().connect()
+        with pytest.raises(FtpError) as e:
+            chan.handle("TYPE I")
+        assert e.value.code == 530
+
+    def test_pass_without_user(self):
+        chan = self.make_server().connect()
+        with pytest.raises(FtpError) as e:
+            chan.handle("PASS x")
+        assert e.value.code == 503
+
+    def test_unknown_command(self):
+        chan = self.make_server().connect()
+        with pytest.raises(FtpError) as e:
+            chan.handle("FEAT")
+        assert e.value.code == 502
+
+    def test_size_and_missing_file(self):
+        chan = self.make_server().connect()
+        chan.handle("USER a"); chan.handle("PASS b")
+        assert chan.handle("SIZE /data/run42.nc") == "213 16000000000.0"
+        with pytest.raises(FtpError) as e:
+            chan.handle("SIZE /nope")
+        assert e.value.code == 550
+
+    def test_retr_needs_binary_type(self):
+        chan = self.make_server().connect()
+        chan.handle("USER a"); chan.handle("PASS b")
+        chan.handle("PASV")
+        with pytest.raises(FtpError) as e:
+            chan.handle("RETR /data/run42.nc")
+        assert e.value.code == 550
+
+    def test_retr_needs_data_connection(self):
+        chan = self.make_server().connect()
+        chan.handle("USER a"); chan.handle("PASS b"); chan.handle("TYPE I")
+        with pytest.raises(FtpError) as e:
+            chan.handle("RETR /data/run42.nc")
+        assert e.value.code == 425
+
+    def test_parallelism_opts(self):
+        chan = self.make_server().connect()
+        chan.handle("USER a"); chan.handle("PASS b")
+        assert "8" in chan.handle("OPTS RETR Parallelism=8,8,8;")
+        assert chan.session.parallelism == 8
+
+    def test_bad_mode(self):
+        chan = self.make_server().connect()
+        chan.handle("USER a"); chan.handle("PASS b")
+        with pytest.raises(FtpError):
+            chan.handle("MODE Z")
+
+
+class TestThirdPartyTransfer:
+    def test_full_dance_logs_both_sides(self):
+        src = GridFtpServerSim("anl", host_id=1)
+        dst = GridFtpServerSim("nersc", host_id=0)
+        src.add_file("/data/big.h5", 20e9)
+        client = ThirdPartyClient(user="testop")
+        duration = client.transfer(
+            src, dst, "/data/big.h5", rate_bps=2e9, start_time=1000.0,
+            parallelism=8,
+        )
+        assert duration == pytest.approx(80.0)
+        src_log = src.log()
+        dst_log = dst.log()
+        assert len(src_log) == len(dst_log) == 1
+        assert src_log.record(0).transfer_type is TransferType.RETR
+        assert dst_log.record(0).transfer_type is TransferType.STOR
+        assert src_log.record(0).remote_host == 0
+        assert dst_log.record(0).remote_host == 1
+        assert dst.file_size("/data/big.h5") == 20e9  # file now exists there
+
+    def test_missing_source_file(self):
+        src = GridFtpServerSim("a", 1)
+        dst = GridFtpServerSim("b", 2)
+        with pytest.raises(FtpError) as e:
+            ThirdPartyClient().transfer(src, dst, "/nope")
+        assert e.value.code == 550
+
+    def test_bad_rate(self):
+        src = GridFtpServerSim("a", 1)
+        src.add_file("/f", 1e9)
+        dst = GridFtpServerSim("b", 2)
+        with pytest.raises(ValueError):
+            ThirdPartyClient().transfer(src, dst, "/f", rate_bps=0.0)

@@ -1,0 +1,194 @@
+"""Unit and property tests for the TCP throughput model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.tcp import MATHIS_C, TcpPathModel
+from repro.workload.synth import vector_transfer_duration
+
+
+def model(**kw):
+    defaults = dict(rtt_s=0.07, bottleneck_bps=10e9)
+    defaults.update(kw)
+    return TcpPathModel(**defaults)
+
+
+class TestConstruction:
+    def test_bad_rtt(self):
+        with pytest.raises(ValueError):
+            TcpPathModel(rtt_s=0.0)
+
+    def test_bad_bottleneck(self):
+        with pytest.raises(ValueError):
+            TcpPathModel(rtt_s=0.1, bottleneck_bps=0)
+
+    def test_bad_loss(self):
+        with pytest.raises(ValueError):
+            TcpPathModel(rtt_s=0.1, loss_rate=1.0)
+
+
+class TestSteadyRate:
+    def test_lossless_uncapped_hits_bottleneck(self):
+        m = model(loss_rate=0.0, max_window_bytes=None)
+        assert m.steady_rate_bps(1) == 10e9
+        assert m.steady_rate_bps(8) == 10e9
+
+    def test_mathis_formula(self):
+        m = model(loss_rate=1e-4)
+        expected = (1460 * 8 / 0.07) * MATHIS_C / math.sqrt(1e-4)
+        assert m.mathis_rate_bps() == pytest.approx(expected)
+
+    def test_loss_capped_scales_with_streams(self):
+        m = model(loss_rate=1e-3)
+        assert m.steady_rate_bps(8) == pytest.approx(8 * m.steady_rate_bps(1))
+
+    def test_window_cap(self):
+        m = model(max_window_bytes=875_000)  # 875 KB / 70 ms = 100 Mbps
+        assert m.window_rate_bps() == pytest.approx(100e6)
+        assert m.steady_rate_bps(1) == pytest.approx(100e6)
+
+    def test_bottleneck_caps_aggregate(self):
+        m = model(max_window_bytes=87.5e6)  # 10 Gbps per stream
+        assert m.steady_rate_bps(8) == 10e9
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ValueError):
+            model().steady_rate_bps(0)
+
+
+class TestSlowStart:
+    def test_no_ramp_when_initial_exceeds_target(self):
+        m = model()
+        tiny_target = 1 * 1460 * 8 / 0.07  # exactly the 1-stream initial rate
+        assert m.slow_start_rtts(tiny_target, 1) == 0.0
+        assert m.slow_start_bytes(tiny_target, 1) == 0.0
+
+    def test_more_streams_fewer_rtts(self):
+        m = model()
+        assert m.slow_start_rtts(1e9, 8) == pytest.approx(
+            m.slow_start_rtts(1e9, 1) - 3.0
+        )
+
+    def test_ramp_bytes_geometric_sum(self):
+        m = model(ssthresh_bytes=None)
+        target = 4 * (1460 * 8 / 0.07)  # 2 doublings for 1 stream
+        assert m.slow_start_bytes(target, 1) == pytest.approx(1460 * 3)
+
+    def test_startup_penalty_positive(self):
+        m = model()
+        assert m.startup_penalty_s(1e9, 1) > 0
+
+    def test_startup_penalty_decreases_with_streams(self):
+        m = model()
+        assert m.startup_penalty_s(1e9, 8) < m.startup_penalty_s(1e9, 1)
+
+    def test_penalty_zero_for_zero_target(self):
+        assert model().startup_penalty_s(0.0, 1) == 0.0
+
+
+class TestCongestionAvoidance:
+    def test_ss_exit_rate(self):
+        m = model(ssthresh_bytes=1.2e6)
+        assert m.ss_exit_rate_bps(1) == pytest.approx(1.2e6 * 8 / 0.07)
+        assert m.ss_exit_rate_bps(8) == pytest.approx(8 * 1.2e6 * 8 / 0.07)
+
+    def test_disabled_threshold_is_infinite(self):
+        assert model(ssthresh_bytes=None).ss_exit_rate_bps(1) == math.inf
+
+    def test_linear_slope(self):
+        m = model()
+        assert m.linear_slope_bps_per_s(2) == pytest.approx(2 * 1460 * 8 / 0.07**2)
+
+    def test_single_stream_much_slower_for_medium_files(self):
+        """The Fig. 3 effect: 8 streams beat 1 stream on medium files."""
+        m = model()
+        t1 = m.transfer_throughput_bps(100e6, 1, rate_cap_bps=1e9)
+        t8 = m.transfer_throughput_bps(100e6, 8, rate_cap_bps=1e9)
+        assert t8 > 1.3 * t1
+
+    def test_streams_converge_for_huge_files(self):
+        """The Fig. 4 effect: stream count stops mattering for large files."""
+        m = model()
+        t1 = m.transfer_throughput_bps(200e9, 1, rate_cap_bps=1e9)
+        t8 = m.transfer_throughput_bps(200e9, 8, rate_cap_bps=1e9)
+        assert abs(t8 - t1) / t8 < 0.1
+
+
+class TestTransferDuration:
+    def test_zero_size(self):
+        assert model().transfer_duration_s(0.0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            model().transfer_duration_s(-1.0)
+
+    def test_large_file_dominated_by_steady_rate(self):
+        m = model(ssthresh_bytes=None)
+        d = m.transfer_duration_s(100e9, 8, rate_cap_bps=2e9)
+        assert d == pytest.approx(100e9 * 8 / 2e9, rel=0.02)
+
+    def test_tiny_file_inside_slow_start(self):
+        m = model()
+        # one MSS with one stream: delivered in the first RTT
+        d = m.transfer_duration_s(1460.0, 1)
+        assert d == pytest.approx(math.log2(2.0) * 0.07)
+
+    def test_duration_monotone_in_size(self):
+        m = model()
+        sizes = [1e4, 1e6, 1e8, 1e10]
+        durations = [m.transfer_duration_s(s, 4, rate_cap_bps=1e9) for s in sizes]
+        assert durations == sorted(durations)
+
+    def test_duration_continuous_at_phase_boundaries(self):
+        """No jump where the transfer just exits slow start / the linear phase."""
+        m = model()
+        steady = 1e9
+        r0 = min(steady, m.ss_exit_rate_bps(1))
+        ramp = m.slow_start_bytes(r0, 1)
+        below = m.transfer_duration_s(ramp * 0.999, 1, rate_cap_bps=steady)
+        above = m.transfer_duration_s(ramp * 1.001, 1, rate_cap_bps=steady)
+        assert above - below < 0.01
+
+    def test_throughput_never_exceeds_steady(self):
+        m = model()
+        for size in (1e5, 1e7, 1e9, 1e11):
+            tput = m.transfer_throughput_bps(size, 8, rate_cap_bps=2e9)
+            assert tput <= 2e9 * (1 + 1e-9)
+
+    @given(
+        st.floats(min_value=1e3, max_value=1e12),
+        st.integers(min_value=1, max_value=32),
+        st.floats(min_value=1e6, max_value=9e9),
+    )
+    @settings(max_examples=100)
+    def test_vectorized_matches_scalar(self, size, n, steady):
+        """The million-row generator kernel must agree with the scalar model."""
+        m = model()
+        d_scalar = m.transfer_duration_s(size, n, rate_cap_bps=steady)
+        d_vec = float(
+            vector_transfer_duration(
+                np.array([size]), np.array([n]), np.array([min(steady, 10e9)]), 0.07
+            )[0]
+        )
+        assert d_vec == pytest.approx(d_scalar, rel=1e-9)
+
+    @given(
+        st.floats(min_value=1e3, max_value=1e12),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60)
+    def test_duration_positive_and_finite(self, size, n):
+        d = model().transfer_duration_s(size, n, rate_cap_bps=3e9)
+        assert 0 < d < math.inf
+
+    @given(st.integers(min_value=1, max_value=15))
+    @settings(max_examples=15)
+    def test_more_streams_never_slower(self, n):
+        m = model()
+        d_n = m.transfer_duration_s(5e8, n, rate_cap_bps=2e9)
+        d_n1 = m.transfer_duration_s(5e8, n + 1, rate_cap_bps=2e9)
+        assert d_n1 <= d_n * (1 + 1e-9)

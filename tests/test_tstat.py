@@ -1,0 +1,69 @@
+"""Unit tests for the tstat-style loss reporting."""
+
+import numpy as np
+import pytest
+
+from repro.net.tcp import TcpPathModel
+from repro.net.tstat import loss_hypothesis_test, observe_transfer
+from repro.workload.synth import slac_bnl
+
+
+def path(loss=0.0):
+    return TcpPathModel(rtt_s=0.07, bottleneck_bps=10e9, loss_rate=loss)
+
+
+class TestObserveTransfer:
+    def test_lossless_path_no_retransmits(self):
+        stats = observe_transfer(1e9, 10.0, 8, path(0.0))
+        assert stats.retransmits == 0
+        assert stats.loss_estimate == 0.0
+
+    def test_lossy_path_counts_retransmits(self):
+        stats = observe_transfer(
+            1e9, 10.0, 8, path(1e-3), rng=np.random.default_rng(0)
+        )
+        segments = int(np.ceil(1e9 / 1460))
+        assert stats.retransmits > 0
+        assert stats.loss_estimate == pytest.approx(1e-3, rel=0.3)
+        assert stats.segments_out == segments + stats.retransmits
+
+    def test_consistency_flag(self):
+        # a transfer at the loss-free envelope is consistent...
+        p = path(0.0)
+        envelope = p.transfer_throughput_bps(1e9, 8)
+        d = 1e9 * 8 / envelope
+        assert observe_transfer(1e9, d, 8, p).loss_free_consistent
+        # ...one claiming 3x the envelope is not
+        assert not observe_transfer(1e9, d / 3, 8, p).loss_free_consistent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            observe_transfer(0.0, 1.0, 1, path())
+        with pytest.raises(ValueError):
+            observe_transfer(1.0, 1.0, 0, path())
+
+
+class TestLossHypothesis:
+    def test_rare_loss_conclusion_on_slac_like_log(self):
+        log = slac_bnl(seed=5, n_transfers=3000)
+        result = loss_hypothesis_test(log, path(0.0))
+        assert result.total_retransmits == 0
+        assert result.losses_are_rare
+        assert result.n_transfers > 0
+
+    def test_lossy_path_detected(self):
+        log = slac_bnl(seed=5, n_transfers=2000)
+        result = loss_hypothesis_test(
+            log, path(5e-3), rng=np.random.default_rng(2)
+        )
+        assert result.mean_loss_estimate == pytest.approx(5e-3, rel=0.3)
+        # at 5e-3 loss the Mathis ceiling is ~2.4 Mbps/conn * 8 = ~19 Mbps:
+        # most observed transfers exceed it, correctly flagging that the
+        # *observations* contradict sustained loss at that level
+        assert result.fraction_above_ceiling > 0.5
+
+    def test_empty_log_rejected(self):
+        from repro.gridftp.records import TransferLog
+
+        with pytest.raises(ValueError):
+            loss_hypothesis_test(TransferLog(), path())

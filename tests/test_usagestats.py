@@ -1,0 +1,148 @@
+"""Unit tests for the usage-stats UDP collection path."""
+
+import numpy as np
+import pytest
+
+from repro.core.sessions import group_sessions
+from repro.gridftp.records import ANONYMIZED_HOST, TransferRecord, TransferType
+from repro.gridftp.usagestats import (
+    PacketError,
+    UsageStatsCollector,
+    UsageStatsSender,
+    decode_packet,
+    encode_packet,
+    simulate_collection,
+)
+from repro.workload.synth import ncar_nics
+
+
+def record(**kw):
+    defaults = dict(start=123.5, duration=45.25, size=1e9, streams=8,
+                    stripes=2, tcp_buffer=4 << 20, block_size=262144,
+                    local_host=3, remote_host=77,
+                    transfer_type=TransferType.STOR)
+    defaults.update(kw)
+    return TransferRecord(**defaults)
+
+
+class TestPacketCodec:
+    def test_roundtrip(self):
+        rec = record()
+        decoded, seq = decode_packet(encode_packet(rec, seq=42))
+        assert seq == 42
+        assert decoded.start == rec.start
+        assert decoded.duration == rec.duration
+        assert decoded.size == rec.size
+        assert decoded.streams == rec.streams
+        assert decoded.stripes == rec.stripes
+        assert decoded.transfer_type is TransferType.STOR
+
+    def test_remote_host_never_encoded(self):
+        decoded, _ = decode_packet(encode_packet(record(remote_host=999)))
+        assert decoded.remote_host == ANONYMIZED_HOST
+
+    def test_retr_flag(self):
+        decoded, _ = decode_packet(
+            encode_packet(record(transfer_type=TransferType.RETR))
+        )
+        assert decoded.transfer_type is TransferType.RETR
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PacketError, match="length"):
+            decode_packet(encode_packet(record())[:-3])
+
+    def test_bad_magic_rejected(self):
+        payload = bytearray(encode_packet(record()))
+        payload[0] = ord("X")
+        with pytest.raises(PacketError, match="magic"):
+            decode_packet(bytes(payload))
+
+    def test_corruption_detected_by_checksum(self):
+        payload = bytearray(encode_packet(record()))
+        payload[10] ^= 0xFF
+        with pytest.raises(PacketError, match="checksum"):
+            decode_packet(bytes(payload))
+
+    def test_bad_version_rejected(self):
+        payload = bytearray(encode_packet(record()))
+        payload[2] = 99
+        with pytest.raises(PacketError, match="version"):
+            decode_packet(bytes(payload))
+
+    def test_sequence_range(self):
+        with pytest.raises(ValueError):
+            encode_packet(record(), seq=2**32)
+
+
+class TestSenderCollector:
+    def test_sender_stamps_host_and_sequence(self):
+        sender = UsageStatsSender(host_id=5)
+        p1 = sender.packet_for(record(local_host=0))
+        p2 = sender.packet_for(record(local_host=0))
+        r1, s1 = decode_packet(p1)
+        r2, s2 = decode_packet(p2)
+        assert r1.local_host == r2.local_host == 5
+        assert (s1, s2) == (0, 1)
+
+    def test_disabled_sender(self):
+        sender = UsageStatsSender(host_id=1, enabled=False)
+        assert sender.packet_for(record()) is None
+
+    def test_collector_dedupes(self):
+        collector = UsageStatsCollector()
+        p = UsageStatsSender(1).packet_for(record())
+        assert collector.ingest(p) is True
+        assert collector.ingest(p) is False
+        assert collector.n_duplicates == 1
+        assert collector.n_records == 1
+
+    def test_collector_counts_malformed(self):
+        collector = UsageStatsCollector()
+        assert collector.ingest(b"garbage") is False
+        assert collector.n_malformed == 1
+
+    def test_collector_rebuilds_sorted_log(self):
+        sender = UsageStatsSender(1)
+        collector = UsageStatsCollector()
+        for t in (300.0, 100.0, 200.0):
+            collector.ingest(sender.packet_for(record(start=t)))
+        log = collector.to_log()
+        assert np.all(np.diff(log.start) >= 0)
+        assert log.is_anonymized
+
+
+class TestSimulateCollection:
+    def test_lossless_channel_preserves_everything_but_identity(self):
+        src = ncar_nics(seed=3, n_transfers=800)
+        out, collector = simulate_collection(src)
+        assert len(out) == len(src)
+        assert out.is_anonymized
+        assert out.size.sum() == pytest.approx(src.size.sum())
+        # ...which is exactly why session analysis is impossible downstream
+        with pytest.raises(ValueError):
+            group_sessions(out, 60.0)
+
+    def test_loss_shrinks_the_log(self):
+        src = ncar_nics(seed=3, n_transfers=800)
+        out, _ = simulate_collection(src, loss_rate=0.3,
+                                     rng=np.random.default_rng(1))
+        assert 0.5 * len(src) < len(out) < 0.85 * len(src)
+
+    def test_duplicates_do_not_inflate(self):
+        src = ncar_nics(seed=3, n_transfers=600)
+        out, collector = simulate_collection(src, duplicate_rate=0.5,
+                                             rng=np.random.default_rng(1))
+        assert len(out) == len(src)
+        assert collector.n_duplicates > 50
+
+    def test_corruption_detected_not_ingested(self):
+        src = ncar_nics(seed=3, n_transfers=600)
+        out, collector = simulate_collection(src, corrupt_rate=0.2,
+                                             rng=np.random.default_rng(1))
+        assert collector.n_malformed > 20
+        assert len(out) == len(src) - collector.n_malformed
+
+    def test_rate_validation(self):
+        src = ncar_nics(seed=3, n_transfers=500)
+        with pytest.raises(ValueError):
+            simulate_collection(src, loss_rate=1.0)
