@@ -1,0 +1,45 @@
+"""Ext-O: chaos campaigns — recovery behaviour of the VC stack under faults.
+
+The paper weighs a ~1-min setup delay against rate guarantees assuming
+the control and data planes behave.  This bench sweeps circuit-flap
+rates over a VC-backed session with a moderately hostile IDC (30%
+rejections, 20% signalling timeouts) and prints the recovery surface:
+availability, goodput degradation, completion-time tail inflation, and
+the retry/fallback/migration counters — all deterministic under the
+pinned seed.
+"""
+
+from repro.sim.scenarios import ChaosConfig, chaos_sweep
+
+FLAP_RATES = [0.0, 10.0, 30.0, 60.0]  # onsets per circuit-hour
+
+
+def test_ext_chaos(benchmark):
+    base = ChaosConfig(n_jobs=8, rejection_prob=0.3, setup_timeout_prob=0.2)
+
+    def run():
+        return chaos_sweep(FLAP_RATES, config=base, seed=11)
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ext-O: chaos sweep, 8x 10 GB on a 3 Gb/s NERSC-ORNL circuit")
+    print(f"{'flaps/h':>8} {'avail':>6} {'degr':>7} {'p50x':>6} {'p99x':>6} "
+          f"{'retry':>6} {'fall':>5} {'migr':>5} {'rollback':>9}")
+    for r in reports:
+        print(f"{r.flaps_per_hour:>8.0f} {r.availability:>6.2f} "
+              f"{r.goodput_degradation:>7.1%} {r.p50_inflation:>6.2f} "
+              f"{r.p99_inflation:>6.2f} {r.stats.n_retries:>6} "
+              f"{r.stats.n_fallbacks:>5} {r.stats.n_migrations:>5} "
+              f"{r.marker_rollback_bytes / 1e6:>7.1f} M")
+
+    calm, *_, stormy = reports
+    # every job finishes in every regime: recovery works end to end
+    assert all(r.n_completed == r.n_jobs for r in reports)
+    # the clean-data-plane run loses nothing to flaps
+    assert calm.n_flaps_injected == 0
+    assert calm.marker_rollback_bytes == 0.0
+    # instability costs availability first, then the tail
+    assert stormy.availability < calm.availability
+    assert stormy.p99_inflation > 1.0
+    # markers bound the damage: goodput never collapses
+    assert all(r.goodput_degradation < 0.5 for r in reports)

@@ -150,6 +150,44 @@ def _cmd_arrivals(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .sim.scenarios import ChaosConfig, chaos_sweep, run_chaos
+
+    config = ChaosConfig(
+        n_jobs=args.jobs,
+        rejection_prob=args.reject_prob,
+        setup_timeout_prob=args.timeout_prob,
+        flaps_per_hour=args.flaps_per_hour,
+    )
+    if args.sweep:
+        rates = [float(r) for r in args.sweep.split(",")]
+        reports = chaos_sweep(rates, config=config, seed=args.seed)
+    else:
+        reports = [run_chaos(config, seed=args.seed)]
+    print("flaps/h  done  avail  goodput    degr   p50x   p99x  "
+          "retry  fall  migr  flaps  rollback")
+    for r in reports:
+        print(
+            f"{r.flaps_per_hour:7.1f}  {r.n_completed:2d}/{r.n_jobs:<2d}"
+            f" {r.availability:5.2f}  {r.goodput_chaos_bps / 1e9:5.2f} Gb/s"
+            f"  {r.goodput_degradation:6.1%} {r.p50_inflation:6.2f} {r.p99_inflation:6.2f}"
+            f"  {r.stats.n_retries:5d} {r.stats.n_fallbacks:5d} {r.stats.n_migrations:5d}"
+            f"  {r.n_flaps_injected:5d}  {r.marker_rollback_bytes / 1e6:6.1f} MB"
+        )
+    if args.verbose:
+        for r in reports:
+            print(f"\nflap rate {r.flaps_per_hour:.1f}/h, per-job detail:")
+            for i, (mode, flaps, wc, wf) in enumerate(
+                zip(r.modes, r.flaps_per_job, r.wall_clean_s, r.wall_chaos_s)
+            ):
+                print(f"  job {i:2d}: {mode:8s} flaps={flaps}  "
+                      f"clean {wc:7.1f} s -> chaos {wf:7.1f} s")
+            print(f"  recovery counters: {dataclasses.asdict(r.stats)}")
+    return 0
+
+
 def _cmd_collect(args: argparse.Namespace) -> int:
     log = read_usage_log(args.log)
     collected, collector = simulate_collection(log, loss_rate=args.loss)
@@ -222,6 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("log")
     r.add_argument("--g", type=float, default=60.0)
     r.set_defaults(func=_cmd_arrivals)
+
+    x = sub.add_parser("chaos", help="fault-injection campaign over the VC stack")
+    x.add_argument("--jobs", type=int, default=10)
+    x.add_argument("--seed", type=int, default=0)
+    x.add_argument("--reject-prob", type=float, default=0.3,
+                   help="per-request IDC rejection probability")
+    x.add_argument("--timeout-prob", type=float, default=0.2,
+                   help="per-request signalling-timeout probability")
+    x.add_argument("--flaps-per-hour", type=float, default=10.0,
+                   help="circuit flap rate while a transfer rides its VC")
+    x.add_argument("--sweep", default=None, metavar="R1,R2,...",
+                   help="comma-separated flap rates to sweep instead")
+    x.add_argument("--verbose", action="store_true",
+                   help="per-job modes, flap counts and wall times")
+    x.set_defaults(func=_cmd_chaos)
     return p
 
 

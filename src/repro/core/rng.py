@@ -1,0 +1,32 @@
+"""Random-generator hygiene shared by every stochastic module.
+
+The repo's original convention — ``rng = rng or np.random.default_rng(0)``
+— looked innocent but meant that every *unseeded* call replayed the
+identical random sequence: two "independent" Monte Carlo runs of the
+reliability service produced byte-for-byte identical fault histories,
+silently understating variance.  :func:`ensure_rng` is the replacement:
+an explicit generator (or seed) is passed through unchanged, while
+``None`` draws fresh OS entropy, so unseeded calls are actually random.
+Determinism is still one argument away — pass a seeded generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(
+    rng: np.random.Generator | int | None = None,
+) -> np.random.Generator:
+    """Return a ready generator: ``rng`` itself, one seeded by it, or fresh.
+
+    ``None`` seeds from OS entropy (a genuinely random run); an int is a
+    convenience for callers holding a seed rather than a generator.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    return rng

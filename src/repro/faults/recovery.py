@@ -1,0 +1,127 @@
+"""Recovery machinery: backoff, retry, and the shared stats record.
+
+Faults are only half the story — the other half is what the stack does
+about them.  This module supplies the pieces every VC controller shares:
+
+* :class:`BackoffPolicy` — exponential backoff with jitter, the retry
+  pacing Globus-Online-style managed services use for control-plane
+  operations;
+* :class:`RecoveryStats` — one uniform counter record (retries,
+  fallbacks, failures, flaps, migrations) so
+  :class:`~repro.vc.lambdastation.LambdaStation`, the chaos runner, and
+  the provisioner all report recovery activity the same way;
+* :func:`reserve_with_retry` — createReservation driven through
+  injected rejections with backoff until it lands or the budget runs
+  out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.rng import ensure_rng
+
+__all__ = ["BackoffPolicy", "RecoveryStats", "reserve_with_retry"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BackoffPolicy:
+    """Exponential backoff with jitter for control-plane retries.
+
+    Attempt ``k`` (0-based) waits ``base_s * multiplier**k`` seconds,
+    capped at ``max_backoff_s``, then multiplied by a uniform jitter in
+    ``[1 - jitter, 1 + jitter]`` so synchronized clients do not retry in
+    lockstep against the same IDC.
+    """
+
+    base_s: float = 2.0
+    multiplier: float = 2.0
+    max_backoff_s: float = 120.0
+    max_retries: int = 5
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0 or self.multiplier < 1.0:
+            raise ValueError("base must be positive and multiplier >= 1")
+        if self.max_backoff_s < self.base_s:
+            raise ValueError("max backoff must be at least the base")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay_s(self, attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Wait before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        raw = min(self.base_s * self.multiplier**attempt, self.max_backoff_s)
+        if self.jitter > 0 and rng is not None:
+            raw *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return raw
+
+
+@dataclasses.dataclass
+class RecoveryStats:
+    """Uniform recovery counters shared by every VC controller."""
+
+    n_retries: int = 0
+    n_fallbacks: int = 0
+    n_failures: int = 0
+    n_flaps: int = 0
+    n_migrations: int = 0
+
+    def merge(self, other: "RecoveryStats") -> "RecoveryStats":
+        """Elementwise sum — aggregate per-controller stats into one view."""
+        return RecoveryStats(
+            n_retries=self.n_retries + other.n_retries,
+            n_fallbacks=self.n_fallbacks + other.n_fallbacks,
+            n_failures=self.n_failures + other.n_failures,
+            n_flaps=self.n_flaps + other.n_flaps,
+            n_migrations=self.n_migrations + other.n_migrations,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+def reserve_with_retry(
+    idc,
+    request,
+    backoff: BackoffPolicy | None = None,
+    rng: np.random.Generator | None = None,
+    request_time: float | None = None,
+    stats: RecoveryStats | None = None,
+):
+    """Drive createReservation through rejections with backoff.
+
+    Each rejected attempt waits out a backoff delay and re-requests with
+    the start time pushed to the new request instant (you cannot reserve
+    the past).  Returns ``(circuit, waited_s)`` where ``waited_s`` is the
+    total backoff time spent before the accepted attempt; re-raises
+    :class:`~repro.vc.oscars.ReservationRejected` once
+    ``backoff.max_retries`` retries are exhausted.
+    """
+    from ..vc.oscars import ReservationRejected
+
+    backoff = backoff or BackoffPolicy()
+    rng = ensure_rng(rng)
+    t = request.start_time if request_time is None else request_time
+    t0 = t
+    for attempt in range(backoff.max_retries + 1):
+        attempt_request = request
+        if t > request.start_time:
+            attempt_request = dataclasses.replace(request, start_time=t)
+        try:
+            vc = idc.create_reservation(attempt_request, request_time=t)
+            return vc, t - t0
+        except ReservationRejected:
+            if attempt == backoff.max_retries:
+                if stats is not None:
+                    stats.n_failures += 1
+                raise
+            if stats is not None:
+                stats.n_retries += 1
+            t += backoff.delay_s(attempt, rng)
+    raise AssertionError("unreachable")  # pragma: no cover

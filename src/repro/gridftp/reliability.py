@@ -29,8 +29,11 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from collections.abc import Callable, Sequence
 
 import numpy as np
+
+from ..core.rng import ensure_rng
 
 __all__ = [
     "FaultModel",
@@ -38,6 +41,7 @@ __all__ = [
     "TransferAttempt",
     "TaskResult",
     "ReliableTransferService",
+    "CircuitOutageTracker",
     "expected_overhead_factor",
 ]
 
@@ -167,7 +171,7 @@ class ReliableTransferService:
         """
         if size_bytes <= 0 or rate_bps <= 0:
             raise ValueError("size and rate must be positive")
-        rng = rng or np.random.default_rng(0)
+        rng = ensure_rng(rng)
         rate_Bps = rate_bps / 8.0
         attempts: list[TransferAttempt] = []
         done = 0.0
@@ -208,8 +212,124 @@ class ReliableTransferService:
         rng: np.random.Generator | None = None,
     ) -> list[TaskResult]:
         """Run a batch of transfers (a session) through the service."""
-        rng = rng or np.random.default_rng(0)
+        rng = ensure_rng(rng)
         return [self.execute(float(s), rate_bps, rng) for s in sizes]
+
+    def execute_with_outages(
+        self,
+        size_bytes: float,
+        rate_bps: float,
+        outages: Sequence[tuple[float, float]],
+        rng: np.random.Generator | None = None,
+    ) -> TaskResult:
+        """Run one transfer through *scheduled* path outages plus random faults.
+
+        ``outages`` are ``(t_down, t_up)`` intervals in wall time relative
+        to the transfer's start — typically a circuit's flap history as
+        recorded by :class:`CircuitOutageTracker`.  An outage interrupts
+        the attempt (bytes roll back to the last restart marker), the
+        transfer stalls until the path returns, pays the reconnect cost,
+        and resumes.  Random :class:`FaultModel` faults are layered on
+        top; both consume the same retry budget.
+        """
+        if size_bytes <= 0 or rate_bps <= 0:
+            raise ValueError("size and rate must be positive")
+        outages = sorted(
+            (float(a), float(b)) for a, b in outages
+        )
+        if any(b <= a for a, b in outages):
+            raise ValueError("outages must have positive duration")
+        rng = ensure_rng(rng)
+        rate_Bps = rate_bps / 8.0
+        attempts: list[TransferAttempt] = []
+        done = 0.0
+        wall = 0.0
+        wire = 0.0
+        for attempt_no in range(self.max_attempts):
+            if attempt_no > 0:
+                # a dark path must return before reconnection can start
+                for t_down, t_up in outages:
+                    if t_down <= wall < t_up:
+                        wall = t_up
+                wall += self.restart_policy.reconnect_s
+            remaining = size_bytes - done
+            t_fault = self.fault_model.time_to_fault_s(rng)
+            t_finish = remaining / rate_Bps
+            t_outage = math.inf
+            for t_down, _ in outages:
+                if t_down > wall:
+                    t_outage = t_down - wall
+                    break
+            horizon = min(t_fault, t_outage)
+            if t_finish <= horizon:
+                attempts.append(
+                    TransferAttempt(done, remaining, t_finish, faulted=False)
+                )
+                wall += t_finish
+                wire += remaining
+                done = size_bytes
+                break
+            moved = horizon * rate_Bps
+            attempts.append(TransferAttempt(done, moved, horizon, faulted=True))
+            wall += horizon
+            wire += moved
+            done = self.restart_policy.resume_point(done + moved)
+        return TaskResult(
+            size_bytes=size_bytes,
+            succeeded=done >= size_bytes,
+            attempts=tuple(attempts),
+            total_wall_s=wall,
+            wire_bytes=wire,
+            clean_wall_s=size_bytes / rate_Bps,
+        )
+
+
+class CircuitOutageTracker:
+    """Record a circuit's down intervals from its state-change events.
+
+    Subscribe it to a :class:`~repro.vc.circuits.VirtualCircuit` with
+    :meth:`watch`; every FAILED episode becomes a ``(t_down, t_up)``
+    interval stamped by ``clock`` (typically an event loop's ``now``).
+    The intervals are what :meth:`ReliableTransferService.execute_with_outages`
+    and the managed transfer service consume to resume flapped transfers
+    from their restart markers.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+        self.intervals: list[tuple[float, float]] = []
+        self._down_since: float | None = None
+
+    def watch(self, circuit) -> None:
+        """Start recording ``circuit``'s state changes."""
+        circuit.subscribe(self._on_state_change)
+
+    def _on_state_change(self, _circuit, old, new) -> None:
+        # import here: gridftp must stay importable without the vc layer
+        from ..vc.circuits import CircuitState
+
+        now = float(self.clock())
+        if new is CircuitState.FAILED:
+            self._down_since = now
+        elif old is CircuitState.FAILED and self._down_since is not None:
+            self.intervals.append((self._down_since, now))
+            self._down_since = None
+
+    def outages_after(self, t: float, horizon: float = math.inf) -> list[tuple[float, float]]:
+        """Down intervals overlapping ``[t, horizon)``, clipped and t-relative."""
+        out = []
+        intervals = list(self.intervals)
+        if self._down_since is not None:
+            intervals.append((self._down_since, math.inf))
+        for a, b in intervals:
+            if b <= t or a >= horizon:
+                continue
+            out.append((max(a - t, 0.0), min(b, horizon) - t))
+        return sorted(out)
+
+    @property
+    def n_flaps(self) -> int:
+        return len(self.intervals) + (1 if self._down_since is not None else 0)
 
 
 def expected_overhead_factor(

@@ -25,8 +25,14 @@ import itertools
 
 import numpy as np
 
+from ..core.rng import ensure_rng
 from .records import TransferLog, TransferRecord, TransferType
-from .reliability import FaultModel, ReliableTransferService, RestartPolicy
+from .reliability import (
+    CircuitOutageTracker,
+    FaultModel,
+    ReliableTransferService,
+    RestartPolicy,
+)
 
 __all__ = [
     "TaskState",
@@ -122,6 +128,9 @@ class ManagedTransferService:
         self._queue: list[int] = []
         self.events: list[TaskEvent] = []
         self._records: list[TransferRecord] = []
+        #: per-task circuit outage history (set by :meth:`bind_circuit`)
+        self._trackers: dict[int, CircuitOutageTracker] = {}
+        self.n_flaps_recovered = 0
 
     # -- submission -------------------------------------------------------
 
@@ -153,6 +162,22 @@ class ManagedTransferService:
     def task(self, task_id: int) -> TransferTask:
         return self._tasks[task_id]
 
+    def bind_circuit(self, task_id: int, tracker: CircuitOutageTracker) -> None:
+        """Tie a task's data path to a circuit's recorded fault history.
+
+        ``tracker`` is a :class:`~repro.gridftp.reliability.CircuitOutageTracker`
+        already watching the circuit the task rides.  While the task runs,
+        every recorded down interval interrupts the in-flight file, which
+        then resumes from its last restart marker — the wiring between
+        circuit state-change events and GridFTP fault recovery.
+        """
+        if task_id not in self._tasks:
+            raise KeyError(f"unknown task {task_id}")
+        self._trackers[task_id] = tracker
+        self.events.append(
+            TaskEvent(self._tasks[task_id].submitted_at, task_id, "circuit-bound")
+        )
+
     # -- execution ----------------------------------------------------------
 
     def run(self, rng: np.random.Generator | None = None) -> TransferLog:
@@ -163,7 +188,7 @@ class ManagedTransferService:
         behaviour, and the reason one user's monster session does not
         block the endpoint.
         """
-        rng = rng or np.random.default_rng(0)
+        rng = ensure_rng(rng)
         active: list[int] = []
         # per-task virtual clock: tasks run concurrently, each on its own
         # timeline starting when activated
@@ -186,7 +211,23 @@ class ManagedTransferService:
                 t = self._tasks[tid]
                 size = t.file_sizes[t.files_done]
                 rate = float(self.rate_for(t.src_host, t.dst_host))
-                result = self._reliable.execute(size, rate, rng)
+                tracker = self._trackers.get(tid)
+                if tracker is not None:
+                    outages = tracker.outages_after(clock[tid])
+                    result = self._reliable.execute_with_outages(
+                        size, rate, outages, rng
+                    )
+                    n_hit = sum(
+                        1 for a, _ in outages if a < result.total_wall_s
+                    )
+                    if n_hit and result.succeeded:
+                        self.n_flaps_recovered += n_hit
+                        self.events.append(
+                            TaskEvent(clock[tid], tid, "circuit-flap",
+                                      f"{n_hit} outage(s), resumed from marker")
+                        )
+                else:
+                    result = self._reliable.execute(size, rate, rng)
                 if not result.succeeded:
                     t.state = TaskState.FAILED
                     active.remove(tid)

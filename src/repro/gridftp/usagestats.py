@@ -29,6 +29,7 @@ import zlib
 
 import numpy as np
 
+from ..core.rng import ensure_rng
 from .records import ANONYMIZED_HOST, TransferLog, TransferRecord, TransferType
 
 __all__ = [
@@ -220,7 +221,7 @@ def simulate_collection(
     for rate in (loss_rate, duplicate_rate, corrupt_rate):
         if not 0.0 <= rate < 1.0:
             raise ValueError("rates must be in [0, 1)")
-    rng = rng or np.random.default_rng(0)
+    rng = ensure_rng(rng)
     senders: dict[int, UsageStatsSender] = {}
     collector = UsageStatsCollector()
     for i in range(len(log)):

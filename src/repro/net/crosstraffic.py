@@ -20,6 +20,7 @@ import dataclasses
 
 import numpy as np
 
+from ..core.rng import ensure_rng
 from .snmp import SnmpCollector
 from .topology import Topology
 
@@ -77,7 +78,7 @@ def generate_cross_traffic(
     if t_end <= t_start:
         raise ValueError("t_end must exceed t_start")
     config = config or CrossTrafficConfig()
-    rng = rng or np.random.default_rng(0)
+    rng = ensure_rng(rng)
     sites = topology.sites
     if len(sites) < 2:
         raise ValueError("need at least two sites for cross traffic")

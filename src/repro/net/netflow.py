@@ -27,6 +27,7 @@ import dataclasses
 
 import numpy as np
 
+from ..core.rng import ensure_rng
 from ..gridftp.records import TransferLog
 
 __all__ = [
@@ -79,7 +80,7 @@ def export_from_transfers(
     """
     if sampling_n < 1:
         raise ValueError("sampling_n must be >= 1")
-    rng = rng or np.random.default_rng(0)
+    rng = ensure_rng(rng)
     records: list[FlowRecord] = []
     for i in range(len(log)):
         size = float(log.size[i])

@@ -15,6 +15,7 @@ import dataclasses
 
 import numpy as np
 
+from ..core.rng import ensure_rng
 from ..gridftp.records import TransferLog
 from .tcp import TcpPathModel
 
@@ -60,7 +61,7 @@ def observe_transfer(
         raise ValueError("size and duration must be positive")
     if n_connections < 1:
         raise ValueError("need at least one connection")
-    rng = rng or np.random.default_rng(0)
+    rng = ensure_rng(rng)
     segments = int(np.ceil(size_bytes / path.mss_bytes))
     retransmits = (
         int(rng.binomial(segments, path.loss_rate)) if path.loss_rate > 0 else 0
@@ -112,7 +113,7 @@ def loss_hypothesis_test(
     genuinely lossy path, per-stream throughput cannot exceed the bound;
     observing many transfers above it falsifies sustained loss.
     """
-    rng = rng or np.random.default_rng(0)
+    rng = ensure_rng(rng)
     ok = log.duration > 0
     sizes = log.size[ok]
     durations = log.duration[ok]

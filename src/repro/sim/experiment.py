@@ -30,12 +30,13 @@ from collections.abc import Sequence
 
 from ..gridftp.client import TransferJob
 from ..gridftp.records import TransferLog, TransferRecord, TransferType
+from ..gridftp.reliability import RestartPolicy
 from ..gridftp.server import DtnCluster
 from ..net.flows import FlowSpec, max_min_fair
 from ..net.snmp import SnmpCollector
 from ..net.tcp import TcpPathModel
 from ..net.topology import Topology
-from ..vc.circuits import VirtualCircuit
+from ..vc.circuits import CircuitState, VirtualCircuit
 from .engine import EventLoop
 
 __all__ = ["FluidSimulator", "SimResult"]
@@ -89,6 +90,11 @@ class FluidSimulator:
         tuned stacks and reused data channels warrant a high value.
     snmp_t0, snmp_bin_seconds:
         SNMP counter epoch and cadence.
+    restart_policy:
+        GridFTP restart-marker model applied when a circuit carrying a
+        flow FAILs mid-transfer: bytes past the last marker are re-sent
+        and the flow pays the reconnect cost after restoration.  ``None``
+        keeps the pre-fault-injection behaviour (a stall loses nothing).
     """
 
     def __init__(
@@ -100,12 +106,14 @@ class FluidSimulator:
         ssthresh_bytes: float | None = 1.2e6,
         snmp_t0: float = 0.0,
         snmp_bin_seconds: float = 30.0,
+        restart_policy: RestartPolicy | None = None,
     ) -> None:
         self.topology = topology
         self.dtns = dtns
         self.loss_rate = loss_rate
         self.max_window_bytes = max_window_bytes
         self.ssthresh_bytes = ssthresh_bytes
+        self.restart_policy = restart_policy
         self.snmp = SnmpCollector(snmp_t0, snmp_bin_seconds)
         self._flows: dict[int, _Flow] = {}
         self._next_flow_id = 0
@@ -115,6 +123,10 @@ class FluidSimulator:
         self._last_advance = snmp_t0
         #: scheduled outages: link key -> list of (t_down, t_up)
         self._outages: dict[tuple[str, str], list[tuple[float, float]]] = {}
+        self._watched_circuits: set[int] = set()
+        #: flap bookkeeping: flaps observed and bytes re-sent to markers
+        self.n_circuit_flaps = 0
+        self.marker_rollback_bytes = 0.0
 
     # -- failure injection ---------------------------------------------------
 
@@ -146,6 +158,99 @@ class FluidSimulator:
                 return 0.0
         return capacity
 
+    def inject_circuit_flap(
+        self, vc: VirtualCircuit, t_down: float, t_up: float
+    ) -> None:
+        """Drop circuit ``vc`` over [t_down, t_up) and restore it after.
+
+        Flows riding the circuit stall while it is FAILED; with a
+        ``restart_policy`` they also roll back to their last restart
+        marker and pay the reconnect cost after restoration — the
+        mechanistic version of a GridFTP transfer surviving a circuit
+        flap.  Must be scheduled before the interval is simulated.
+        """
+        if t_up <= t_down:
+            raise ValueError("flap must have positive duration")
+        if t_down < self._loop.now:
+            raise ValueError("cannot schedule a flap in the past")
+        self._watch_circuit(vc)
+        self._loop.schedule(t_down, vc.fail)
+        self._loop.schedule(t_up, vc.restore)
+
+    def migrate_flow(self, flow_id: int, vc: VirtualCircuit, at_time: float) -> None:
+        """Move a running best-effort flow onto circuit ``vc`` at ``at_time``.
+
+        The fallback-to-IP policy's second half: a transfer that started
+        on the routed path migrates to its circuit once signalling
+        completes, recovering the rate guarantee for the remaining
+        bytes.  A no-op if the flow already finished.
+        """
+        if at_time < self._loop.now:
+            raise ValueError("cannot schedule a migration in the past")
+
+        def _do_migrate() -> None:
+            flow = self._flows.get(flow_id)
+            if flow is None or flow.done:
+                return
+            self._advance(self._loop.now)
+            path = list(vc.path)
+            tcp = self._tcp_model(path)
+            job = flow.job
+            n_conn = job.streams * job.stripes
+            dtn_cap = self.dtns.transfer_demand_cap_bps(
+                job.src, job.dst, job.src_endpoint, job.dst_endpoint, job.stripes
+            )
+            flow.vc = vc
+            flow.path = path
+            flow.net_links = self.topology.path_links(path)
+            flow.demand_cap_bps = min(
+                tcp.steady_rate_bps(n_conn), dtn_cap, vc.rate_bps
+            )
+            self._watch_circuit(vc)
+            self._recompute()
+
+        self._loop.schedule(at_time, _do_migrate)
+
+    def _watch_circuit(self, vc: VirtualCircuit) -> None:
+        if vc.circuit_id in self._watched_circuits:
+            return
+        self._watched_circuits.add(vc.circuit_id)
+        vc.subscribe(self._on_circuit_event)
+
+    def _flows_on(self, vc: VirtualCircuit) -> list[_Flow]:
+        return [
+            f
+            for f in self._flows.values()
+            if not f.done and f.vc is not None and f.vc.circuit_id == vc.circuit_id
+        ]
+
+    def _on_circuit_event(self, vc: VirtualCircuit, old, new) -> None:
+        now = self._loop.now
+        if new is CircuitState.FAILED:
+            self.n_circuit_flaps += 1
+            # settle fluid at pre-fault rates, then lose unmarked bytes
+            self._recompute()
+            if self.restart_policy is not None:
+                for f in self._flows_on(vc):
+                    done = f.job.size_bytes - f.remaining_bytes
+                    resume = self.restart_policy.resume_point(done)
+                    self.marker_rollback_bytes += done - resume
+                    f.remaining_bytes = f.job.size_bytes - resume
+        elif old is CircuitState.FAILED and new is CircuitState.ACTIVE:
+            reconnect = (
+                self.restart_policy.reconnect_s
+                if self.restart_policy is not None
+                else 0.0
+            )
+            for f in self._flows_on(vc):
+                if reconnect > 0:
+                    f.active_time = max(f.active_time, now + reconnect)
+                    self._loop.schedule(f.active_time, self._recompute)
+            self._recompute()
+        else:
+            # activation / release mid-run still changes allocations
+            self._recompute()
+
     # -- job intake --------------------------------------------------------
 
     def submit(
@@ -164,6 +269,8 @@ class FluidSimulator:
             raise ValueError("job submitted in the simulator's past")
         if vc is not None and explicit_path is not None:
             raise ValueError("give either a circuit or an explicit path, not both")
+        if vc is not None:
+            self._watch_circuit(vc)
         flow_id = self._next_flow_id
         self._next_flow_id += 1
         self._loop.schedule(
@@ -316,9 +423,14 @@ class FluidSimulator:
             for f in vc_flows:
                 guard = (f"vc:{f.vc.circuit_id}", f"vc:{f.vc.circuit_id}")
                 # a circuit is only as alive as its physical path: an
-                # outage on any traversed link stalls the flow too
+                # outage on any traversed link stalls the flow too, and a
+                # FAILED/RELEASED circuit carries nothing until restored
                 path_up = all(caps.get(key, 0.0) > 0.0 for key in f.net_links)
-                caps[guard] = f.vc.rate_bps if path_up else 0.0
+                circuit_up = f.vc.state not in (
+                    CircuitState.FAILED,
+                    CircuitState.RELEASED,
+                )
+                caps[guard] = f.vc.rate_bps if (path_up and circuit_up) else 0.0
                 specs.append(
                     FlowSpec(
                         flow_id=f.flow_id,

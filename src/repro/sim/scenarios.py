@@ -22,14 +22,22 @@ masks) for the core analyses to run unchanged.
 from __future__ import annotations
 
 import dataclasses
+import math
+from collections.abc import Sequence
 
 import numpy as np
 
+from ..faults.injector import FaultInjector
+from ..faults.recovery import BackoffPolicy, RecoveryStats
+from ..faults.spec import FaultKind, FaultSpec
 from ..gridftp.client import TransferJob
 from ..gridftp.records import TransferLog
+from ..gridftp.reliability import RestartPolicy
 from ..gridftp.server import DtnCluster, DtnSpec, EndpointKind
 from ..net.crosstraffic import CrossTrafficConfig, generate_cross_traffic
 from ..net.topology import Topology, esnet_like
+from ..vc.oscars import OscarsIDC, ReservationRejected, ReservationRequest
+from ..vc.policy import FallbackMode, FallbackPolicy
 from .experiment import FluidSimulator
 
 __all__ = [
@@ -40,6 +48,10 @@ __all__ = [
     "anl_nersc_mechanistic",
     "ReplayScenario",
     "vc_replay_scenario",
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos",
+    "chaos_sweep",
 ]
 
 
@@ -343,3 +355,317 @@ def vc_replay_scenario(seed: int = 11, n_jobs: int = 40) -> ReplayScenario:
         contenders=contenders,
         vc_rate_bps=3e9,
     )
+
+
+# -- chaos: fault-injection campaigns over the full VC + transfer stack ------
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos campaign: a VC-backed session under injected faults.
+
+    ``n_jobs`` transfers between ``src`` and ``dst`` each request a
+    ``vc_rate_bps`` circuit; the fault knobs inject IDC rejections
+    (retried with ``backoff``), signalling timeouts of
+    ``setup_extra_delay_s`` (long enough to trip ``fallback``'s
+    deadline), mid-transfer circuit flaps (recovered through ``restart``
+    markers), and optional endpoint outages at the destination site.
+    Sizes are perturbed per job so log rows map back to jobs exactly.
+    """
+
+    n_jobs: int = 10
+    job_bytes: float = 10e9
+    job_spacing_s: float = 600.0
+    first_submit_s: float = 200.0
+    src: str = "NERSC"
+    dst: str = "ORNL"
+    vc_rate_bps: float = 3e9
+    streams: int = 8
+    #: per-request fault probabilities (Bernoulli per createReservation)
+    rejection_prob: float = 0.0
+    setup_timeout_prob: float = 0.0
+    setup_extra_delay_s: float = 240.0
+    #: time-driven faults while a job rides its circuit
+    flaps_per_hour: float = 0.0
+    flap_duration_s: float = 20.0
+    endpoint_outages_per_hour: float = 0.0
+    endpoint_outage_s: float = 30.0
+    fallback: FallbackPolicy = FallbackPolicy()
+    backoff: BackoffPolicy = BackoffPolicy()
+    restart: RestartPolicy = RestartPolicy(marker_interval_bytes=64e6, reconnect_s=5.0)
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError("need at least one job")
+        if self.job_bytes <= 0 or self.vc_rate_bps <= 0:
+            raise ValueError("job size and circuit rate must be positive")
+
+    def job_size(self, i: int) -> float:
+        """Per-job size, perturbed so each is unique (log-row matching)."""
+        return self.job_bytes * (1.0 + 1e-3 * i)
+
+    def submit_time(self, i: int) -> float:
+        return self.first_submit_s + i * self.job_spacing_s
+
+    def est_duration_s(self, i: int) -> float:
+        """Fault-free transfer time at the circuit rate."""
+        return self.job_size(i) * 8.0 / self.vc_rate_bps
+
+    def build_injector(self, seed: int) -> FaultInjector:
+        """The injector this config describes (deterministic under seed)."""
+        specs = []
+        if self.rejection_prob > 0:
+            specs.append(
+                FaultSpec(FaultKind.IDC_REJECTION, probability=self.rejection_prob)
+            )
+        if self.setup_timeout_prob > 0:
+            specs.append(
+                FaultSpec(
+                    FaultKind.VC_SETUP_TIMEOUT,
+                    probability=self.setup_timeout_prob,
+                    extra_delay_s=self.setup_extra_delay_s,
+                )
+            )
+        if self.flaps_per_hour > 0:
+            specs.append(
+                FaultSpec(
+                    FaultKind.CIRCUIT_FLAP,
+                    rate_per_hour=self.flaps_per_hour,
+                    duration_s=self.flap_duration_s,
+                )
+            )
+        if self.endpoint_outages_per_hour > 0:
+            specs.append(
+                FaultSpec(
+                    FaultKind.ENDPOINT_OUTAGE,
+                    rate_per_hour=self.endpoint_outages_per_hour,
+                    duration_s=self.endpoint_outage_s,
+                    target=self.dst,
+                )
+            )
+        return FaultInjector(specs, seed=seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosReport:
+    """What one chaos campaign did to the session, vs its clean twin."""
+
+    n_jobs: int
+    n_completed: int
+    #: per-job service mode: "vc", "migrate", or "ip"
+    modes: tuple[str, ...]
+    #: per-job injected flap counts (0 for jobs that never rode a circuit)
+    flaps_per_job: tuple[int, ...]
+    #: fraction of jobs that rode their circuit end to end, flap-free
+    availability: float
+    goodput_clean_bps: float
+    goodput_chaos_bps: float
+    #: 1 - chaos/clean goodput (0 = unharmed)
+    goodput_degradation: float
+    #: completion-time inflation quantiles (chaos wall / clean wall)
+    p50_inflation: float
+    p99_inflation: float
+    #: end-to-end walls per job, submit -> last byte, seconds
+    wall_clean_s: tuple[float, ...]
+    wall_chaos_s: tuple[float, ...]
+    stats: RecoveryStats
+    n_flaps_injected: int
+    n_circuit_flaps_seen: int
+    marker_rollback_bytes: float
+    n_idc_rejections: int
+    n_setup_timeouts: int
+    flaps_per_hour: float
+
+
+def _merge_intervals(
+    intervals: list[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Coalesce overlaps so a circuit is never failed twice at once."""
+    merged: list[list[float]] = []
+    for a, b in sorted(intervals):
+        if merged and a <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], b)
+        else:
+            merged.append([a, b])
+    return [(a, b) for a, b in merged]
+
+
+def _run_campaign(
+    config: ChaosConfig,
+    injector: FaultInjector | None,
+    seed: int,
+) -> tuple[dict[int, float], list[str], list[int], RecoveryStats, FluidSimulator]:
+    """One full session: reserve (with retry), fall back, flap, transfer.
+
+    Returns per-job end-to-end wall seconds (submit to last byte), the
+    per-job service modes, per-job injected flap counts, the recovery
+    counters, and the simulator (for its flap/rollback bookkeeping).
+    """
+    topology = esnet_like()
+    dtns = default_dtns(topology)
+    sim = FluidSimulator(topology, dtns, restart_policy=config.restart)
+    idc = OscarsIDC(topology, fault_injector=injector)
+    rng = np.random.default_rng(seed + 1)  # backoff jitter draws
+    stats = RecoveryStats()
+    modes: list[str] = []
+    flap_counts: list[int] = []
+    horizon = config.submit_time(config.n_jobs - 1) + config.job_spacing_s
+
+    size_to_job: dict[float, int] = {}
+    for i in range(config.n_jobs):
+        submit = config.submit_time(i)
+        size = config.job_size(i)
+        est = config.est_duration_s(i)
+        size_to_job[round(size, 3)] = i
+        job = TransferJob(
+            submit_time=submit,
+            src=config.src,
+            dst=config.dst,
+            size_bytes=size,
+            streams=config.streams,
+        )
+        request = ReservationRequest(
+            src=config.src,
+            dst=config.dst,
+            bandwidth_bps=config.vc_rate_bps,
+            start_time=submit,
+            end_time=submit + 2.0 * est + 600.0,
+        )
+        try:
+            vc, _waited = idc.create_reservation_with_retry(
+                request,
+                request_time=submit,
+                backoff=config.backoff,
+                rng=rng,
+                stats=stats,
+            )
+        except ReservationRejected:
+            vc = None
+        if vc is None:
+            # retry budget exhausted: the transfer still runs, routed IP
+            stats.n_fallbacks += 1
+            sim.submit(job)
+            modes.append("ip")
+            flap_counts.append(0)
+            continue
+        decision = config.fallback.decide(submit, vc.start_time)
+        if decision.mode is FallbackMode.VC:
+            delayed = dataclasses.replace(job, submit_time=decision.start_time)
+            sim.submit(delayed, vc=vc)
+            modes.append("vc")
+            ride_start = decision.start_time
+        elif decision.mode is FallbackMode.IP_THEN_MIGRATE:
+            fid = sim.submit(job)
+            sim.migrate_flow(fid, vc, decision.migrate_at)
+            stats.n_fallbacks += 1
+            stats.n_migrations += 1
+            modes.append("migrate")
+            ride_start = decision.migrate_at
+        else:
+            stats.n_fallbacks += 1
+            sim.submit(job)
+            modes.append("ip")
+            flap_counts.append(0)
+            continue
+        # flap the circuit over the window it may actually carry the job
+        n_flaps = 0
+        if injector is not None:
+            window_end = ride_start + 3.0 * est + 300.0
+            flaps = _merge_intervals(
+                injector.flap_intervals(ride_start, window_end)
+            )
+            for t_down, t_up in flaps:
+                sim.inject_circuit_flap(vc, t_down, t_up)
+            n_flaps = len(flaps)
+            stats.n_flaps += n_flaps
+        flap_counts.append(n_flaps)
+
+    if injector is not None:
+        injector.arm(sim, 0.0, horizon)
+    result = sim.run()
+
+    walls: dict[int, float] = {}
+    log = result.log
+    for row in range(len(log)):
+        i = size_to_job.get(round(float(log.size[row]), 3))
+        if i is None:
+            continue
+        finished = float(log.start[row]) + float(log.duration[row])
+        walls[i] = finished - config.submit_time(i)
+    return walls, modes, flap_counts, stats, sim
+
+
+def run_chaos(config: ChaosConfig, seed: int = 0) -> ChaosReport:
+    """Run one chaos campaign and its fault-free twin; report the damage.
+
+    Deterministic under ``seed``: the injector's fault schedule, the
+    backoff jitter, and the simulator are all seeded, so the same call
+    returns the same report — which is what lets tests assert on
+    recovery behaviour rather than eyeball it.
+    """
+    injector = config.build_injector(seed)
+    chaos_walls, modes, flap_counts, stats, sim = _run_campaign(
+        config, injector, seed
+    )
+    clean_walls, _, _, _, _ = _run_campaign(config, None, seed)
+
+    jobs = range(config.n_jobs)
+    completed = [i for i in jobs if i in chaos_walls]
+    total_bits = sum(config.job_size(i) * 8.0 for i in completed)
+    chaos_time = sum(chaos_walls[i] for i in completed)
+    clean_done = [i for i in jobs if i in clean_walls]
+    clean_bits = sum(config.job_size(i) * 8.0 for i in clean_done)
+    clean_time = sum(clean_walls[i] for i in clean_done)
+    goodput_chaos = total_bits / chaos_time if chaos_time > 0 else 0.0
+    goodput_clean = clean_bits / clean_time if clean_time > 0 else 0.0
+    both = [i for i in completed if i in clean_walls]
+    inflations = (
+        np.array([chaos_walls[i] / clean_walls[i] for i in both])
+        if both
+        else np.array([np.inf])
+    )
+    flapless_vc = sum(
+        1 for i in jobs if modes[i] == "vc" and flap_counts[i] == 0 and i in chaos_walls
+    )
+    return ChaosReport(
+        n_jobs=config.n_jobs,
+        n_completed=len(completed),
+        modes=tuple(modes),
+        flaps_per_job=tuple(flap_counts),
+        availability=flapless_vc / config.n_jobs,
+        goodput_clean_bps=goodput_clean,
+        goodput_chaos_bps=goodput_chaos,
+        goodput_degradation=(
+            1.0 - goodput_chaos / goodput_clean if goodput_clean > 0 else 1.0
+        ),
+        p50_inflation=float(np.percentile(inflations, 50)),
+        p99_inflation=float(np.percentile(inflations, 99)),
+        wall_clean_s=tuple(clean_walls.get(i, math.inf) for i in jobs),
+        wall_chaos_s=tuple(chaos_walls.get(i, math.inf) for i in jobs),
+        stats=stats,
+        n_flaps_injected=sum(flap_counts),
+        n_circuit_flaps_seen=sim.n_circuit_flaps,
+        marker_rollback_bytes=sim.marker_rollback_bytes,
+        n_idc_rejections=injector.count(FaultKind.IDC_REJECTION),
+        n_setup_timeouts=injector.count(FaultKind.VC_SETUP_TIMEOUT),
+        flaps_per_hour=config.flaps_per_hour,
+    )
+
+
+def chaos_sweep(
+    flap_rates_per_hour: Sequence[float],
+    config: ChaosConfig | None = None,
+    seed: int = 0,
+) -> list[ChaosReport]:
+    """Sweep circuit-flap rates; one deterministic campaign per rate.
+
+    The other fault knobs come from ``config`` (default: a moderately
+    hostile IDC — 30% rejections, 20% setup timeouts), so the sweep
+    isolates how goodput and completion-time inflation scale with
+    data-plane instability while the control-plane noise stays fixed.
+    """
+    base = config or ChaosConfig(rejection_prob=0.3, setup_timeout_prob=0.2)
+    return [
+        run_chaos(dataclasses.replace(base, flaps_per_hour=float(rate)), seed=seed)
+        for rate in flap_rates_per_hour
+    ]

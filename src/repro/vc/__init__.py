@@ -20,7 +20,13 @@ from .circuits import (
 from .hntes import HntesController
 from .lambdastation import LambdaStation, Treatment, TransferIntent
 from .oscars import OscarsIDC, ReservationRejected, ReservationRequest
-from .policy import AlphaRedirector, SessionHoldPolicy
+from .policy import (
+    AlphaRedirector,
+    FallbackDecision,
+    FallbackMode,
+    FallbackPolicy,
+    SessionHoldPolicy,
+)
 from .provisioner import AutoProvisioner
 from .scheduler import AdmissionError, BandwidthScheduler, Reservation
 
@@ -39,6 +45,9 @@ __all__ = [
     "ReservationRequest",
     "AlphaRedirector",
     "AutoProvisioner",
+    "FallbackDecision",
+    "FallbackMode",
+    "FallbackPolicy",
     "SessionHoldPolicy",
     "AdmissionError",
     "BandwidthScheduler",

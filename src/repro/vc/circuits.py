@@ -27,6 +27,7 @@ class CircuitState(enum.Enum):
 
     RESERVED = "reserved"  # accepted, awaiting start time
     ACTIVE = "active"  # provisioned, carrying traffic
+    FAILED = "failed"  # dropped by a fault, awaiting restoration
     RELEASED = "released"  # torn down (duration ended or cancelled)
 
 
@@ -46,6 +47,10 @@ class VirtualCircuit:
     start_time: float
     end_time: float
     state: CircuitState = CircuitState.RESERVED
+    #: state-change subscribers, called as ``cb(circuit, old, new)``
+    listeners: list = dataclasses.field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.rate_bps <= 0:
@@ -57,15 +62,43 @@ class VirtualCircuit:
     def duration_s(self) -> float:
         return self.end_time - self.start_time
 
+    def subscribe(self, callback) -> None:
+        """Register ``callback(circuit, old_state, new_state)`` for changes.
+
+        This is the hook the fault-recovery machinery hangs off: the
+        fluid simulator stalls circuit flows on FAILED and rolls them
+        back to their restart marker, and transfer services translate
+        flaps into resumable faults.
+        """
+        self.listeners.append(callback)
+
+    def _set_state(self, new: CircuitState) -> None:
+        old = self.state
+        self.state = new
+        for cb in list(self.listeners):
+            cb(self, old, new)
+
     def activate(self) -> None:
         if self.state is not CircuitState.RESERVED:
             raise RuntimeError(f"cannot activate circuit in state {self.state}")
-        self.state = CircuitState.ACTIVE
+        self._set_state(CircuitState.ACTIVE)
+
+    def fail(self) -> None:
+        """Drop the circuit (fault injection); only live circuits can fail."""
+        if self.state not in (CircuitState.RESERVED, CircuitState.ACTIVE):
+            raise RuntimeError(f"cannot fail circuit in state {self.state}")
+        self._set_state(CircuitState.FAILED)
+
+    def restore(self) -> None:
+        """Bring a failed circuit back up (restoration signalling done)."""
+        if self.state is not CircuitState.FAILED:
+            raise RuntimeError(f"cannot restore circuit in state {self.state}")
+        self._set_state(CircuitState.ACTIVE)
 
     def release(self) -> None:
         if self.state is CircuitState.RELEASED:
             raise RuntimeError("circuit already released")
-        self.state = CircuitState.RELEASED
+        self._set_state(CircuitState.RELEASED)
 
 
 class SetupDelayModel:

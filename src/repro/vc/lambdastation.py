@@ -25,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 
+from ..faults.recovery import BackoffPolicy, RecoveryStats, reserve_with_retry
 from ..net.topology import Topology
 from .oscars import OscarsIDC, ReservationRejected, ReservationRequest
 
@@ -89,6 +90,10 @@ class LambdaStation:
     vc_rate_threshold_bps:
         Announcements expecting at least this rate get a dynamic circuit;
         α flows below it ride the shared static LSPs.
+    backoff, rng:
+        When ``backoff`` is given, rejected circuit requests are retried
+        under it (jittered by ``rng``) before falling back to the static
+        LSP; without it a single rejection falls back immediately.
     """
 
     def __init__(
@@ -98,14 +103,24 @@ class LambdaStation:
         alpha_rate_bps: float = 0.5e9,
         alpha_bytes: float = 1e9,
         vc_rate_threshold_bps: float = 2e9,
+        backoff: BackoffPolicy | None = None,
+        rng=None,
     ) -> None:
         self.topology = topology
         self.idc = idc
         self.alpha_rate_bps = alpha_rate_bps
         self.alpha_bytes = alpha_bytes
         self.vc_rate_threshold_bps = vc_rate_threshold_bps
+        self.backoff = backoff
+        self.rng = rng
         self._static_lsps: dict[tuple[str, str], tuple[str, ...]] = {}
-        self.n_vc_fallbacks = 0
+        #: uniform recovery counters shared with every other VC controller
+        self.stats = RecoveryStats()
+
+    @property
+    def n_vc_fallbacks(self) -> int:
+        """Rejected circuit requests that fell back (legacy counter name)."""
+        return self.stats.n_fallbacks
 
     def preconfigure_lsp(self, src: str, dst: str, path: list[str] | None = None) -> None:
         """Install a static intra-domain LSP between two sites.
@@ -146,7 +161,13 @@ class LambdaStation:
                 + self.idc.setup_delay.worst_case_s(),
             )
             try:
-                vc = self.idc.create_reservation(request, request_time=now)
+                if self.backoff is not None:
+                    vc, _ = reserve_with_retry(
+                        self.idc, request, backoff=self.backoff,
+                        rng=self.rng, request_time=now, stats=self.stats,
+                    )
+                else:
+                    vc = self.idc.create_reservation(request, request_time=now)
                 return Ticket(
                     intent,
                     Treatment.DYNAMIC_VC,
@@ -154,7 +175,7 @@ class LambdaStation:
                     go_time=vc.start_time,
                 )
             except ReservationRejected:
-                self.n_vc_fallbacks += 1
+                self.stats.n_fallbacks += 1
 
         lsp = self._static_lsps.get((intent.src, intent.dst))
         if lsp is not None:

@@ -63,6 +63,12 @@ class OscarsIDC:
         usable window starts at the signalling-ready time.
     reservable_fraction:
         Passed to the underlying :class:`BandwidthScheduler`.
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; when set,
+        createReservation consults it for injected IDC rejections and
+        signalling faults (setup timeouts inflate the ready time, setup
+        failures surface as :class:`ReservationRejected` so the caller's
+        retry path handles both identically).
     """
 
     def __init__(
@@ -70,10 +76,12 @@ class OscarsIDC:
         topology: Topology,
         setup_delay: SetupDelayModel | None = None,
         reservable_fraction: float = 0.9,
+        fault_injector=None,
     ) -> None:
         self.topology = topology
         self.setup_delay = setup_delay or BatchSignalling()
         self.scheduler = BandwidthScheduler(topology, reservable_fraction)
+        self.fault_injector = fault_injector
         self._circuits: dict[int, VirtualCircuit] = {}
         self._circuit_reservation: dict[int, int] = {}
 
@@ -101,6 +109,16 @@ class OscarsIDC:
         if request_time > request.start_time:
             raise ValueError("cannot request a reservation after its start time")
         ready = self.setup_delay.ready_time(request_time)
+        if self.fault_injector is not None:
+            if self.fault_injector.reservation_fault(request_time):
+                raise ReservationRejected("injected IDC rejection")
+            fault = self.fault_injector.setup_fault(request_time)
+            if fault is not None:
+                from ..faults.spec import FaultKind
+
+                if fault.kind is FaultKind.VC_SETUP_FAILURE:
+                    raise ReservationRejected("injected signalling failure")
+                ready += fault.extra_delay_s  # signalling stalled
         usable_start = max(request.start_time, ready)
         if usable_start >= request.end_time:
             raise ReservationRejected(
@@ -130,6 +148,27 @@ class OscarsIDC:
         self._circuits[vc.circuit_id] = vc
         self._circuit_reservation[vc.circuit_id] = reservation.reservation_id
         return vc
+
+    def create_reservation_with_retry(
+        self,
+        request: ReservationRequest,
+        request_time: float | None = None,
+        backoff=None,
+        rng=None,
+        stats=None,
+    ) -> tuple[VirtualCircuit, float]:
+        """createReservation with exponential-backoff retries.
+
+        Convenience wrapper over
+        :func:`repro.faults.recovery.reserve_with_retry`; returns the
+        circuit and the total backoff seconds spent before acceptance.
+        """
+        from ..faults.recovery import reserve_with_retry
+
+        return reserve_with_retry(
+            self, request, backoff=backoff, rng=rng,
+            request_time=request_time, stats=stats,
+        )
 
     def provision(self, circuit_id: int, now: float) -> VirtualCircuit:
         """Activate a reserved circuit at its start time (automatic signalling)."""

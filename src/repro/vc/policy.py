@@ -1,6 +1,7 @@
-"""VC usage policies: session-holding and α-flow redirection.
+"""VC usage policies: session-holding, α-flow redirection, IP fallback.
 
-Two deployment policies from the paper:
+Two deployment policies from the paper, plus the recovery policy the
+paper's setup-delay tradeoff implies:
 
 * **Session hold policy** (Section VI-A): request a circuit when a session
   begins, keep it open while transfer gaps stay within ``g``, release it
@@ -12,11 +13,18 @@ Two deployment policies from the paper:
   their observed rate/size and redirect subsequent packets of matching
   flows onto pre-configured intra-domain VCs, isolating them from
   general-purpose traffic.
+
+* **Deadline-bounded fallback to routed IP** (:class:`FallbackPolicy`):
+  a transfer waits for its circuit only up to a setup budget; past it,
+  the bytes start moving on the default IP path immediately — circuits
+  are an optimization, never a blocker — and optionally *migrate* onto
+  the circuit once signalling completes.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import enum
 
 import numpy as np
 
@@ -28,6 +36,9 @@ __all__ = [
     "SessionHoldPolicy",
     "RedirectionDecision",
     "AlphaRedirector",
+    "FallbackMode",
+    "FallbackPolicy",
+    "FallbackDecision",
 ]
 
 
@@ -148,6 +159,75 @@ def _union_length(intervals: list[tuple[float, float]]) -> float:
             cur_hi = max(cur_hi, hi)
     total += cur_hi - cur_lo
     return total
+
+
+class FallbackMode(enum.Enum):
+    """How a transfer proceeds relative to its requested circuit."""
+
+    #: circuit ready within budget: wait for it and ride it end to end
+    VC = "vc"
+    #: circuit late: start on the IP path, never look back
+    IP = "ip"
+    #: circuit late: start on the IP path, migrate when it activates
+    IP_THEN_MIGRATE = "ip-then-migrate"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FallbackPolicy:
+    """Deadline-bounded wait-for-circuit with fallback to routed IP.
+
+    ``setup_deadline_s`` is the longest a transfer will sit idle waiting
+    on signalling (the paper's ~1-min setup delay is the baseline cost;
+    injected rejections and timeouts can stretch it arbitrarily).
+    ``migrate_on_activation`` moves an already-running fallback transfer
+    onto the circuit when it finally comes up, recovering the rate
+    guarantee for the remaining bytes.
+    """
+
+    setup_deadline_s: float = 120.0
+    migrate_on_activation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.setup_deadline_s < 0:
+            raise ValueError("setup deadline must be non-negative")
+
+    def decide(self, submit_time: float, circuit_ready_time: float) -> "FallbackDecision":
+        """Resolve when and how a transfer submitted now starts moving bytes."""
+        wait = max(circuit_ready_time - submit_time, 0.0)
+        if wait <= self.setup_deadline_s:
+            return FallbackDecision(
+                mode=FallbackMode.VC,
+                start_time=submit_time + wait,
+                wait_s=wait,
+                migrate_at=None,
+            )
+        if self.migrate_on_activation:
+            return FallbackDecision(
+                mode=FallbackMode.IP_THEN_MIGRATE,
+                start_time=submit_time,
+                wait_s=0.0,
+                migrate_at=circuit_ready_time,
+            )
+        return FallbackDecision(
+            mode=FallbackMode.IP, start_time=submit_time, wait_s=0.0, migrate_at=None
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FallbackDecision:
+    """Outcome of :meth:`FallbackPolicy.decide` for one transfer."""
+
+    mode: FallbackMode
+    #: when the transfer starts moving bytes
+    start_time: float
+    #: idle seconds spent waiting on signalling before the start
+    wait_s: float
+    #: when to migrate onto the circuit (IP_THEN_MIGRATE only)
+    migrate_at: float | None
+
+    @property
+    def fell_back(self) -> bool:
+        return self.mode is not FallbackMode.VC
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

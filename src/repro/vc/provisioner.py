@@ -18,6 +18,7 @@ against the :class:`~repro.vc.circuits.BatchSignalling` closed form.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 from ..sim.engine import EventLoop
 from .circuits import CircuitState
@@ -32,7 +33,7 @@ class ProvisioningAction:
 
     time: float
     circuit_id: int
-    action: str  # "provisioned" | "released"
+    action: str  # "provisioned" | "released" | "setup-failed"
 
 
 class AutoProvisioner:
@@ -47,6 +48,16 @@ class AutoProvisioner:
         own wake-ups.
     batch_window_s:
         The signalling cadence (OSCARS: one minute).
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`: each
+        activation attempt may suffer an injected signalling fault, in
+        which case the circuit stays RESERVED and is retried on later
+        ticks under ``backoff`` (exponential with jitter), the daemon's
+        recovery loop.
+    backoff, rng, stats:
+        Retry pacing, jitter source, and the shared
+        :class:`~repro.faults.recovery.RecoveryStats` the retries are
+        counted into.
     """
 
     def __init__(
@@ -54,14 +65,25 @@ class AutoProvisioner:
         idc: OscarsIDC,
         loop: EventLoop,
         batch_window_s: float = 60.0,
+        fault_injector=None,
+        backoff=None,
+        rng=None,
+        stats=None,
     ) -> None:
         if batch_window_s <= 0:
             raise ValueError("batch window must be positive")
         self.idc = idc
         self.loop = loop
         self.batch_window_s = batch_window_s
+        self.fault_injector = fault_injector
+        self.backoff = backoff
+        self.rng = rng
+        self.stats = stats
         self.actions: list[ProvisioningAction] = []
         self._running = False
+        #: per-circuit failed-attempt count and earliest next retry time
+        self._attempts: dict[int, int] = {}
+        self._retry_after: dict[int, float] = {}
 
     def start(self) -> None:
         """Arm the daemon: first wake-up at the next batch boundary."""
@@ -73,16 +95,42 @@ class AutoProvisioner:
         ) * self.batch_window_s
         self.loop.schedule(next_boundary, self._tick)
 
+    def _setup_faulted(self, circuit_id: int, now: float) -> bool:
+        """Consult the injector; on a fault, arm the backoff gate."""
+        if self.fault_injector is None:
+            return False
+        if self.fault_injector.setup_fault(now) is None:
+            return False
+        from ..faults.recovery import BackoffPolicy
+
+        backoff = self.backoff or BackoffPolicy()
+        attempt = self._attempts.get(circuit_id, 0)
+        self._attempts[circuit_id] = attempt + 1
+        self._retry_after[circuit_id] = now + backoff.delay_s(attempt, self.rng)
+        if self.stats is not None:
+            self.stats.n_retries += 1
+        self.actions.append(ProvisioningAction(now, circuit_id, "setup-failed"))
+        return True
+
     def _tick(self) -> None:
         now = self.loop.now
         # activate circuits whose window has opened
         for vc in list(self.idc._circuits.values()):
             if vc.state is CircuitState.RESERVED and vc.start_time <= now:
+                if now < self._retry_after.get(vc.circuit_id, -math.inf):
+                    continue  # backing off after a failed setup attempt
+                if self._setup_faulted(vc.circuit_id, now):
+                    continue
                 self.idc.provision(vc.circuit_id, now=now)
+                self._attempts.pop(vc.circuit_id, None)
+                self._retry_after.pop(vc.circuit_id, None)
                 self.actions.append(
                     ProvisioningAction(now, vc.circuit_id, "provisioned")
                 )
-            elif vc.state is CircuitState.ACTIVE and vc.end_time <= now:
+            elif (
+                vc.state in (CircuitState.ACTIVE, CircuitState.FAILED)
+                and vc.end_time <= now
+            ):
                 self.idc.teardown(vc.circuit_id, now=now)
                 self.actions.append(
                     ProvisioningAction(now, vc.circuit_id, "released")

@@ -117,6 +117,11 @@ class BandwidthScheduler:
         self._books: dict[tuple[str, str], _LinkBook] = {}
         self._next_id = 0
         self._reservations: dict[int, Reservation] = {}
+        #: admission counters — the blocking-rate telemetry an operator
+        #: (and the chaos runner) watches; rejections here are what the
+        #: retry/fallback machinery upstream exists to absorb
+        self.n_admitted = 0
+        self.n_rejected = 0
 
     def _book(self, key: tuple[str, str]) -> _LinkBook:
         if key not in self._books:
@@ -202,12 +207,14 @@ class BandwidthScheduler:
         for key in keys:
             headroom = self._limit(key) - self._book(key).peak_commitment(start, end)
             if rate_bps > headroom + 1e-9:
+                self.n_rejected += 1
                 raise AdmissionError(
                     f"link {key} has {headroom / 1e9:.2f} Gbps headroom over "
                     f"[{start}, {end}), requested {rate_bps / 1e9:.2f} Gbps"
                 )
         for key in keys:
             self._book(key).add(start, end, rate_bps)
+        self.n_admitted += 1
         res = Reservation(self._next_id, tuple(path), rate_bps, start, end)
         self._reservations[res.reservation_id] = res
         self._next_id += 1

@@ -20,6 +20,8 @@ import dataclasses
 
 import numpy as np
 
+from ..core.rng import ensure_rng
+
 __all__ = ["DiurnalProfile", "sample_arrivals", "hourly_histogram"]
 
 
@@ -95,7 +97,7 @@ def sample_arrivals(
         raise ValueError("t_end must exceed t_start")
     if base_rate_per_s <= 0:
         raise ValueError("base rate must be positive")
-    rng = rng or np.random.default_rng(0)
+    rng = ensure_rng(rng)
     peak = base_rate_per_s * profile.peak_intensity
     n = rng.poisson(peak * (t_end - t_start))
     candidates = np.sort(rng.uniform(t_start, t_end, size=n))

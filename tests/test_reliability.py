@@ -153,3 +153,125 @@ class TestExpectedOverhead:
         large = expected_overhead_factor(64e9, 1e9, fault, marked)
         # per-segment overhead is size-independent: the factor is flat
         assert large == pytest.approx(small, rel=0.05)
+
+    def test_matches_monte_carlo_at_high_fault_rate(self):
+        """λd ≈ 1.7 per segment: deep in the retry-heavy regime."""
+        fault = FaultModel(faults_per_hour=1200.0)  # one fault per 3 s
+        policy = RestartPolicy(marker_interval_bytes=64e6, reconnect_s=0.0)
+        # segment duration d = 64e6*8/1e8 = 5.12 s -> λd ≈ 1.71
+        svc = ReliableTransferService(fault, policy, max_attempts=100_000)
+        rng = np.random.default_rng(17)
+        sims = [svc.execute(1e9, 1e8, rng).overhead_factor for _ in range(400)]
+        predicted = expected_overhead_factor(1e9, 1e8, fault, policy)
+        lam_d = (1200.0 / 3600.0) * (64e6 * 8.0 / 1e8)
+        assert lam_d > 1.0
+        assert predicted > 2.0  # (e^{λd}-1)/(λd) blows past linear growth
+        assert np.mean(sims) == pytest.approx(predicted, rel=0.15)
+
+    def test_no_marker_restart_from_zero_matches_closed_form(self):
+        """Whole file = one segment: E[T] = (e^{λT0} − 1)/λ."""
+        fault = FaultModel(faults_per_hour=180.0)  # λT0 = 0.8 on a 16 s file
+        policy = RestartPolicy(marker_interval_bytes=None, reconnect_s=0.0)
+        svc = ReliableTransferService(fault, policy, max_attempts=100_000)
+        rng = np.random.default_rng(23)
+        sims = [svc.execute(2e9, 1e9, rng).overhead_factor for _ in range(400)]
+        predicted = expected_overhead_factor(2e9, 1e9, fault, policy)
+        assert predicted > 1.3
+        assert np.mean(sims) == pytest.approx(predicted, rel=0.15)
+
+    def test_no_marker_never_finishes_regime(self):
+        """λT0 >> 1 without markers: success within any retry budget ~ 0.
+
+        Per attempt P(success) = e^{-λT0}; at λT0 = 20 even 50 attempts
+        leave overall success probability below 1e-7 — the "may *never*
+        finish" bound restart markers exist to break.
+        """
+        rate = 1e9
+        size = 10e9  # T0 = 80 s
+        lam_T0 = 20.0
+        fault = FaultModel(faults_per_hour=lam_T0 / 80.0 * 3600.0)
+        svc = ReliableTransferService(
+            fault, RestartPolicy(marker_interval_bytes=None), max_attempts=50
+        )
+        result = svc.execute(size, rate, rng=np.random.default_rng(1))
+        assert not result.succeeded
+        assert len(result.attempts) == 50
+        assert all(a.faulted for a in result.attempts)
+        # the same environment WITH markers finishes fine: per-segment
+        # λd = 20 * 64e6/10e9 = 0.128
+        marked = ReliableTransferService(
+            fault, RestartPolicy(marker_interval_bytes=64e6), max_attempts=10_000
+        )
+        assert marked.execute(size, rate, rng=np.random.default_rng(1)).succeeded
+
+
+class TestExecuteWithOutages:
+    def test_no_outages_equals_plain_execute(self):
+        svc = ReliableTransferService(FaultModel(0.0))
+        a = svc.execute_with_outages(1e9, 1e9, [])
+        assert a.succeeded
+        assert a.total_wall_s == pytest.approx(8.0)
+        assert a.n_faults == 0
+
+    def test_outage_interrupts_and_resumes_from_marker(self):
+        svc = ReliableTransferService(
+            FaultModel(0.0),
+            RestartPolicy(marker_interval_bytes=100e6, reconnect_s=2.0),
+        )
+        # 1 GB at 1 Gbps: 8 s clean; outage hits at t=3 (375 MB done,
+        # marker at 300 MB), path dark until t=10
+        r = svc.execute_with_outages(1e9, 1e9, [(3.0, 10.0)])
+        assert r.succeeded
+        assert r.n_faults == 1
+        # wall: 3 (until fault) + wait to 10 + 2 reconnect + 5.6 (700 MB)
+        assert r.total_wall_s == pytest.approx(10.0 + 2.0 + 0.7 * 8.0)
+        assert r.wire_bytes == pytest.approx(1e9 + 75e6)
+
+    def test_back_to_back_outages_consume_attempts(self):
+        svc = ReliableTransferService(
+            FaultModel(0.0),
+            RestartPolicy(marker_interval_bytes=100e6, reconnect_s=1.0),
+            max_attempts=3,
+        )
+        # three outages, only three attempts: third outage kills it
+        r = svc.execute_with_outages(
+            10e9, 1e9, [(2.0, 4.0), (8.0, 9.0), (14.0, 15.0)]
+        )
+        assert not r.succeeded
+        assert len(r.attempts) == 3
+
+    def test_outage_validation(self):
+        svc = ReliableTransferService(FaultModel(0.0))
+        with pytest.raises(ValueError):
+            svc.execute_with_outages(1e9, 1e9, [(5.0, 5.0)])
+        with pytest.raises(ValueError):
+            svc.execute_with_outages(0.0, 1e9, [])
+
+
+class TestRngHygiene:
+    def test_unseeded_runs_are_not_replays(self):
+        """rng=None must draw fresh entropy, not silently seed 0."""
+        svc = ReliableTransferService(
+            FaultModel(faults_per_hour=600.0),
+            RestartPolicy(marker_interval_bytes=64e6),
+            max_attempts=10_000,
+        )
+        walls = {round(svc.execute(8e9, 1e9).total_wall_s, 6) for _ in range(5)}
+        assert len(walls) > 1
+
+    def test_seeded_runs_replay(self):
+        svc = ReliableTransferService(
+            FaultModel(faults_per_hour=600.0),
+            RestartPolicy(marker_interval_bytes=64e6),
+        )
+        a = svc.execute(8e9, 1e9, rng=np.random.default_rng(5))
+        b = svc.execute(8e9, 1e9, rng=np.random.default_rng(5))
+        assert a.total_wall_s == b.total_wall_s
+
+    def test_ensure_rng_contract(self):
+        from repro.core.rng import ensure_rng
+
+        g = np.random.default_rng(3)
+        assert ensure_rng(g) is g
+        assert ensure_rng(7).random() == np.random.default_rng(7).random()
+        assert isinstance(ensure_rng(None), np.random.Generator)
