@@ -12,6 +12,7 @@ Examples::
     repro-gridftp collect ncar.log --loss 0.05 --out collected.log
     repro-gridftp hntes yesterday.log today.log
     repro-gridftp arrivals ncar.log
+    repro-gridftp profile --jobs 500 --compare-oracle
 """
 
 from __future__ import annotations
@@ -188,6 +189,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .sim.scenarios import profile_campaign
+
+    report = profile_campaign(
+        n_jobs=args.jobs,
+        seed=args.seed,
+        allocator=args.allocator,
+        compare_oracle=args.compare_oracle,
+    )
+    print(report.format())
+    return 0
+
+
 def _cmd_collect(args: argparse.Namespace) -> int:
     log = read_usage_log(args.log)
     collected, collector = simulate_collection(log, loss_rate=args.loss)
@@ -275,6 +289,17 @@ def build_parser() -> argparse.ArgumentParser:
     x.add_argument("--verbose", action="store_true",
                    help="per-job modes, flap counts and wall times")
     x.set_defaults(func=_cmd_chaos)
+
+    pr = sub.add_parser(
+        "profile", help="instrumented simulator campaign with probe counters"
+    )
+    pr.add_argument("--jobs", type=int, default=300)
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--allocator", choices=["incremental", "oracle"],
+                    default="incremental")
+    pr.add_argument("--compare-oracle", action="store_true",
+                    help="also run the full-recompute oracle and report speedup")
+    pr.set_defaults(func=_cmd_profile)
     return p
 
 

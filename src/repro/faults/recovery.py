@@ -64,13 +64,21 @@ class BackoffPolicy:
 
 @dataclasses.dataclass
 class RecoveryStats:
-    """Uniform recovery counters shared by every VC controller."""
+    """Uniform recovery counters shared by every VC controller.
+
+    ``n_torn_down`` counts circuits released while still RESERVED — they
+    never carried a byte (reservation window closed, or signalling never
+    landed); ``n_gave_up`` is the subset abandoned because the setup
+    retry budget ran out.
+    """
 
     n_retries: int = 0
     n_fallbacks: int = 0
     n_failures: int = 0
     n_flaps: int = 0
     n_migrations: int = 0
+    n_gave_up: int = 0
+    n_torn_down: int = 0
 
     def merge(self, other: "RecoveryStats") -> "RecoveryStats":
         """Elementwise sum — aggregate per-controller stats into one view."""
@@ -80,6 +88,8 @@ class RecoveryStats:
             n_failures=self.n_failures + other.n_failures,
             n_flaps=self.n_flaps + other.n_flaps,
             n_migrations=self.n_migrations + other.n_migrations,
+            n_gave_up=self.n_gave_up + other.n_gave_up,
+            n_torn_down=self.n_torn_down + other.n_torn_down,
         )
 
     def as_dict(self) -> dict[str, int]:

@@ -26,6 +26,8 @@ import itertools
 import numpy as np
 
 from ..core.rng import ensure_rng
+from ..sim.engine import EventLoop
+from ..sim.probe import SimProbe
 from .records import TransferLog, TransferRecord, TransferType
 from .reliability import (
     CircuitOutageTracker,
@@ -180,20 +182,33 @@ class ManagedTransferService:
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, rng: np.random.Generator | None = None) -> TransferLog:
+    def run(
+        self,
+        rng: np.random.Generator | None = None,
+        probe: SimProbe | None = None,
+    ) -> TransferLog:
         """Drain the queue; returns the log of completed file movements.
 
-        Active tasks round-robin one file at a time, so a long task does
-        not starve short ones submitted behind it — Globus's fairness
-        behaviour, and the reason one user's monster session does not
-        block the endpoint.
+        Driven by the shared :class:`~repro.sim.engine.EventLoop`: each
+        active task is one recurring "execute next file" event, ordered
+        by the task's own virtual clock, so file executions interleave by
+        progress — a long task does not starve short ones submitted
+        behind it (Globus's fairness behaviour, and the reason one user's
+        monster session does not block the endpoint).  A ``probe`` counts
+        the scheduling events the run processed.
         """
         rng = ensure_rng(rng)
+        loop = EventLoop(0.0, probe=probe)
         active: list[int] = []
         # per-task virtual clock: tasks run concurrently, each on its own
         # timeline starting when activated
         clock: dict[int, float] = {}
         elapsed: dict[int, float] = {}
+
+        def schedule_next(tid: int) -> None:
+            # a task's virtual clock may trail the loop (it activated
+            # into a slot freed later); the loop only orders execution
+            loop.schedule(max(loop.now, clock[tid]), lambda: run_file(tid))
 
         def activate() -> None:
             while self._queue and len(active) < self.concurrency:
@@ -204,65 +219,62 @@ class ManagedTransferService:
                 clock[tid] = t.submitted_at
                 elapsed[tid] = 0.0
                 self.events.append(TaskEvent(clock[tid], tid, "activated"))
+                schedule_next(tid)
+
+        def finish(tid: int, state: TaskState, event: str, detail: str = "") -> None:
+            self._tasks[tid].state = state
+            active.remove(tid)
+            self.events.append(TaskEvent(clock[tid], tid, event, detail))
+            activate()
+
+        def run_file(tid: int) -> None:
+            t = self._tasks[tid]
+            size = t.file_sizes[t.files_done]
+            rate = float(self.rate_for(t.src_host, t.dst_host))
+            tracker = self._trackers.get(tid)
+            if tracker is not None:
+                outages = tracker.outages_after(clock[tid])
+                result = self._reliable.execute_with_outages(
+                    size, rate, outages, rng
+                )
+                n_hit = sum(1 for a, _ in outages if a < result.total_wall_s)
+                if n_hit and result.succeeded:
+                    self.n_flaps_recovered += n_hit
+                    self.events.append(
+                        TaskEvent(clock[tid], tid, "circuit-flap",
+                                  f"{n_hit} outage(s), resumed from marker")
+                    )
+            else:
+                result = self._reliable.execute(size, rate, rng)
+            if not result.succeeded:
+                finish(tid, TaskState.FAILED, "failed",
+                       f"file {t.files_done} exhausted retries")
+                return
+            start = clock[tid]
+            clock[tid] += result.total_wall_s
+            elapsed[tid] += result.total_wall_s
+            self._records.append(
+                TransferRecord(
+                    start=start,
+                    duration=result.total_wall_s,
+                    size=size,
+                    transfer_type=TransferType.RETR,
+                    local_host=t.src_host,
+                    remote_host=t.dst_host,
+                )
+            )
+            t.files_done += 1
+            if t.deadline_s is not None and elapsed[tid] > t.deadline_s:
+                finish(tid, TaskState.EXPIRED, "expired",
+                       f"{t.files_done}/{len(t.file_sizes)} files done")
+                return
+            if t.files_done == len(t.file_sizes):
+                finish(tid, TaskState.SUCCEEDED, "succeeded")
+                return
+            schedule_next(tid)
 
         activate()
-        while active:
-            for tid in list(active):
-                t = self._tasks[tid]
-                size = t.file_sizes[t.files_done]
-                rate = float(self.rate_for(t.src_host, t.dst_host))
-                tracker = self._trackers.get(tid)
-                if tracker is not None:
-                    outages = tracker.outages_after(clock[tid])
-                    result = self._reliable.execute_with_outages(
-                        size, rate, outages, rng
-                    )
-                    n_hit = sum(
-                        1 for a, _ in outages if a < result.total_wall_s
-                    )
-                    if n_hit and result.succeeded:
-                        self.n_flaps_recovered += n_hit
-                        self.events.append(
-                            TaskEvent(clock[tid], tid, "circuit-flap",
-                                      f"{n_hit} outage(s), resumed from marker")
-                        )
-                else:
-                    result = self._reliable.execute(size, rate, rng)
-                if not result.succeeded:
-                    t.state = TaskState.FAILED
-                    active.remove(tid)
-                    self.events.append(
-                        TaskEvent(clock[tid], tid, "failed",
-                                  f"file {t.files_done} exhausted retries")
-                    )
-                    continue
-                start = clock[tid]
-                clock[tid] += result.total_wall_s
-                elapsed[tid] += result.total_wall_s
-                self._records.append(
-                    TransferRecord(
-                        start=start,
-                        duration=result.total_wall_s,
-                        size=size,
-                        transfer_type=TransferType.RETR,
-                        local_host=t.src_host,
-                        remote_host=t.dst_host,
-                    )
-                )
-                t.files_done += 1
-                if t.deadline_s is not None and elapsed[tid] > t.deadline_s:
-                    t.state = TaskState.EXPIRED
-                    active.remove(tid)
-                    self.events.append(
-                        TaskEvent(clock[tid], tid, "expired",
-                                  f"{t.files_done}/{len(t.file_sizes)} files done")
-                    )
-                    continue
-                if t.files_done == len(t.file_sizes):
-                    t.state = TaskState.SUCCEEDED
-                    active.remove(tid)
-                    self.events.append(TaskEvent(clock[tid], tid, "succeeded"))
-            activate()
+        loop.run()
         return self.log()
 
     # -- results -----------------------------------------------------------

@@ -6,12 +6,14 @@ package stands in for that backbone at flow-level fidelity:
 * :mod:`~repro.net.topology` — ESnet-like site/router graph (10 G links)
 * :mod:`~repro.net.tcp` — slow start / window / Mathis throughput model
 * :mod:`~repro.net.flows` — weighted max-min fair bandwidth sharing
+* :mod:`~repro.net.allocator` — incremental, vectorized max-min kernel
 * :mod:`~repro.net.routing` — IP default routes and VC explicit routes
 * :mod:`~repro.net.snmp` — 30 s per-interface byte counters
 * :mod:`~repro.net.crosstraffic` — background general-purpose flows
 * :mod:`~repro.net.tstat` — per-connection loss reporting (tstat-style)
 """
 
+from .allocator import MaxMinAllocator
 from .flows import FlowSpec, max_min_fair
 from .snmp import SnmpCollector, SnmpCounter
 from .tcp import TcpPathModel
@@ -19,6 +21,7 @@ from .topology import SITES, Link, Topology, esnet_like
 
 __all__ = [
     "FlowSpec",
+    "MaxMinAllocator",
     "max_min_fair",
     "SnmpCollector",
     "SnmpCounter",

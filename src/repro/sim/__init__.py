@@ -3,10 +3,12 @@
 * :mod:`~repro.sim.engine` — event loop and clock
 * :mod:`~repro.sim.experiment` — the fluid transfer simulator (jobs ->
   transfer logs + SNMP counters)
+* :mod:`~repro.sim.probe` — pluggable engine instrumentation counters
 * :mod:`~repro.sim.replay` — IP-routed vs dynamic-VC service comparison
 """
 
 from .engine import EventLoop
+from .probe import SimProbe
 from .scenarios import (
     anl_nersc_mechanistic,
     default_dtns,
@@ -18,6 +20,7 @@ from .replay import CircuitPlan, ServiceComparison, compare_ip_vs_vc, plan_circu
 
 __all__ = [
     "EventLoop",
+    "SimProbe",
     "anl_nersc_mechanistic",
     "default_dtns",
     "nersc_ornl_snmp_experiment",

@@ -5,6 +5,13 @@ The mechanistic experiments are fluid simulations: rates change only at
 events every flow progresses linearly.  This module supplies the event
 loop those simulations schedule against: a monotonic clock and a priority
 queue of timestamped callbacks with deterministic FIFO tie-breaking.
+
+Same-timestamp events are *coalesced*: :meth:`EventLoop.run` drains every
+callback sharing a timestamp, then fires the registered flush hooks once.
+Rates only matter when the clock moves (zero time moves zero fluid), so a
+simulator that reallocates from its flush hook pays one allocation per
+distinct instant instead of one per callback — an arrival burst of k jobs
+at the same second costs one reallocation, not k.
 """
 
 from __future__ import annotations
@@ -43,11 +50,13 @@ class EventLoop:
     catching it here beats silently reordering history.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, probe=None) -> None:
         self._now = float(start_time)
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._n_processed = 0
+        self._flush_hooks: list[Callable[[], None]] = []
+        self.probe = probe
 
     @property
     def now(self) -> float:
@@ -78,6 +87,20 @@ class EventLoop:
             heapq.heappop(self._queue)
         return self._queue[0].time if self._queue else None
 
+    def add_flush_hook(self, hook: Callable[[], None]) -> None:
+        """Register ``hook`` to run once per drained timestamp batch.
+
+        Hooks fire (in registration order) from :meth:`run` after every
+        group of same-timestamp events, including events the group itself
+        scheduled at the same instant.  :meth:`step` never flushes —
+        single-stepping callers own their own settle points.
+        """
+        self._flush_hooks.append(hook)
+
+    def _fire_flush_hooks(self) -> None:
+        for hook in self._flush_hooks:
+            hook()
+
     def step(self) -> bool:
         """Run the next live event; returns False when the queue is drained."""
         while self._queue:
@@ -87,6 +110,8 @@ class EventLoop:
             self._now = ev.time
             ev.callback()
             self._n_processed += 1
+            if self.probe is not None:
+                self.probe.on_event()
             return True
         return False
 
@@ -95,7 +120,8 @@ class EventLoop:
 
         Events scheduled exactly at ``until`` still run; later ones stay
         queued and the clock advances to ``until``.  ``max_events`` guards
-        against runaway simulations in tests.
+        against runaway simulations in tests.  Flush hooks run once per
+        same-timestamp batch.
         """
         processed = 0
         while True:
@@ -109,5 +135,15 @@ class EventLoop:
                 return
             self.step()
             processed += 1
+            # drain the rest of this timestamp's batch, then settle once
+            while True:
+                nt = self.peek_time()
+                if nt is None or nt != t:
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise RuntimeError(f"event budget of {max_events} exhausted")
+                self.step()
+                processed += 1
+            self._fire_flush_hooks()
         if until is not None and until > self._now:
             self._now = until

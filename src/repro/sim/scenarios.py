@@ -39,6 +39,7 @@ from ..net.topology import Topology, esnet_like
 from ..vc.oscars import OscarsIDC, ReservationRejected, ReservationRequest
 from ..vc.policy import FallbackMode, FallbackPolicy
 from .experiment import FluidSimulator
+from .probe import SimProbe
 
 __all__ = [
     "default_dtns",
@@ -52,6 +53,8 @@ __all__ = [
     "ChaosReport",
     "run_chaos",
     "chaos_sweep",
+    "ProfileReport",
+    "profile_campaign",
 ]
 
 
@@ -84,6 +87,8 @@ class SnmpExperiment:
     #: SNMP series per monitored router egress, named rt1..rt5
     links: dict[str, tuple[np.ndarray, np.ndarray]]
     topology: Topology
+    #: engine instrumentation counters for the campaign
+    probe: SimProbe | None = None
 
 
 def nersc_ornl_snmp_experiment(
@@ -219,7 +224,11 @@ def nersc_ornl_snmp_experiment(
         for i, key in enumerate(backbone[:5])
     }
     return SnmpExperiment(
-        test_log=test_log, full_log=result.log, links=links, topology=topology
+        test_log=test_log,
+        full_log=result.log,
+        links=links,
+        topology=topology,
+        probe=result.probe,
     )
 
 
@@ -276,19 +285,13 @@ def anl_nersc_mechanistic(seed: int = 42, n_batches: int = 110) -> MechanisticAn
                 )
             )
     jobs.sort(key=lambda jn: jn[0].submit_time)
-    for job, _ in jobs:
-        sim.submit(job)
+    fid_to_cat = {sim.submit(job): name for job, name in jobs}
     result = sim.run()
 
-    # map log rows back to categories via (submit time, size) identity
+    # map log rows back to categories by flow id (rows are time-sorted,
+    # result.flow_ids aligns with them row for row)
     log = result.log
-    key_to_cat = {(round(j.submit_time, 6), round(j.size_bytes, 3)): n for j, n in jobs}
-    cats = np.array(
-        [
-            key_to_cat[(round(float(log.start[i]), 6), round(float(log.size[i]), 3))]
-            for i in range(len(log))
-        ]
-    )
+    cats = np.array([fid_to_cat[int(fid)] for fid in result.flow_ids])
     masks = {name: cats == name for name in categories}
     return MechanisticAnl(log=log, masks=masks)
 
@@ -370,7 +373,6 @@ class ChaosConfig:
     ``setup_extra_delay_s`` (long enough to trip ``fallback``'s
     deadline), mid-transfer circuit flaps (recovered through ``restart``
     markers), and optional endpoint outages at the destination site.
-    Sizes are perturbed per job so log rows map back to jobs exactly.
     """
 
     n_jobs: int = 10
@@ -401,7 +403,7 @@ class ChaosConfig:
             raise ValueError("job size and circuit rate must be positive")
 
     def job_size(self, i: int) -> float:
-        """Per-job size, perturbed so each is unique (log-row matching)."""
+        """Per-job size, slightly perturbed so jobs are distinguishable."""
         return self.job_bytes * (1.0 + 1e-3 * i)
 
     def submit_time(self, i: int) -> float:
@@ -475,6 +477,14 @@ class ChaosReport:
     n_idc_rejections: int
     n_setup_timeouts: int
     flaps_per_hour: float
+    #: the control-plane fault knobs this campaign ran under (sweep axes)
+    rejection_prob: float = 0.0
+    setup_timeout_prob: float = 0.0
+    #: engine instrumentation from the chaos run (defaults: pre-probe reports)
+    n_events: int = 0
+    n_alloc_passes: int = 0
+    mean_flows_per_pass: float = 0.0
+    max_flows_touched: int = 0
 
 
 def _merge_intervals(
@@ -511,12 +521,11 @@ def _run_campaign(
     flap_counts: list[int] = []
     horizon = config.submit_time(config.n_jobs - 1) + config.job_spacing_s
 
-    size_to_job: dict[float, int] = {}
+    job_fids: dict[int, int] = {}  # flow id -> job index
     for i in range(config.n_jobs):
         submit = config.submit_time(i)
         size = config.job_size(i)
         est = config.est_duration_s(i)
-        size_to_job[round(size, 3)] = i
         job = TransferJob(
             submit_time=submit,
             src=config.src,
@@ -544,18 +553,19 @@ def _run_campaign(
         if vc is None:
             # retry budget exhausted: the transfer still runs, routed IP
             stats.n_fallbacks += 1
-            sim.submit(job)
+            job_fids[sim.submit(job)] = i
             modes.append("ip")
             flap_counts.append(0)
             continue
         decision = config.fallback.decide(submit, vc.start_time)
         if decision.mode is FallbackMode.VC:
             delayed = dataclasses.replace(job, submit_time=decision.start_time)
-            sim.submit(delayed, vc=vc)
+            job_fids[sim.submit(delayed, vc=vc)] = i
             modes.append("vc")
             ride_start = decision.start_time
         elif decision.mode is FallbackMode.IP_THEN_MIGRATE:
             fid = sim.submit(job)
+            job_fids[fid] = i
             sim.migrate_flow(fid, vc, decision.migrate_at)
             stats.n_fallbacks += 1
             stats.n_migrations += 1
@@ -563,7 +573,7 @@ def _run_campaign(
             ride_start = decision.migrate_at
         else:
             stats.n_fallbacks += 1
-            sim.submit(job)
+            job_fids[sim.submit(job)] = i
             modes.append("ip")
             flap_counts.append(0)
             continue
@@ -582,16 +592,15 @@ def _run_campaign(
 
     if injector is not None:
         injector.arm(sim, 0.0, horizon)
-    result = sim.run()
+    sim.run()
 
+    # walls come straight off the simulator's flow-completion map: end
+    # to end from the *original* submit, even for delayed/migrated jobs
     walls: dict[int, float] = {}
-    log = result.log
-    for row in range(len(log)):
-        i = size_to_job.get(round(float(log.size[row]), 3))
-        if i is None:
-            continue
-        finished = float(log.start[row]) + float(log.duration[row])
-        walls[i] = finished - config.submit_time(i)
+    for fid, i in job_fids.items():
+        completion = sim.flow_completions.get(fid)
+        if completion is not None:
+            walls[i] = completion[1] - config.submit_time(i)
     return walls, modes, flap_counts, stats, sim
 
 
@@ -649,6 +658,12 @@ def run_chaos(config: ChaosConfig, seed: int = 0) -> ChaosReport:
         n_idc_rejections=injector.count(FaultKind.IDC_REJECTION),
         n_setup_timeouts=injector.count(FaultKind.VC_SETUP_TIMEOUT),
         flaps_per_hour=config.flaps_per_hour,
+        rejection_prob=config.rejection_prob,
+        setup_timeout_prob=config.setup_timeout_prob,
+        n_events=sim.probe.n_events,
+        n_alloc_passes=sim.probe.n_alloc_passes,
+        mean_flows_per_pass=sim.probe.mean_flows_per_pass,
+        max_flows_touched=sim.probe.max_flows_touched,
     )
 
 
@@ -656,16 +671,132 @@ def chaos_sweep(
     flap_rates_per_hour: Sequence[float],
     config: ChaosConfig | None = None,
     seed: int = 0,
+    rejection_probs: Sequence[float] | None = None,
+    timeout_probs: Sequence[float] | None = None,
 ) -> list[ChaosReport]:
-    """Sweep circuit-flap rates; one deterministic campaign per rate.
+    """Sweep fault knobs; one deterministic campaign per grid point.
 
-    The other fault knobs come from ``config`` (default: a moderately
-    hostile IDC — 30% rejections, 20% setup timeouts), so the sweep
-    isolates how goodput and completion-time inflation scale with
-    data-plane instability while the control-plane noise stays fixed.
+    ``flap_rates_per_hour`` is always swept.  ``rejection_probs`` and
+    ``timeout_probs`` optionally add IDC control-plane axes; omitted axes
+    stay pinned at ``config``'s value (default: a moderately hostile IDC —
+    30% rejections, 20% setup timeouts), so the single-axis call isolates
+    how goodput and completion-time inflation scale with data-plane
+    instability while the control-plane noise stays fixed.
+
+    Reports come back in ``itertools.product`` order — rejection outermost,
+    then timeout, then flap rate — so a pure flap sweep keeps its
+    historical ordering and a full grid reshapes to
+    ``(len(rejection_probs), len(timeout_probs), len(flap_rates))``.
     """
     base = config or ChaosConfig(rejection_prob=0.3, setup_timeout_prob=0.2)
-    return [
-        run_chaos(dataclasses.replace(base, flaps_per_hour=float(rate)), seed=seed)
-        for rate in flap_rates_per_hour
-    ]
+    rejections = (
+        [base.rejection_prob] if rejection_probs is None else list(rejection_probs)
+    )
+    timeouts = (
+        [base.setup_timeout_prob] if timeout_probs is None else list(timeout_probs)
+    )
+    reports = []
+    for rej in rejections:
+        for tmo in timeouts:
+            for rate in flap_rates_per_hour:
+                point = dataclasses.replace(
+                    base,
+                    flaps_per_hour=float(rate),
+                    rejection_prob=float(rej),
+                    setup_timeout_prob=float(tmo),
+                )
+                reports.append(run_chaos(point, seed=seed))
+    return reports
+
+
+# -- profiling: observe what the incremental engine actually does ------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileReport:
+    """Instrumented campaign run, optionally raced against the oracle."""
+
+    n_jobs: int
+    n_completed: int
+    allocator: str
+    wall_s: float
+    probe: SimProbe
+    #: wall-clock of the identical campaign on the oracle path (if raced)
+    oracle_wall_s: float | None = None
+
+    @property
+    def speedup(self) -> float | None:
+        if self.oracle_wall_s is None or self.wall_s <= 0:
+            return None
+        return self.oracle_wall_s / self.wall_s
+
+    def format(self) -> str:
+        lines = [
+            f"profile: {self.n_jobs} jobs, {self.n_completed} completed"
+            f" ({self.allocator} allocator)",
+            f"  wall clock          {self.wall_s:>12.3f} s",
+            self.probe.format_table(),
+        ]
+        if self.oracle_wall_s is not None:
+            lines.append(f"  oracle wall         {self.oracle_wall_s:>12.3f} s")
+            lines.append(f"  speedup             {self.speedup:>12.2f}x")
+        return "\n".join(lines)
+
+
+def _profile_jobs(n_jobs: int, seed: int) -> list[TransferJob]:
+    """A heavily concurrent all-to-all campaign for profiling runs."""
+    rng = np.random.default_rng(seed)
+    sites = ["NERSC", "ANL", "ORNL", "SLAC", "BNL", "LANL", "NICS"]
+    jobs = []
+    for _ in range(n_jobs):
+        src, dst = rng.choice(len(sites), size=2, replace=False)
+        jobs.append(
+            TransferJob(
+                submit_time=float(rng.uniform(0.0, n_jobs * 2.0)),
+                src=sites[int(src)],
+                dst=sites[int(dst)],
+                size_bytes=float(rng.uniform(2e9, 20e9)),
+                streams=int(rng.choice([1, 2, 4, 8])),
+            )
+        )
+    jobs.sort(key=lambda j: j.submit_time)
+    return jobs
+
+
+def profile_campaign(
+    n_jobs: int = 300,
+    seed: int = 0,
+    allocator: str = "incremental",
+    compare_oracle: bool = False,
+) -> ProfileReport:
+    """Run an instrumented synthetic campaign; report counters and wall time.
+
+    The workload is an all-to-all mix of best-effort science transfers with
+    heavy overlap, so the dirty-set machinery has real components to chew
+    on.  ``compare_oracle=True`` re-runs the identical campaign through the
+    full-recompute oracle and reports the speedup.
+    """
+    import time as _time
+
+    def _run(mode: str) -> tuple[float, SimProbe, int]:
+        topology = esnet_like()
+        dtns = default_dtns(topology)
+        sim = FluidSimulator(topology, dtns, allocator=mode)
+        for job in _profile_jobs(n_jobs, seed):
+            sim.submit(job)
+        t0 = _time.perf_counter()
+        result = sim.run()
+        return _time.perf_counter() - t0, result.probe, len(result.log)
+
+    wall, probe, n_done = _run(allocator)
+    oracle_wall = None
+    if compare_oracle:
+        oracle_wall, _, _ = _run("oracle")
+    return ProfileReport(
+        n_jobs=n_jobs,
+        n_completed=n_done,
+        allocator=allocator,
+        wall_s=wall,
+        probe=probe,
+        oracle_wall_s=oracle_wall,
+    )

@@ -33,7 +33,8 @@ class ProvisioningAction:
 
     time: float
     circuit_id: int
-    action: str  # "provisioned" | "released" | "setup-failed"
+    #: "provisioned" | "released" | "setup-failed" | "gave-up" | "torn-down"
+    action: str
 
 
 class AutoProvisioner:
@@ -53,7 +54,11 @@ class AutoProvisioner:
         activation attempt may suffer an injected signalling fault, in
         which case the circuit stays RESERVED and is retried on later
         ticks under ``backoff`` (exponential with jitter), the daemon's
-        recovery loop.
+        recovery loop.  After ``backoff.max_retries`` failed attempts the
+        daemon gives up and tears the reservation down (counted in
+        ``stats.n_gave_up`` / ``stats.n_torn_down``); a reservation whose
+        window closes before signalling ever lands is likewise torn down
+        instead of being provisioned into the past.
     backoff, rng, stats:
         Retry pacing, jitter source, and the shared
         :class:`~repro.faults.recovery.RecoveryStats` the retries are
@@ -112,11 +117,37 @@ class AutoProvisioner:
         self.actions.append(ProvisioningAction(now, circuit_id, "setup-failed"))
         return True
 
+    def _abandon(self, circuit_id: int, now: float, action: str) -> None:
+        """Tear down a circuit that never activated; count it."""
+        self.idc.teardown(circuit_id, now=now)
+        self._attempts.pop(circuit_id, None)
+        self._retry_after.pop(circuit_id, None)
+        self.actions.append(ProvisioningAction(now, circuit_id, action))
+        if self.stats is not None:
+            self.stats.n_torn_down += 1
+            if action == "gave-up":
+                self.stats.n_gave_up += 1
+
     def _tick(self) -> None:
         now = self.loop.now
-        # activate circuits whose window has opened
+        from ..faults.recovery import BackoffPolicy
+
+        max_retries = (self.backoff or BackoffPolicy()).max_retries
         for vc in list(self.idc._circuits.values()):
-            if vc.state is CircuitState.RESERVED and vc.start_time <= now:
+            if vc.state is CircuitState.RESERVED:
+                if vc.end_time <= now:
+                    # the reservation window closed before signalling ever
+                    # landed: the circuit can never activate now, so stop
+                    # holding its bandwidth
+                    self._abandon(vc.circuit_id, now, "torn-down")
+                    continue
+                if vc.start_time > now:
+                    continue  # window not open yet
+                if self._attempts.get(vc.circuit_id, 0) > max_retries:
+                    # retry budget exhausted: give up rather than hammer
+                    # the ingress router forever
+                    self._abandon(vc.circuit_id, now, "gave-up")
+                    continue
                 if now < self._retry_after.get(vc.circuit_id, -math.inf):
                     continue  # backing off after a failed setup attempt
                 if self._setup_faulted(vc.circuit_id, now):

@@ -1,0 +1,268 @@
+"""Incremental allocator vs the max_min_fair oracle.
+
+The contract pinned here: after ANY sequence of add_flow / remove_flow /
+update_capacity / update_flow calls, the allocator's rates match a fresh
+oracle solve of the same flow set within 1e-6 relative — and recompute()
+touches only the connected component of the change.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.allocator import MaxMinAllocator
+from repro.net.flows import FlowSpec, max_min_fair
+from repro.sim.probe import SimProbe
+
+
+def oracle_rates(alloc: MaxMinAllocator) -> dict[int, float]:
+    """Solve the allocator's current flow set with the reference oracle."""
+    specs = [
+        FlowSpec(
+            flow_id=fid,
+            links=alloc.flow_links(fid),
+            demand_bps=alloc._flows[fid].demand_bps,
+            weight=alloc._flows[fid].weight,
+        )
+        for fid in sorted(alloc._flows)
+    ]
+    caps = dict(alloc._cap)
+    return max_min_fair(specs, caps)
+
+
+def assert_matches_oracle(alloc: MaxMinAllocator, rel=1e-6):
+    alloc.recompute()
+    expected = oracle_rates(alloc)
+    got = alloc.rates()
+    assert set(got) == set(expected)
+    for fid, want in expected.items():
+        if math.isinf(want):
+            assert math.isinf(got[fid])
+        else:
+            assert got[fid] == pytest.approx(want, rel=rel, abs=1e-3)
+
+
+class TestBasics:
+    def test_empty_recompute_is_noop(self):
+        alloc = MaxMinAllocator({("a", "b"): 10.0})
+        assert alloc.recompute() == {}
+        assert not alloc.dirty
+
+    def test_single_flow_gets_capacity(self):
+        alloc = MaxMinAllocator({("a", "b"): 10.0})
+        alloc.add_flow(1, [("a", "b")])
+        changed = alloc.recompute()
+        assert changed == {1: pytest.approx(10.0)}
+        assert alloc.rate(1) == pytest.approx(10.0)
+
+    def test_demand_cap_binds(self):
+        alloc = MaxMinAllocator({("a", "b"): 10.0})
+        alloc.add_flow(1, [("a", "b")], demand_bps=3.0)
+        alloc.recompute()
+        assert alloc.rate(1) == pytest.approx(3.0)
+
+    def test_weighted_split_matches_oracle(self):
+        alloc = MaxMinAllocator({("a", "b"): 9.0})
+        alloc.add_flow(1, [("a", "b")], weight=1.0)
+        alloc.add_flow(2, [("a", "b")], weight=2.0)
+        assert_matches_oracle(alloc)
+        assert alloc.rate(2) == pytest.approx(2 * alloc.rate(1))
+
+    def test_no_links_unbounded_demand_is_inf(self):
+        alloc = MaxMinAllocator()
+        alloc.add_flow(1, [])
+        alloc.recompute()
+        assert math.isinf(alloc.rate(1))
+
+    def test_zero_capacity_zero_rate(self):
+        alloc = MaxMinAllocator({("a", "b"): 0.0})
+        alloc.add_flow(1, [("a", "b")])
+        alloc.recompute()
+        assert alloc.rate(1) == 0.0
+
+
+class TestValidation:
+    def test_unknown_link_rejected(self):
+        alloc = MaxMinAllocator({("a", "b"): 10.0})
+        with pytest.raises(KeyError):
+            alloc.add_flow(1, [("x", "y")])
+
+    def test_duplicate_flow_rejected(self):
+        alloc = MaxMinAllocator({("a", "b"): 10.0})
+        alloc.add_flow(1, [("a", "b")])
+        with pytest.raises(ValueError):
+            alloc.add_flow(1, [("a", "b")])
+
+    def test_remove_unknown_flow_raises(self):
+        alloc = MaxMinAllocator()
+        with pytest.raises(KeyError):
+            alloc.remove_flow(99)
+
+    def test_negative_capacity_rejected(self):
+        alloc = MaxMinAllocator()
+        with pytest.raises(ValueError):
+            alloc.update_capacity(("a", "b"), -1.0)
+
+    def test_bad_weight_and_demand_rejected(self):
+        alloc = MaxMinAllocator({("a", "b"): 10.0})
+        with pytest.raises(ValueError):
+            alloc.add_flow(1, [("a", "b")], weight=0.0)
+        with pytest.raises(ValueError):
+            alloc.add_flow(1, [("a", "b")], demand_bps=-1.0)
+
+    def test_rate_of_unknown_flow_raises(self):
+        alloc = MaxMinAllocator()
+        with pytest.raises(KeyError):
+            alloc.rate(7)
+
+
+class TestIncrementality:
+    def test_clean_recompute_returns_empty(self):
+        alloc = MaxMinAllocator({("a", "b"): 10.0})
+        alloc.add_flow(1, [("a", "b")])
+        alloc.recompute()
+        assert alloc.recompute() == {}
+
+    def test_disjoint_component_untouched(self):
+        """A change in one component must not re-solve the other."""
+        probe = SimProbe()
+        alloc = MaxMinAllocator({("a", "b"): 10.0, ("c", "d"): 4.0}, probe=probe)
+        alloc.add_flow(1, [("a", "b")])
+        alloc.add_flow(2, [("c", "d")])
+        alloc.recompute()
+        # change only the (c, d) side: the touched set is exactly flow 2
+        alloc.update_capacity(("c", "d"), 6.0)
+        changed = alloc.recompute()
+        assert set(changed) == {2}
+        assert changed[2] == pytest.approx(6.0)
+        assert alloc.rate(1) == pytest.approx(10.0)
+        assert probe.max_flows_touched == 2  # the initial joint add
+        assert probe.n_flows_touched == 3  # 2 (initial) + 1 (the update)
+
+    def test_component_closure_through_shared_links(self):
+        """Dirtying one flow re-solves everything transitively coupled."""
+        caps = {("a", "b"): 10.0, ("b", "c"): 10.0, ("c", "d"): 10.0}
+        alloc = MaxMinAllocator(caps)
+        alloc.add_flow(1, [("a", "b"), ("b", "c")])
+        alloc.add_flow(2, [("b", "c"), ("c", "d")])
+        alloc.add_flow(3, [("c", "d")])
+        alloc.recompute()
+        # removing flow 1 frees (b, c); flows 2 and 3 are both in the closure
+        alloc.remove_flow(1)
+        changed = alloc.recompute()
+        assert set(changed) == {2, 3}
+        assert_matches_oracle(alloc)
+
+    def test_capacity_update_without_flows_stays_clean(self):
+        alloc = MaxMinAllocator({("a", "b"): 10.0})
+        alloc.update_capacity(("a", "b"), 5.0)
+        assert not alloc.dirty
+
+    def test_noop_capacity_update_stays_clean(self):
+        alloc = MaxMinAllocator({("a", "b"): 10.0})
+        alloc.add_flow(1, [("a", "b")])
+        alloc.recompute()
+        alloc.update_capacity(("a", "b"), 10.0)
+        assert not alloc.dirty
+
+    def test_update_flow_dirties_old_and_new_links(self):
+        caps = {("a", "b"): 10.0, ("c", "d"): 10.0}
+        alloc = MaxMinAllocator(caps)
+        alloc.add_flow(1, [("a", "b")])
+        alloc.add_flow(2, [("a", "b")])
+        alloc.add_flow(3, [("c", "d")])
+        alloc.recompute()
+        alloc.update_flow(1, links=[("c", "d")])
+        changed = alloc.recompute()
+        # old neighbour (2) gains headroom; new neighbour (3) loses it
+        assert set(changed) == {1, 2, 3}
+        assert_matches_oracle(alloc)
+
+    def test_unbounded_component_raises(self):
+        alloc = MaxMinAllocator({("a", "b"): 10.0})
+        alloc.add_flow(1, [("a", "b")])
+        alloc.add_flow(2, [])  # no links, no demand: unbounded
+        alloc.add_flow(3, [("a", "b")])
+        alloc.recompute()  # flow 2 is its own component: rate inf, fine
+        assert math.isinf(alloc.rate(2))
+        assert_matches_oracle(alloc)
+
+
+def random_sequence(alloc: MaxMinAllocator, rng: np.random.Generator, n_ops: int,
+                    links: list[tuple[str, str]]) -> None:
+    """Apply a random mutation sequence, recomputing at random points."""
+
+    def random_links():
+        k = int(rng.integers(1, min(4, len(links)) + 1))
+        idx = rng.choice(len(links), size=k, replace=False)
+        return [links[int(i)] for i in idx]
+
+    for _ in range(n_ops):
+        op = rng.random()
+        fids = list(alloc._flows)
+        if op < 0.35 or not fids:
+            demand = float(rng.choice([math.inf, rng.uniform(0.5, 20.0)]))
+            weight = float(rng.choice([1.0, 2.0, 4.0, 8.0]))
+            fid = max(alloc._flows, default=999) + 1
+            alloc.add_flow(fid, random_links(), demand_bps=demand,
+                           weight=weight)
+        elif op < 0.55:
+            alloc.remove_flow(int(rng.choice(fids)))
+        elif op < 0.75:
+            key = links[int(rng.integers(0, len(links)))]
+            alloc.update_capacity(key, float(rng.uniform(0.0, 30.0)))
+        elif op < 0.9:
+            fid = int(rng.choice(fids))
+            alloc.update_flow(fid, demand_bps=float(rng.uniform(0.5, 25.0)))
+        else:
+            fid = int(rng.choice(fids))
+            alloc.update_flow(fid, links=random_links())
+        if rng.random() < 0.4:
+            alloc.recompute()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_sequences_match_oracle(seed):
+    """Seeded random add/remove/capacity churn: rates track the oracle."""
+    rng = np.random.default_rng(seed)
+    links = [(f"n{i}", f"n{i + 1}") for i in range(6)]
+    caps = {key: float(rng.uniform(5.0, 25.0)) for key in links}
+    alloc = MaxMinAllocator(caps)
+    for checkpoint in range(5):
+        random_sequence(alloc, rng, n_ops=12, links=links)
+        assert_matches_oracle(alloc)
+
+
+@pytest.mark.parametrize("seed", [100, 101])
+def test_randomized_vs_full_recompute(seed):
+    """Incremental recompute equals a forced full recompute, bit for bit."""
+    rng = np.random.default_rng(seed)
+    links = [(f"n{i}", f"n{i + 1}") for i in range(5)]
+    caps = {key: float(rng.uniform(5.0, 25.0)) for key in links}
+    alloc = MaxMinAllocator(caps)
+    random_sequence(alloc, rng, n_ops=30, links=links)
+    alloc.recompute()
+    incremental = alloc.rates()
+    alloc.full_recompute()
+    assert alloc.rates() == pytest.approx(incremental, rel=1e-9)
+
+
+def test_matches_oracle_bitwise_on_chain():
+    """Same arithmetic order as the oracle: exact equality, not approx."""
+    caps = {(f"n{i}", f"n{i + 1}"): 10.0 + i for i in range(8)}
+    links = list(caps)
+    alloc = MaxMinAllocator(caps)
+    specs = []
+    for fid in range(12):
+        flow_links = tuple(links[fid % 4 : fid % 4 + 3])
+        demand = math.inf if fid % 3 else 4.0 + fid
+        weight = float(1 + fid % 4)
+        alloc.add_flow(fid, flow_links, demand_bps=demand, weight=weight)
+        specs.append(
+            FlowSpec(flow_id=fid, links=flow_links, demand_bps=demand,
+                     weight=weight)
+        )
+    got = alloc.recompute()
+    want = max_min_fair(specs, dict(caps))
+    assert got == want  # exact, including every last bit

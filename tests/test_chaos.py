@@ -121,6 +121,48 @@ class TestChaosSweep:
         with pytest.raises(ValueError):
             ChaosConfig(job_bytes=-1.0)
 
+    def test_sweep_grid_over_control_plane_axes(self):
+        """rejection x timeout x flap: a full cross-product, labelled."""
+        reports = chaos_sweep(
+            [0.0, 30.0],
+            seed=11,
+            config=ChaosConfig(n_jobs=4),
+            rejection_probs=[0.0, 0.4],
+            timeout_probs=[0.0, 0.5],
+        )
+        assert len(reports) == 8
+        # grid order: rejection outermost, then timeout, flap innermost
+        grid = [(r.rejection_prob, r.setup_timeout_prob, r.flaps_per_hour)
+                for r in reports]
+        assert grid == [
+            (rj, to, fl)
+            for rj in (0.0, 0.4)
+            for to in (0.0, 0.5)
+            for fl in (0.0, 30.0)
+        ]
+        calm = reports[0]
+        assert calm.n_idc_rejections == 0 and calm.n_setup_timeouts == 0
+        noisy = [r for r in reports if r.rejection_prob > 0]
+        assert any(r.n_idc_rejections > 0 for r in noisy)
+        timed = [r for r in reports if r.setup_timeout_prob > 0]
+        assert any(r.n_setup_timeouts > 0 for r in timed)
+        # probe counters ride along on every report
+        assert all(r.n_events > 0 for r in reports)
+        assert all(r.n_alloc_passes > 0 for r in reports)
+        assert all(r.mean_flows_per_pass > 0 for r in reports)
+
+    def test_single_axis_sweep_unchanged_by_default_grid(self):
+        """Legacy calls (flap axis only) see identical reports.
+
+        Omitting the control-plane axes pins them at the config defaults
+        (0.3 rejection, 0.2 timeout); spelling those out as one-point
+        axes must reproduce the same campaigns bit for bit.
+        """
+        legacy = chaos_sweep([0.0, 30.0], seed=11)
+        gridded = chaos_sweep([0.0, 30.0], seed=11,
+                              rejection_probs=[0.3], timeout_probs=[0.2])
+        assert legacy == gridded
+
 
 class TestSimulatorFlapMechanics:
     """The FluidSimulator-level wiring the campaigns are built on."""

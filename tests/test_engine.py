@@ -100,3 +100,62 @@ class TestEventLoop:
         loop = EventLoop()
         loop.run(until=42.0)
         assert loop.now == 42.0
+
+
+class TestFlushHooks:
+    def test_hook_fires_once_per_timestamp_batch(self):
+        """Three events at t=1 and one at t=2: two flushes, not four."""
+        loop = EventLoop()
+        flushes = []
+        loop.add_flush_hook(lambda: flushes.append(loop.now))
+        for _ in range(3):
+            loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        loop.run()
+        assert flushes == [1.0, 2.0]
+
+    def test_same_instant_spawned_events_share_the_flush(self):
+        """An event scheduling more work at its own timestamp extends the batch."""
+        loop = EventLoop()
+        flushes = []
+        order = []
+        loop.add_flush_hook(lambda: flushes.append(loop.now))
+
+        def spawner():
+            order.append("spawner")
+            loop.schedule(1.0, lambda: order.append("spawned"))
+
+        loop.schedule(1.0, spawner)
+        loop.run()
+        assert order == ["spawner", "spawned"]
+        assert flushes == [1.0]  # one settle for the whole burst
+
+    def test_hooks_fire_in_registration_order(self):
+        loop = EventLoop()
+        calls = []
+        loop.add_flush_hook(lambda: calls.append("a"))
+        loop.add_flush_hook(lambda: calls.append("b"))
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        assert calls == ["a", "b"]
+
+    def test_step_never_flushes(self):
+        """Single-stepping callers own their own settle points."""
+        loop = EventLoop()
+        flushes = []
+        loop.add_flush_hook(lambda: flushes.append(loop.now))
+        loop.schedule(1.0, lambda: None)
+        assert loop.step()
+        assert flushes == []
+
+    def test_probe_counts_events_and_flushes(self):
+        from repro.sim.probe import SimProbe
+
+        probe = SimProbe()
+        loop = EventLoop(probe=probe)
+        loop.add_flush_hook(probe.on_flush)
+        for t in (1.0, 1.0, 3.0):
+            loop.schedule(t, lambda: None)
+        loop.run()
+        assert probe.n_events == 3
+        assert probe.n_flushes == 2

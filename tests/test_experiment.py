@@ -273,3 +273,78 @@ class TestLinkOutages:
             sim.schedule_link_outage(("NERSC", "rt-sunn"), 10.0, 10.0)
         with pytest.raises(KeyError):
             sim.schedule_link_outage(("x", "y"), 0.0, 1.0)
+
+
+def _mixed_scenario(sim, topo):
+    """Staggered best-effort + VC + outage churn, same under either allocator."""
+    idc = OscarsIDC(topo)
+    vc = idc.create_reservation(
+        ReservationRequest("NERSC", "ORNL", 2e9, 50.0, 100_000.0),
+        request_time=0.0,
+    )
+    sim.submit(job(t=vc.start_time, size=20e9), vc=vc)
+    rng = np.random.default_rng(7)
+    sites = ["NERSC", "ORNL", "ANL", "BNL", "SLAC", "NICS"]
+    for k in range(12):
+        src, dst = rng.choice(sites, size=2, replace=False)
+        sim.submit(
+            job(
+                t=float(rng.uniform(0.0, 120.0)),
+                src=str(src),
+                dst=str(dst),
+                size=float(rng.uniform(1e9, 8e9)),
+                streams=int(rng.choice([1, 4, 8])),
+            )
+        )
+    key = tuple(sorted(("rt-memp", "rt-nash")))
+    sim.schedule_link_outage(key, 30.0, 80.0)
+
+
+class TestAllocatorModes:
+    def test_incremental_matches_oracle_log(self):
+        """Same scenario, both engines: the TransferLogs agree."""
+        logs = {}
+        for mode in ("incremental", "oracle"):
+            topo, dtns, sim = make_sim(allocator=mode)
+            _mixed_scenario(sim, topo)
+            logs[mode] = sim.run().log
+        inc, ora = logs["incremental"], logs["oracle"]
+        assert len(inc) == len(ora)
+        for col in ("start", "duration", "size", "streams",
+                    "local_host", "remote_host"):
+            assert np.allclose(inc.column(col), ora.column(col),
+                               rtol=1e-9, atol=1e-6), col
+
+    def test_probe_and_flow_ids_populated(self):
+        from repro.sim.probe import SimProbe
+
+        probe = SimProbe()
+        topo, dtns, sim = make_sim(probe=probe)
+        _mixed_scenario(sim, topo)
+        result = sim.run()
+        assert result.probe is probe
+        assert probe.n_events > 0
+        assert probe.n_flushes > 0
+        assert probe.n_alloc_passes > 0
+        assert probe.n_flows_touched >= probe.n_alloc_passes
+        assert set(probe.wall_s) >= {"advance", "allocate"}
+        # flow_ids aligns with the log rows, one fid per record
+        assert result.flow_ids.shape == (len(result.log),)
+        assert len(set(result.flow_ids.tolist())) == len(result.log)
+
+    def test_coalescing_batches_same_instant_arrivals(self):
+        """A burst of arrivals at one instant costs one flush, not k."""
+        from repro.sim.probe import SimProbe
+
+        probe = SimProbe()
+        topo, dtns, sim = make_sim(probe=probe)
+        for _ in range(6):
+            sim.submit(job(t=10.0, size=1e9, dst="ANL"))
+        sim.run(until=10.0)
+        burst_flushes = probe.n_flushes
+        assert probe.n_events >= 6
+        assert burst_flushes <= 2  # the t=10 batch settles once
+
+    def test_unknown_allocator_rejected(self):
+        with pytest.raises(ValueError):
+            make_sim(allocator="magic")

@@ -181,7 +181,8 @@ class TestRecoveryStats:
         s = RecoveryStats(n_retries=7)
         assert s.as_dict()["n_retries"] == 7
         assert set(s.as_dict()) == {
-            "n_retries", "n_fallbacks", "n_failures", "n_flaps", "n_migrations"
+            "n_retries", "n_fallbacks", "n_failures", "n_flaps", "n_migrations",
+            "n_gave_up", "n_torn_down",
         }
 
 

@@ -89,3 +89,82 @@ class TestAutoProvisioner:
         topo, idc, loop, _ = setup()
         with pytest.raises(ValueError):
             AutoProvisioner(idc, loop, batch_window_s=0.0)
+
+
+class TestRetryBudget:
+    """The daemon must not hammer a broken ingress router forever."""
+
+    def _always_faulting(self, max_retries):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.recovery import BackoffPolicy, RecoveryStats
+        from repro.faults.spec import FaultKind, FaultSpec
+
+        topo = esnet_like()
+        idc = OscarsIDC(topo, setup_delay=HardwareSignalling(0.0))
+        loop = EventLoop(0.0)
+        injector = FaultInjector(
+            [FaultSpec(FaultKind.VC_SETUP_FAILURE, probability=1.0)], seed=3
+        )
+        stats = RecoveryStats()
+        prov = AutoProvisioner(
+            idc,
+            loop,
+            batch_window_s=60.0,
+            fault_injector=injector,
+            backoff=BackoffPolicy(
+                base_s=1.0, multiplier=1.0, max_backoff_s=1.0,
+                max_retries=max_retries, jitter=0.0,
+            ),
+            stats=stats,
+        )
+        return idc, loop, prov, stats
+
+    def test_gives_up_after_retry_budget(self):
+        idc, loop, prov, stats = self._always_faulting(max_retries=2)
+        vc = idc.create_reservation(
+            ReservationRequest("NERSC", "ORNL", 1e9, 10.0, 100_000.0),
+            request_time=0.0,
+        )
+        prov.start()
+        loop.run(until=600.0)
+        actions = [a.action for a in prov.actions]
+        # max_retries=2 allows 3 attempts (ticks 60/120/180); tick 240 abandons
+        assert actions == ["setup-failed"] * 3 + ["gave-up"]
+        assert vc.state is CircuitState.RELEASED
+        assert stats.n_gave_up == 1
+        assert stats.n_torn_down == 1  # gave-up implies torn-down
+        assert stats.n_retries == 3
+        # once abandoned the daemon leaves the circuit alone for good
+        assert prov.activation_delay(vc.circuit_id) is None
+
+    def test_tears_down_window_closed_before_signalling(self):
+        """A reservation whose window expires while RESERVED is torn down,
+        never provisioned into the past."""
+        idc, loop, prov, stats = self._always_faulting(max_retries=50)
+        vc = idc.create_reservation(
+            ReservationRequest("NERSC", "ORNL", 1e9, 10.0, 100.0),
+            request_time=0.0,
+        )
+        prov.start()
+        loop.run(until=300.0)
+        actions = [a.action for a in prov.actions]
+        # one failed attempt at t=60; window (ends 110) closed by t=120
+        assert actions == ["setup-failed", "torn-down"]
+        assert vc.state is CircuitState.RELEASED
+        assert stats.n_torn_down == 1
+        assert stats.n_gave_up == 0
+
+    def test_never_attempted_expired_reservation_torn_down(self):
+        """No faults at all: a reservation that expires before the first
+        tick is released, not provisioned after its window closed."""
+        topo, idc, loop, prov = setup()
+        vc = idc.create_reservation(
+            ReservationRequest("NERSC", "ORNL", 1e9, 5.0, 30.0),
+            request_time=0.0,
+        )
+        prov.start()
+        loop.run(until=200.0)
+        actions = [a.action for a in prov.actions]
+        assert actions == ["torn-down"]
+        assert vc.state is CircuitState.RELEASED
+        assert idc.active_circuits == []
