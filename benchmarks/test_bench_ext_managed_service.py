@@ -2,56 +2,70 @@
 
 Section V points at Globus Online as the future data source; this bench
 runs the paper's NERSC->ORNL test campaign through the managed-transfer
-layer under increasing fault rates and reports what the *service*
-delivers: task success rates, wall-time inflation, and the audit trail —
-the operational wrapper around the raw transfers the paper measured.
+layer under increasing circuit-flap rates and reports what the *service*
+delivers: task success rates, wall-time inflation, and recovery counts.
+
+The fault schedules now come from the same
+:class:`~repro.faults.injector.FaultInjector` specs the fluid simulator's
+chaos campaigns draw from (CIRCUIT_FLAP rate/duration), bound to each
+task's ride window — and the sweep itself is an
+:class:`~repro.experiments.spec.ExperimentSpec` expanded through the
+shared campaign Runner, like every other experiment family.
 """
 
-import numpy as np
+from repro.experiments import ExperimentSpec, Runner
 
-from repro.gridftp.reliability import FaultModel, RestartPolicy
-from repro.gridftp.transfer_service import ManagedTransferService, TaskState
-
-FAULT_RATES = [0.0, 20.0, 60.0]
+FLAP_RATES = [0.0, 20.0, 60.0]
 
 
-def _run_campaign(faults_per_hour: float):
-    svc = ManagedTransferService(
-        rate_for=lambda s, d: 1.6e9,
-        concurrency=3,
-        fault_model=FaultModel(faults_per_hour),
-        restart_policy=RestartPolicy(marker_interval_bytes=64e6, reconnect_s=5.0),
-        max_attempts_per_file=200,
+def _sweep_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="ext-l-managed-chaos",
+        scenario="managed_service",
+        params={
+            "n_tasks": 15,
+            "files_per_task": 10,
+            "file_bytes": 32e9,
+            "rate_bps": 1.6e9,
+            "concurrency": 3,
+            "submit_spacing_s": 4000.0,
+            "flap_duration_s": 25.0,
+            "marker_interval_bytes": 64e6,
+            "reconnect_s": 5.0,
+            "max_attempts_per_file": 200,
+        },
+        axes={"flaps_per_hour": FLAP_RATES},
+        seed=31,
+        seed_mode="shared",  # same draw stream: points differ only by rate
     )
-    rng = np.random.default_rng(31)
-    # ~15 tasks of ~10 files each: the month's test campaign as task batches
-    for k in range(15):
-        svc.submit(0, 2, [32e9] * 10, submitted_at=k * 4000.0)
-    log = svc.run(rng)
-    states = svc.states()
-    clean = 32e9 * 8 / 1.6e9
-    inflation = float(log.duration.mean() / clean) if len(log) else float("inf")
-    return states, inflation, len(log)
 
 
 def test_ext_managed_service(benchmark):
-    rows = benchmark.pedantic(
-        lambda: [( f, *_run_campaign(f)) for f in FAULT_RATES],
-        rounds=1, iterations=1,
+    campaign = benchmark.pedantic(
+        lambda: Runner().run(_sweep_spec()), rounds=1, iterations=1
     )
+    reports = campaign.results()
     print()
     print("Ext-L: 150x 32 GB files via the managed transfer service")
-    print(f"{'faults/h':>9} {'succeeded':>10} {'failed':>7} {'inflation':>10} {'files':>6}")
-    for f, states, inflation, n_files in rows:
-        print(f"{f:>9.0f} {states[TaskState.SUCCEEDED]:>10} "
-              f"{states[TaskState.FAILED]:>7} {inflation:>9.2f}x {n_files:>6}")
+    print(f"{'flaps/h':>8} {'succeeded':>10} {'failed':>7} {'inflation':>10} "
+          f"{'files':>6} {'flaps':>6} {'recovered':>10}")
+    for r in reports:
+        print(f"{r['flaps_per_hour']:>8.0f} {r['n_succeeded']:>10} "
+              f"{r['n_failed']:>7} {r['inflation']:>9.2f}x {r['n_files_moved']:>6} "
+              f"{r['n_flaps_injected']:>6} {r['n_flaps_recovered']:>10}")
 
-    # fault-free: everything succeeds with no inflation
-    f0_states, f0_infl, f0_files = rows[0][1], rows[0][2], rows[0][3]
-    assert f0_states[TaskState.SUCCEEDED] == 15
-    assert f0_infl == 1.0 and f0_files == 150
-    # with restart markers, even 60 faults/hour completes the campaign
-    f60_states, f60_infl, f60_files = rows[-1][1], rows[-1][2], rows[-1][3]
-    assert f60_states[TaskState.SUCCEEDED] == 15
-    assert f60_files == 150
-    assert 1.0 < f60_infl < 1.5  # bounded overhead (Ext-I's result, end to end)
+    assert campaign.n_failed == 0
+    clean, hostile = reports[0], reports[-1]
+    # flap-free: everything succeeds with no inflation
+    assert clean["n_succeeded"] == 15
+    assert clean["inflation"] == 1.0 and clean["n_files_moved"] == 150
+    assert clean["n_flaps_injected"] == 0
+    # with restart markers, even 60 flaps/hour completes the campaign
+    assert hostile["n_succeeded"] == 15
+    assert hostile["n_files_moved"] == 150
+    assert hostile["n_flaps_injected"] > 0
+    assert hostile["n_flaps_recovered"] > 0
+    assert 1.0 < hostile["inflation"] < 1.7  # bounded overhead, end to end
+    # more chaos, more inflation: monotone across the swept axis
+    inflations = [r["inflation"] for r in reports]
+    assert inflations == sorted(inflations)

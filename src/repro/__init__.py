@@ -10,6 +10,8 @@
 * :mod:`repro.workload` — calibrated synthetic datasets (the substitution
   for the proprietary national-lab logs)
 * :mod:`repro.sim` — fluid discrete-event simulation and service replay
+* :mod:`repro.experiments` — declarative campaign specs, the parallel
+  sweep runner, and the content-addressed result cache
 
 Quick start::
 
@@ -23,6 +25,15 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import core, gridftp, net, sim, vc, workload
+from . import core, experiments, gridftp, net, sim, vc, workload
 
-__all__ = ["core", "gridftp", "net", "sim", "vc", "workload", "__version__"]
+__all__ = [
+    "core",
+    "experiments",
+    "gridftp",
+    "net",
+    "sim",
+    "vc",
+    "workload",
+    "__version__",
+]

@@ -13,6 +13,7 @@ Examples::
     repro-gridftp hntes yesterday.log today.log
     repro-gridftp arrivals ncar.log
     repro-gridftp profile --jobs 500 --compare-oracle
+    repro-gridftp run campaign.toml --jobs 4
 """
 
 from __future__ import annotations
@@ -151,10 +152,21 @@ def _cmd_arrivals(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments import ExperimentSpec, ResultCache, Runner
+
+    spec = ExperimentSpec.from_file(args.spec)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = Runner(jobs=args.jobs, cache=cache, cell_timeout_s=args.timeout)
+    campaign = runner.run(spec, force=args.force)
+    print(campaign.format())
+    return 1 if campaign.n_failed else 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import dataclasses
 
-    from .sim.scenarios import ChaosConfig, chaos_sweep, run_chaos
+    from .experiments.campaigns import ChaosConfig, chaos_sweep, run_chaos
 
     config = ChaosConfig(
         n_jobs=args.jobs,
@@ -190,7 +202,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from .sim.scenarios import profile_campaign
+    from .experiments.campaigns import profile_campaign
 
     report = profile_campaign(
         n_jobs=args.jobs,
@@ -300,6 +312,22 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--compare-oracle", action="store_true",
                     help="also run the full-recompute oracle and report speedup")
     pr.set_defaults(func=_cmd_profile)
+
+    rn = sub.add_parser(
+        "run", help="run a declarative experiment spec (TOML or JSON)"
+    )
+    rn.add_argument("spec", help="path to the campaign spec file")
+    rn.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (1 = serial in-process)")
+    rn.add_argument("--no-cache", action="store_true",
+                    help="disable the content-addressed result cache")
+    rn.add_argument("--cache-dir", default=".repro-cache",
+                    help="artifact cache root (default: .repro-cache)")
+    rn.add_argument("--timeout", type=float, default=None,
+                    help="per-cell wall-clock budget in seconds (parallel mode)")
+    rn.add_argument("--force", action="store_true",
+                    help="recompute every cell even on cache hits")
+    rn.set_defaults(func=_cmd_run)
     return p
 
 

@@ -1,0 +1,62 @@
+"""The declarative experiment framework: specs, runner, cache, campaigns.
+
+The unit of work is an :class:`~repro.experiments.spec.ExperimentSpec` —
+a scenario name, fixed parameters, and sweep axes, loadable from
+TOML/JSON.  A :class:`~repro.experiments.runner.Runner` expands it into
+deterministically seeded cells, executes them serially or across worker
+processes, quarantines failures, and (optionally) settles results
+through a content-addressed :class:`~repro.experiments.cache.ResultCache`
+so re-running a sweep only computes changed cells.
+
+The campaign families the repo grew before this framework — chaos,
+profiling, mechanistic, SNMP, managed-service, synth — are registered as
+scenarios (:mod:`repro.experiments.registry`) and their report plumbing
+lives in :mod:`repro.experiments.campaigns`.
+"""
+
+from .cache import ResultCache, canonical_json, cell_key
+from .campaigns import (
+    ChaosConfig,
+    ChaosReport,
+    ManagedChaosConfig,
+    ManagedChaosReport,
+    ProfileReport,
+    chaos_config_from_params,
+    chaos_params_from_config,
+    chaos_sweep,
+    profile_campaign,
+    report_from_dict,
+    report_to_dict,
+    run_chaos,
+    run_managed_chaos,
+)
+from .registry import get_scenario, register_scenario, scenario_names
+from .runner import CampaignResult, CellResult, Runner
+from .spec import Cell, ExperimentSpec
+
+__all__ = [
+    "ExperimentSpec",
+    "Cell",
+    "Runner",
+    "CampaignResult",
+    "CellResult",
+    "ResultCache",
+    "cell_key",
+    "canonical_json",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos",
+    "chaos_sweep",
+    "chaos_params_from_config",
+    "chaos_config_from_params",
+    "report_to_dict",
+    "report_from_dict",
+    "ManagedChaosConfig",
+    "ManagedChaosReport",
+    "run_managed_chaos",
+    "ProfileReport",
+    "profile_campaign",
+]

@@ -1,0 +1,96 @@
+"""Content-addressed on-disk cache for campaign cell results.
+
+A cell's identity is *what would be computed*: the scenario name, the
+fully merged parameter dict, and the seed.  :func:`cell_key` hashes the
+canonical JSON encoding of that triple (sorted keys, no whitespace), so
+the key is stable across processes and insertion orders — re-running a
+sweep recomputes only cells whose inputs actually changed, and growing
+an axis leaves the old cells' artifacts valid.
+
+Artifacts are JSON files under ``<root>/<key[:2]>/<key>.json`` (two-level
+fan-out keeps directories small on big grids), written atomically via a
+temp file + rename so a killed run never leaves a truncated artifact
+that would poison later reads.  Corrupt or unreadable artifacts are
+treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["canonical_json", "cell_key", "ResultCache"]
+
+#: bump when the artifact payload layout changes incompatibly
+_CACHE_VERSION = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, minimal separators."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=True)
+
+
+def cell_key(scenario: str, params: dict[str, Any], seed: int) -> str:
+    """The content address of one cell's computation."""
+    ident = {
+        "v": _CACHE_VERSION,
+        "scenario": scenario,
+        "params": params,
+        "seed": int(seed),
+    }
+    return hashlib.sha256(canonical_json(ident).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed cell-result store keyed by :func:`cell_key`."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("v") != _CACHE_VERSION:
+            return None
+        return payload
+
+    def put(
+        self,
+        key: str,
+        scenario: str,
+        params: dict[str, Any],
+        seed: int,
+        result: Any,
+        wall_s: float,
+    ) -> None:
+        """Persist one computed cell atomically."""
+        payload = {
+            "v": _CACHE_VERSION,
+            "scenario": scenario,
+            "params": params,
+            "seed": int(seed),
+            "result": result,
+            "wall_s": wall_s,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(payload, allow_nan=True), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,162 @@
+"""The scenario registry: names the computations a spec can declare.
+
+A *scenario* is a plain callable ``(params: Mapping, seed: int) -> result``
+where ``result`` must be JSON-serializable (it is what the artifact
+cache stores and what crosses the process boundary under ``--jobs N``).
+Register one with::
+
+    @register_scenario("my-study")
+    def my_study(params, seed):
+        ...
+        return {"metric": value}
+
+The built-in scenarios cover every campaign family the repo runs — the
+chaos stack, the allocator profiler, the two mechanistic paper setups,
+the managed-service (Globus-Online-style) chaos campaign, and synthetic
+workload generation — so all of them ride the same Runner, cache, and
+seeding machinery.  Their bodies import lazily: the registry stays cheap
+to import and free of circular dependencies on the simulation layers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+import numpy as np
+
+__all__ = ["register_scenario", "get_scenario", "scenario_names"]
+
+ScenarioFn = Callable[[Mapping[str, Any], int], Any]
+
+_SCENARIOS: dict[str, ScenarioFn] = {}
+
+
+def register_scenario(name: str) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Decorator: expose ``fn`` to specs under ``scenario = name``."""
+
+    def deco(fn: ScenarioFn) -> ScenarioFn:
+        existing = _SCENARIOS.get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _SCENARIOS[name] = fn
+        return fn
+
+    return deco
+
+
+def get_scenario(name: str) -> ScenarioFn:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    return sorted(_SCENARIOS)
+
+
+# -- built-in scenarios ------------------------------------------------------
+
+
+@register_scenario("chaos")
+def _scenario_chaos(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """One fault-injection campaign over the VC stack (Ext-O cell)."""
+    from .campaigns import chaos_config_from_params, report_to_dict, run_chaos
+
+    config = chaos_config_from_params(params)
+    return report_to_dict(run_chaos(config, seed=seed))
+
+
+@register_scenario("profile")
+def _scenario_profile(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Instrumented allocator campaign; probe counters in the result."""
+    from .campaigns import profile_campaign
+
+    report = profile_campaign(
+        n_jobs=int(params.get("n_jobs", 300)),
+        seed=seed,
+        allocator=str(params.get("allocator", "incremental")),
+        compare_oracle=bool(params.get("compare_oracle", False)),
+    )
+    return {
+        "n_jobs": report.n_jobs,
+        "n_completed": report.n_completed,
+        "allocator": report.allocator,
+        "wall_s": report.wall_s,
+        "probe": report.probe.as_dict(),
+        "oracle_wall_s": report.oracle_wall_s,
+        "speedup": report.speedup,
+    }
+
+
+@register_scenario("mechanistic")
+def _scenario_mechanistic(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """The Section VII-D ANL->NERSC four-category setup, summarized."""
+    from ..sim.scenarios import anl_nersc_mechanistic
+
+    mech = anl_nersc_mechanistic(
+        seed=seed, n_batches=int(params.get("n_batches", 110))
+    )
+    categories = {}
+    for name in sorted(mech.masks):
+        cat = mech.category(name)
+        tput = cat.throughput_bps
+        categories[name] = {
+            "n": len(cat),
+            "median_tput_bps": float(np.median(tput)) if len(cat) else 0.0,
+            "mean_duration_s": float(cat.duration.mean()) if len(cat) else 0.0,
+        }
+    return {"n_transfers": len(mech.log), "categories": categories}
+
+
+@register_scenario("snmp")
+def _scenario_snmp(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """The Section VII-C NERSC--ORNL SNMP campaign, summarized."""
+    from ..sim.scenarios import nersc_ornl_snmp_experiment
+
+    exp = nersc_ornl_snmp_experiment(
+        seed=seed,
+        n_tests=int(params.get("n_tests", 145)),
+        days=int(params.get("days", 30)),
+        cross_traffic=bool(params.get("cross_traffic", True)),
+    )
+    link_gbytes = {
+        name: float(counts.sum()) / 1e9 for name, (_, counts) in exp.links.items()
+    }
+    return {
+        "n_tests": len(exp.test_log),
+        "n_transfers": len(exp.full_log),
+        "median_test_tput_bps": float(np.median(exp.test_log.throughput_bps)),
+        "link_gbytes": link_gbytes,
+        "probe": exp.probe.as_dict() if exp.probe is not None else None,
+    }
+
+
+@register_scenario("managed_service")
+def _scenario_managed(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Globus-Online-style managed transfers under injected circuit chaos."""
+    from .campaigns import managed_config_from_params, run_managed_chaos
+
+    config = managed_config_from_params(params)
+    return run_managed_chaos(config, seed=seed).as_dict()
+
+
+@register_scenario("synth")
+def _scenario_synth(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Generate a calibrated synthetic workload; report its shape."""
+    from ..workload.synth import generate
+
+    kwargs = {k: v for k, v in params.items() if k != "dataset"}
+    log = generate(str(params["dataset"]), seed=seed, **kwargs)
+    tput = log.throughput_bps
+    return {
+        "dataset": str(params["dataset"]),
+        "n_transfers": len(log),
+        "total_gbytes": float(log.size.sum()) / 1e9,
+        "mean_duration_s": float(log.duration.mean()),
+        "p50_tput_mbps": float(np.percentile(tput, 50)) / 1e6,
+        "p95_tput_mbps": float(np.percentile(tput, 95)) / 1e6,
+    }

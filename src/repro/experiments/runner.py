@@ -1,0 +1,299 @@
+"""The campaign runner: expand a spec, execute cells, collect results.
+
+One :class:`Runner` drives every campaign family (chaos, profile,
+mechanistic, SNMP, managed-service, synth) through the same pipeline:
+
+1. expand the :class:`~repro.experiments.spec.ExperimentSpec` into cells
+   with deterministic per-cell seeds;
+2. satisfy what it can from the content-addressed
+   :class:`~repro.experiments.cache.ResultCache`;
+3. execute the rest through a pluggable executor — serial in-process, or
+   a ``ProcessPoolExecutor`` (``jobs > 1``) with chunked submission and a
+   per-cell wall-clock timeout;
+4. quarantine failed cells (exception or timeout) as
+   :class:`CellResult` errors instead of aborting the campaign, so one
+   pathological grid point cannot cost you the other 99.
+
+Every cell result uniformly carries its wall-clock seconds; scenarios
+that run the fluid simulator embed their
+:class:`~repro.sim.probe.SimProbe` counters in the result payload, so
+engine instrumentation flows into campaign reports for free.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import time
+import traceback
+from typing import Any
+
+from .cache import ResultCache, cell_key
+from .registry import get_scenario
+from .spec import Cell, ExperimentSpec
+
+__all__ = ["CellResult", "CampaignResult", "Runner"]
+
+
+def _execute_cell(scenario: str, params: dict[str, Any], seed: int) -> tuple[Any, float]:
+    """Run one cell; module-level so it pickles into worker processes."""
+    fn = get_scenario(scenario)
+    t0 = time.perf_counter()
+    result = fn(params, seed)
+    return result, time.perf_counter() - t0
+
+
+@dataclasses.dataclass(frozen=True)
+class CellResult:
+    """Outcome of one grid point."""
+
+    index: int
+    coords: dict[str, Any]
+    params: dict[str, Any]
+    seed: int
+    #: the scenario's return value; ``None`` for quarantined cells
+    result: Any
+    #: wall-clock seconds the scenario took (cached: the *original* wall)
+    wall_s: float
+    cached: bool = False
+    #: quarantine reason ("TimeoutError: ..." / "ValueError: ..."), or None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignResult:
+    """All cells of one campaign, in spec cell order."""
+
+    spec: ExperimentSpec
+    cells: tuple[CellResult, ...]
+    #: end-to-end campaign wall clock, including cache traffic
+    wall_s: float
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for c in self.cells if not c.ok)
+
+    @property
+    def n_executed(self) -> int:
+        return sum(1 for c in self.cells if not c.cached and c.ok)
+
+    def results(self) -> list[Any]:
+        """Cell results in grid order; raises if any cell is quarantined."""
+        bad = [c for c in self.cells if not c.ok]
+        if bad:
+            raise RuntimeError(
+                f"{len(bad)} quarantined cell(s); first: "
+                f"cell {bad[0].index} {bad[0].coords}: {bad[0].error}"
+            )
+        return [c.result for c in self.cells]
+
+    def format(self) -> str:
+        """Human-readable campaign summary (also what the CLI prints)."""
+        axes = " x ".join(self.spec.axes) if self.spec.axes else "(no axes)"
+        lines = [
+            f"campaign '{self.spec.name}': scenario {self.spec.scenario}, "
+            f"{self.n_cells} cell(s) over {axes}, seed {self.spec.seed} "
+            f"({self.spec.seed_mode})"
+        ]
+        for c in self.cells:
+            coords = " ".join(f"{k}={v}" for k, v in c.coords.items())
+            status = "FAIL" if not c.ok else ("hit " if c.cached else "run ")
+            tail = c.error if not c.ok else _summarize(c.result)
+            lines.append(
+                f"  [{c.index:>3}] {status} {c.wall_s:8.3f} s  {coords:<40} {tail}"
+            )
+        lines.append(
+            f"cells: {self.n_cells} total, {self.n_executed} executed, "
+            f"{self.n_cached} cached, {self.n_failed} failed; "
+            f"wall {self.wall_s:.2f} s"
+        )
+        return "\n".join(lines)
+
+
+def _summarize(result: Any, limit: int = 4) -> str:
+    """First few scalar fields of a result dict, for the per-cell line."""
+    if not isinstance(result, dict):
+        return ""
+    parts = []
+    for key in sorted(result):
+        value = result[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        parts.append(f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}")
+        if len(parts) == limit:
+            break
+    return " ".join(parts)
+
+
+class Runner:
+    """Execute campaigns: serial or process-parallel, optionally cached.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs serially in-process.
+    cache:
+        A :class:`ResultCache` to consult before and fill after each
+        cell; ``None`` disables caching.
+    cell_timeout_s:
+        Per-cell wall-clock budget (parallel mode only — a serial run
+        has no supervisor to interrupt the cell); overruns quarantine
+        the cell with a timeout error.
+    chunk_size:
+        Cells submitted per worker per batch in parallel mode.  Batches
+        bound how much work is in flight, so a campaign killed mid-run
+        has cached everything completed rather than nothing.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        cell_timeout_s: float | None = None,
+        chunk_size: int = 4,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.cell_timeout_s = cell_timeout_s
+        self.chunk_size = chunk_size
+
+    def run(self, spec: ExperimentSpec, force: bool = False) -> CampaignResult:
+        """Expand ``spec`` and settle every cell; never raises per-cell.
+
+        ``force=True`` skips cache lookups (results still get stored).
+        """
+        t0 = time.perf_counter()
+        get_scenario(spec.scenario)  # fail fast on unknown scenarios
+        cells = spec.cells()
+        settled: dict[int, CellResult] = {}
+        pending: list[tuple[Cell, str | None]] = []
+        for cell in cells:
+            key = (
+                cell_key(spec.scenario, cell.params, cell.seed)
+                if self.cache is not None
+                else None
+            )
+            hit = self.cache.get(key) if (key is not None and not force) else None
+            if hit is not None:
+                settled[cell.index] = CellResult(
+                    index=cell.index,
+                    coords=cell.coords,
+                    params=cell.params,
+                    seed=cell.seed,
+                    result=hit["result"],
+                    wall_s=float(hit["wall_s"]),
+                    cached=True,
+                )
+            else:
+                pending.append((cell, key))
+
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(spec, pending, settled)
+            else:
+                self._run_parallel(spec, pending, settled)
+
+        ordered = tuple(settled[c.index] for c in cells)
+        return CampaignResult(
+            spec=spec, cells=ordered, wall_s=time.perf_counter() - t0
+        )
+
+    # -- executors ---------------------------------------------------------
+
+    def _settle(
+        self,
+        spec: ExperimentSpec,
+        cell: Cell,
+        key: str | None,
+        settled: dict[int, CellResult],
+        result: Any,
+        wall_s: float,
+        error: str | None,
+    ) -> None:
+        if error is None and key is not None:
+            self.cache.put(
+                key, spec.scenario, cell.params, cell.seed, result, wall_s
+            )
+        settled[cell.index] = CellResult(
+            index=cell.index,
+            coords=cell.coords,
+            params=cell.params,
+            seed=cell.seed,
+            result=result,
+            wall_s=wall_s,
+            error=error,
+        )
+
+    def _run_serial(
+        self,
+        spec: ExperimentSpec,
+        pending: list[tuple[Cell, str | None]],
+        settled: dict[int, CellResult],
+    ) -> None:
+        for cell, key in pending:
+            t0 = time.perf_counter()
+            try:
+                result, wall = _execute_cell(spec.scenario, cell.params, cell.seed)
+                error = None
+            except Exception as exc:  # quarantine, keep the campaign alive
+                result, wall = None, time.perf_counter() - t0
+                error = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+            self._settle(spec, cell, key, settled, result, wall, error)
+
+    def _run_parallel(
+        self,
+        spec: ExperimentSpec,
+        pending: list[tuple[Cell, str | None]],
+        settled: dict[int, CellResult],
+    ) -> None:
+        batch_size = self.jobs * self.chunk_size
+        with concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            for start in range(0, len(pending), batch_size):
+                batch = pending[start : start + batch_size]
+                futures = []
+                for cell, key in batch:
+                    fut = pool.submit(
+                        _execute_cell, spec.scenario, cell.params, cell.seed
+                    )
+                    futures.append((cell, key, fut, time.perf_counter()))
+                for cell, key, fut, submitted in futures:
+                    budget = None
+                    if self.cell_timeout_s is not None:
+                        budget = max(
+                            0.0,
+                            submitted + self.cell_timeout_s - time.perf_counter(),
+                        )
+                    try:
+                        result, wall = fut.result(timeout=budget)
+                        error = None
+                    except concurrent.futures.TimeoutError:
+                        fut.cancel()
+                        result, wall = None, self.cell_timeout_s
+                        error = (
+                            f"TimeoutError: cell exceeded "
+                            f"{self.cell_timeout_s:.1f} s budget"
+                        )
+                    except Exception as exc:
+                        result, wall = None, time.perf_counter() - submitted
+                        error = "".join(
+                            traceback.format_exception_only(type(exc), exc)
+                        ).strip()
+                    self._settle(spec, cell, key, settled, result, wall, error)

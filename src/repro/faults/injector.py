@@ -26,7 +26,26 @@ import numpy as np
 
 from .spec import FaultKind, FaultSpec, InjectedFault
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "merge_intervals"]
+
+
+def merge_intervals(
+    intervals: Iterable[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Coalesce overlapping down intervals into a sorted disjoint set.
+
+    Injected fault windows can overlap (independent specs, long
+    exponential tails); consumers that replay them — the chaos runner's
+    circuit flaps, the managed service's outage schedules — need each
+    element failed at most once at a time.
+    """
+    merged: list[list[float]] = []
+    for a, b in sorted(intervals):
+        if merged and a <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], b)
+        else:
+            merged.append([a, b])
+    return [(a, b) for a, b in merged]
 
 
 class FaultInjector:

@@ -180,14 +180,16 @@ def read_netlogger_log(path: str | os.PathLike | Iterable[str]) -> TransferLog:
     rows = [parse_netlogger_line(ln) for ln in lines if ln.strip()]
     if not rows:
         return TransferLog()
-    cols: dict[str, list] = {}
-    for field in rows[0].keys() | {k for r in rows for k in r}:
-        cols[field] = []
-    defaults = TransferLog()  # for schema defaults via empty log? simpler: records defaults
-    del defaults
     from .records import _SCHEMA  # local import: private schema for defaults
 
-    for field in list(cols):
-        default = _SCHEMA[field][1]
-        cols[field] = [r.get(field, default) for r in rows]
+    # assemble columns in schema order (NOT a set union over row keys,
+    # whose iteration order varies with the process hash seed): rows may
+    # carry heterogeneous key subsets, so take every field any row has
+    # and fill gaps with the schema default
+    present = {field for r in rows for field in r}
+    cols: dict[str, list] = {
+        field: [r.get(field, default) for r in rows]
+        for field, (_dtype, default) in _SCHEMA.items()
+        if field in present
+    }
     return TransferLog(cols)

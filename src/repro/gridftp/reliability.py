@@ -42,6 +42,7 @@ __all__ = [
     "TaskResult",
     "ReliableTransferService",
     "CircuitOutageTracker",
+    "ScheduledOutages",
     "expected_overhead_factor",
 ]
 
@@ -330,6 +331,43 @@ class CircuitOutageTracker:
     @property
     def n_flaps(self) -> int:
         return len(self.intervals) + (1 if self._down_since is not None else 0)
+
+
+class ScheduledOutages:
+    """A precomputed outage schedule with the tracker's query interface.
+
+    :class:`CircuitOutageTracker` records down intervals live from a
+    circuit's state changes; this class is its offline twin for fault
+    *schedules* drawn ahead of time by a
+    :class:`~repro.faults.injector.FaultInjector` — the managed transfer
+    service binds either interchangeably (both answer
+    :meth:`outages_after`).  Intervals are absolute times, coalesced and
+    sorted on construction.
+    """
+
+    def __init__(self, intervals: list[tuple[float, float]]) -> None:
+        cleaned: list[list[float]] = []
+        for a, b in sorted((float(a), float(b)) for a, b in intervals):
+            if b <= a:
+                raise ValueError(f"outage ({a}, {b}) must have positive duration")
+            if cleaned and a <= cleaned[-1][1]:
+                cleaned[-1][1] = max(cleaned[-1][1], b)
+            else:
+                cleaned.append([a, b])
+        self.intervals: list[tuple[float, float]] = [(a, b) for a, b in cleaned]
+
+    def outages_after(self, t: float, horizon: float = math.inf) -> list[tuple[float, float]]:
+        """Down intervals overlapping ``[t, horizon)``, clipped and t-relative."""
+        out = []
+        for a, b in self.intervals:
+            if b <= t or a >= horizon:
+                continue
+            out.append((max(a - t, 0.0), min(b, horizon) - t))
+        return out
+
+    @property
+    def n_flaps(self) -> int:
+        return len(self.intervals)
 
 
 def expected_overhead_factor(

@@ -34,6 +34,7 @@ from .reliability import (
     FaultModel,
     ReliableTransferService,
     RestartPolicy,
+    ScheduledOutages,
 )
 
 __all__ = [
@@ -130,8 +131,9 @@ class ManagedTransferService:
         self._queue: list[int] = []
         self.events: list[TaskEvent] = []
         self._records: list[TransferRecord] = []
-        #: per-task circuit outage history (set by :meth:`bind_circuit`)
-        self._trackers: dict[int, CircuitOutageTracker] = {}
+        #: per-task circuit outage history (set by :meth:`bind_circuit`
+        #: or :meth:`bind_outages` — anything answering ``outages_after``)
+        self._trackers: dict[int, CircuitOutageTracker | ScheduledOutages] = {}
         self.n_flaps_recovered = 0
 
     # -- submission -------------------------------------------------------
@@ -178,6 +180,31 @@ class ManagedTransferService:
         self._trackers[task_id] = tracker
         self.events.append(
             TaskEvent(self._tasks[task_id].submitted_at, task_id, "circuit-bound")
+        )
+
+    def bind_outages(
+        self, task_id: int, intervals: list[tuple[float, float]]
+    ) -> None:
+        """Bind a precomputed outage schedule (absolute times) to a task.
+
+        The chaos-campaign entry point: a
+        :class:`~repro.faults.injector.FaultInjector` draws a task's flap
+        intervals ahead of time, and this installs them exactly as
+        :meth:`bind_circuit` installs a live tracker — so the managed
+        service runs under the same fault schedules as the fluid
+        simulator's campaigns.
+        """
+        if task_id not in self._tasks:
+            raise KeyError(f"unknown task {task_id}")
+        schedule = ScheduledOutages(intervals)
+        self._trackers[task_id] = schedule
+        self.events.append(
+            TaskEvent(
+                self._tasks[task_id].submitted_at,
+                task_id,
+                "outages-bound",
+                f"{schedule.n_flaps} scheduled outage(s)",
+            )
         )
 
     # -- execution ----------------------------------------------------------

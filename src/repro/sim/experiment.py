@@ -50,7 +50,7 @@ import numpy as np
 from ..gridftp.client import TransferJob
 from ..gridftp.records import TransferLog, TransferRecord, TransferType
 from ..gridftp.reliability import RestartPolicy
-from ..gridftp.server import DtnCluster
+from ..gridftp.server import DtnCluster, DtnSpec
 from ..net.allocator import MaxMinAllocator
 from ..net.flows import FlowSpec, max_min_fair
 from ..net.snmp import SnmpCollector
@@ -60,9 +60,29 @@ from ..vc.circuits import CircuitState, VirtualCircuit
 from .engine import EventLoop
 from .probe import SimProbe
 
-__all__ = ["FluidSimulator", "SimResult"]
+__all__ = ["FluidSimulator", "SimResult", "default_dtns"]
 
 _EPS_BYTES = 1.0  # remaining-byte tolerance for completion
+
+
+def default_dtns(topology: Topology) -> DtnCluster:
+    """DTN budgets for every site, tuned to the paper's observed regimes.
+
+    NERSC's disk-write pool is the tightest (Fig. 1's bottleneck); NCAR's
+    cluster width is 3 (the 2009 ``frost`` configuration).  Every
+    campaign family defaults to these budgets, so it lives next to the
+    simulator rather than any one scenario module.
+    """
+    cluster = DtnCluster()
+    cluster.add(DtnSpec("NERSC", nic_bps=7e9, disk_read_bps=4.5e9, disk_write_bps=2.3e9))
+    cluster.add(DtnSpec("ANL", nic_bps=6e9, disk_read_bps=4.5e9, disk_write_bps=4e9))
+    cluster.add(DtnSpec("ORNL", nic_bps=6e9, disk_read_bps=4.5e9, disk_write_bps=3.5e9))
+    cluster.add(DtnSpec("NCAR", nic_bps=2.2e9, disk_read_bps=1.8e9, disk_write_bps=1.5e9, n_servers=3))
+    cluster.add(DtnSpec("NICS", nic_bps=6e9, disk_read_bps=4.5e9, disk_write_bps=4e9))
+    cluster.add(DtnSpec("SLAC", nic_bps=5e9, disk_read_bps=4e9, disk_write_bps=3e9))
+    cluster.add(DtnSpec("BNL", nic_bps=5e9, disk_read_bps=4e9, disk_write_bps=3e9))
+    cluster.add(DtnSpec("LANL", nic_bps=5e9, disk_read_bps=4e9, disk_write_bps=3e9))
+    return cluster
 
 
 @dataclasses.dataclass
@@ -252,13 +272,26 @@ class FluidSimulator:
         self._loop.schedule(t_down, vc.fail)
         self._loop.schedule(t_up, vc.restore)
 
-    def migrate_flow(self, flow_id: int, vc: VirtualCircuit, at_time: float) -> None:
+    def migrate_flow(
+        self,
+        flow_id: int,
+        vc: VirtualCircuit,
+        at_time: float,
+        fresh_ramp: bool = False,
+    ) -> None:
         """Move a running best-effort flow onto circuit ``vc`` at ``at_time``.
 
         The fallback-to-IP policy's second half: a transfer that started
         on the routed path migrates to its circuit once signalling
         completes, recovering the rate guarantee for the remaining
         bytes.  A no-op if the flow already finished.
+
+        ``fresh_ramp=True`` models a GridFTP client that opens *new* data
+        channels onto the circuit instead of rebinding the established
+        ones: the migrated flow re-enters TCP slow start on the circuit
+        path and moves no fluid until the startup penalty elapses.  The
+        default keeps the warmed windows (channel reuse), migrating at
+        full rate immediately.
         """
         if at_time < self._loop.now:
             raise ValueError("cannot schedule a migration in the past")
@@ -282,6 +315,15 @@ class FluidSimulator:
             flow.demand_cap_bps = min(
                 tcp.steady_rate_bps(n_conn), dtn_cap, vc.rate_bps
             )
+            if fresh_ramp:
+                # new data channels: slow start all over again on the
+                # circuit path, held in the pending pool meanwhile
+                penalty = tcp.startup_penalty_s(flow.demand_cap_bps, n_conn)
+                if penalty > 0:
+                    flow.active_time = max(
+                        flow.active_time, self._loop.now + penalty
+                    )
+                    self._loop.schedule(flow.active_time, self._recompute)
             self._watch_circuit(vc)
             # re-enter through the pending pool; the flush re-admits it
             # on the circuit side this same instant if it is active

@@ -17,28 +17,25 @@ Two scenarios:
 
 Both return the transfer log *and* enough context (link series, category
 masks) for the core analyses to run unchanged.
+
+The chaos and profiling campaign machinery that used to live here moved
+to :mod:`repro.experiments.campaigns` (the declarative experiment
+framework); the public names are re-exported unchanged for callers that
+import them from this module.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import math
-from collections.abc import Sequence
 
 import numpy as np
 
-from ..faults.injector import FaultInjector
-from ..faults.recovery import BackoffPolicy, RecoveryStats
-from ..faults.spec import FaultKind, FaultSpec
 from ..gridftp.client import TransferJob
 from ..gridftp.records import TransferLog
-from ..gridftp.reliability import RestartPolicy
 from ..gridftp.server import DtnCluster, DtnSpec, EndpointKind
 from ..net.crosstraffic import CrossTrafficConfig, generate_cross_traffic
 from ..net.topology import Topology, esnet_like
-from ..vc.oscars import OscarsIDC, ReservationRejected, ReservationRequest
-from ..vc.policy import FallbackMode, FallbackPolicy
-from .experiment import FluidSimulator
+from .experiment import FluidSimulator, default_dtns
 from .probe import SimProbe
 
 __all__ = [
@@ -57,23 +54,26 @@ __all__ = [
     "profile_campaign",
 ]
 
+#: campaign names that moved to the experiment framework, re-exported
+#: lazily (PEP 562) so importing this module does not pull the whole
+#: experiments package in — that would be a circular import, since the
+#: campaigns module itself builds on :mod:`repro.sim`
+_MOVED_TO_CAMPAIGNS = (
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos",
+    "chaos_sweep",
+    "ProfileReport",
+    "profile_campaign",
+)
 
-def default_dtns(topology: Topology) -> DtnCluster:
-    """DTN budgets for every site, tuned to the paper's observed regimes.
 
-    NERSC's disk-write pool is the tightest (Fig. 1's bottleneck); NCAR's
-    cluster width is 3 (the 2009 ``frost`` configuration).
-    """
-    cluster = DtnCluster()
-    cluster.add(DtnSpec("NERSC", nic_bps=7e9, disk_read_bps=4.5e9, disk_write_bps=2.3e9))
-    cluster.add(DtnSpec("ANL", nic_bps=6e9, disk_read_bps=4.5e9, disk_write_bps=4e9))
-    cluster.add(DtnSpec("ORNL", nic_bps=6e9, disk_read_bps=4.5e9, disk_write_bps=3.5e9))
-    cluster.add(DtnSpec("NCAR", nic_bps=2.2e9, disk_read_bps=1.8e9, disk_write_bps=1.5e9, n_servers=3))
-    cluster.add(DtnSpec("NICS", nic_bps=6e9, disk_read_bps=4.5e9, disk_write_bps=4e9))
-    cluster.add(DtnSpec("SLAC", nic_bps=5e9, disk_read_bps=4e9, disk_write_bps=3e9))
-    cluster.add(DtnSpec("BNL", nic_bps=5e9, disk_read_bps=4e9, disk_write_bps=3e9))
-    cluster.add(DtnSpec("LANL", nic_bps=5e9, disk_read_bps=4e9, disk_write_bps=3e9))
-    return cluster
+def __getattr__(name: str):
+    if name in _MOVED_TO_CAMPAIGNS:
+        from ..experiments import campaigns
+
+        return getattr(campaigns, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -359,444 +359,3 @@ def vc_replay_scenario(seed: int = 11, n_jobs: int = 40) -> ReplayScenario:
         vc_rate_bps=3e9,
     )
 
-
-# -- chaos: fault-injection campaigns over the full VC + transfer stack ------
-
-
-@dataclasses.dataclass(frozen=True)
-class ChaosConfig:
-    """One chaos campaign: a VC-backed session under injected faults.
-
-    ``n_jobs`` transfers between ``src`` and ``dst`` each request a
-    ``vc_rate_bps`` circuit; the fault knobs inject IDC rejections
-    (retried with ``backoff``), signalling timeouts of
-    ``setup_extra_delay_s`` (long enough to trip ``fallback``'s
-    deadline), mid-transfer circuit flaps (recovered through ``restart``
-    markers), and optional endpoint outages at the destination site.
-    """
-
-    n_jobs: int = 10
-    job_bytes: float = 10e9
-    job_spacing_s: float = 600.0
-    first_submit_s: float = 200.0
-    src: str = "NERSC"
-    dst: str = "ORNL"
-    vc_rate_bps: float = 3e9
-    streams: int = 8
-    #: per-request fault probabilities (Bernoulli per createReservation)
-    rejection_prob: float = 0.0
-    setup_timeout_prob: float = 0.0
-    setup_extra_delay_s: float = 240.0
-    #: time-driven faults while a job rides its circuit
-    flaps_per_hour: float = 0.0
-    flap_duration_s: float = 20.0
-    endpoint_outages_per_hour: float = 0.0
-    endpoint_outage_s: float = 30.0
-    fallback: FallbackPolicy = FallbackPolicy()
-    backoff: BackoffPolicy = BackoffPolicy()
-    restart: RestartPolicy = RestartPolicy(marker_interval_bytes=64e6, reconnect_s=5.0)
-
-    def __post_init__(self) -> None:
-        if self.n_jobs < 1:
-            raise ValueError("need at least one job")
-        if self.job_bytes <= 0 or self.vc_rate_bps <= 0:
-            raise ValueError("job size and circuit rate must be positive")
-
-    def job_size(self, i: int) -> float:
-        """Per-job size, slightly perturbed so jobs are distinguishable."""
-        return self.job_bytes * (1.0 + 1e-3 * i)
-
-    def submit_time(self, i: int) -> float:
-        return self.first_submit_s + i * self.job_spacing_s
-
-    def est_duration_s(self, i: int) -> float:
-        """Fault-free transfer time at the circuit rate."""
-        return self.job_size(i) * 8.0 / self.vc_rate_bps
-
-    def build_injector(self, seed: int) -> FaultInjector:
-        """The injector this config describes (deterministic under seed)."""
-        specs = []
-        if self.rejection_prob > 0:
-            specs.append(
-                FaultSpec(FaultKind.IDC_REJECTION, probability=self.rejection_prob)
-            )
-        if self.setup_timeout_prob > 0:
-            specs.append(
-                FaultSpec(
-                    FaultKind.VC_SETUP_TIMEOUT,
-                    probability=self.setup_timeout_prob,
-                    extra_delay_s=self.setup_extra_delay_s,
-                )
-            )
-        if self.flaps_per_hour > 0:
-            specs.append(
-                FaultSpec(
-                    FaultKind.CIRCUIT_FLAP,
-                    rate_per_hour=self.flaps_per_hour,
-                    duration_s=self.flap_duration_s,
-                )
-            )
-        if self.endpoint_outages_per_hour > 0:
-            specs.append(
-                FaultSpec(
-                    FaultKind.ENDPOINT_OUTAGE,
-                    rate_per_hour=self.endpoint_outages_per_hour,
-                    duration_s=self.endpoint_outage_s,
-                    target=self.dst,
-                )
-            )
-        return FaultInjector(specs, seed=seed)
-
-
-@dataclasses.dataclass(frozen=True)
-class ChaosReport:
-    """What one chaos campaign did to the session, vs its clean twin."""
-
-    n_jobs: int
-    n_completed: int
-    #: per-job service mode: "vc", "migrate", or "ip"
-    modes: tuple[str, ...]
-    #: per-job injected flap counts (0 for jobs that never rode a circuit)
-    flaps_per_job: tuple[int, ...]
-    #: fraction of jobs that rode their circuit end to end, flap-free
-    availability: float
-    goodput_clean_bps: float
-    goodput_chaos_bps: float
-    #: 1 - chaos/clean goodput (0 = unharmed)
-    goodput_degradation: float
-    #: completion-time inflation quantiles (chaos wall / clean wall)
-    p50_inflation: float
-    p99_inflation: float
-    #: end-to-end walls per job, submit -> last byte, seconds
-    wall_clean_s: tuple[float, ...]
-    wall_chaos_s: tuple[float, ...]
-    stats: RecoveryStats
-    n_flaps_injected: int
-    n_circuit_flaps_seen: int
-    marker_rollback_bytes: float
-    n_idc_rejections: int
-    n_setup_timeouts: int
-    flaps_per_hour: float
-    #: the control-plane fault knobs this campaign ran under (sweep axes)
-    rejection_prob: float = 0.0
-    setup_timeout_prob: float = 0.0
-    #: engine instrumentation from the chaos run (defaults: pre-probe reports)
-    n_events: int = 0
-    n_alloc_passes: int = 0
-    mean_flows_per_pass: float = 0.0
-    max_flows_touched: int = 0
-
-
-def _merge_intervals(
-    intervals: list[tuple[float, float]],
-) -> list[tuple[float, float]]:
-    """Coalesce overlaps so a circuit is never failed twice at once."""
-    merged: list[list[float]] = []
-    for a, b in sorted(intervals):
-        if merged and a <= merged[-1][1]:
-            merged[-1][1] = max(merged[-1][1], b)
-        else:
-            merged.append([a, b])
-    return [(a, b) for a, b in merged]
-
-
-def _run_campaign(
-    config: ChaosConfig,
-    injector: FaultInjector | None,
-    seed: int,
-) -> tuple[dict[int, float], list[str], list[int], RecoveryStats, FluidSimulator]:
-    """One full session: reserve (with retry), fall back, flap, transfer.
-
-    Returns per-job end-to-end wall seconds (submit to last byte), the
-    per-job service modes, per-job injected flap counts, the recovery
-    counters, and the simulator (for its flap/rollback bookkeeping).
-    """
-    topology = esnet_like()
-    dtns = default_dtns(topology)
-    sim = FluidSimulator(topology, dtns, restart_policy=config.restart)
-    idc = OscarsIDC(topology, fault_injector=injector)
-    rng = np.random.default_rng(seed + 1)  # backoff jitter draws
-    stats = RecoveryStats()
-    modes: list[str] = []
-    flap_counts: list[int] = []
-    horizon = config.submit_time(config.n_jobs - 1) + config.job_spacing_s
-
-    job_fids: dict[int, int] = {}  # flow id -> job index
-    for i in range(config.n_jobs):
-        submit = config.submit_time(i)
-        size = config.job_size(i)
-        est = config.est_duration_s(i)
-        job = TransferJob(
-            submit_time=submit,
-            src=config.src,
-            dst=config.dst,
-            size_bytes=size,
-            streams=config.streams,
-        )
-        request = ReservationRequest(
-            src=config.src,
-            dst=config.dst,
-            bandwidth_bps=config.vc_rate_bps,
-            start_time=submit,
-            end_time=submit + 2.0 * est + 600.0,
-        )
-        try:
-            vc, _waited = idc.create_reservation_with_retry(
-                request,
-                request_time=submit,
-                backoff=config.backoff,
-                rng=rng,
-                stats=stats,
-            )
-        except ReservationRejected:
-            vc = None
-        if vc is None:
-            # retry budget exhausted: the transfer still runs, routed IP
-            stats.n_fallbacks += 1
-            job_fids[sim.submit(job)] = i
-            modes.append("ip")
-            flap_counts.append(0)
-            continue
-        decision = config.fallback.decide(submit, vc.start_time)
-        if decision.mode is FallbackMode.VC:
-            delayed = dataclasses.replace(job, submit_time=decision.start_time)
-            job_fids[sim.submit(delayed, vc=vc)] = i
-            modes.append("vc")
-            ride_start = decision.start_time
-        elif decision.mode is FallbackMode.IP_THEN_MIGRATE:
-            fid = sim.submit(job)
-            job_fids[fid] = i
-            sim.migrate_flow(fid, vc, decision.migrate_at)
-            stats.n_fallbacks += 1
-            stats.n_migrations += 1
-            modes.append("migrate")
-            ride_start = decision.migrate_at
-        else:
-            stats.n_fallbacks += 1
-            job_fids[sim.submit(job)] = i
-            modes.append("ip")
-            flap_counts.append(0)
-            continue
-        # flap the circuit over the window it may actually carry the job
-        n_flaps = 0
-        if injector is not None:
-            window_end = ride_start + 3.0 * est + 300.0
-            flaps = _merge_intervals(
-                injector.flap_intervals(ride_start, window_end)
-            )
-            for t_down, t_up in flaps:
-                sim.inject_circuit_flap(vc, t_down, t_up)
-            n_flaps = len(flaps)
-            stats.n_flaps += n_flaps
-        flap_counts.append(n_flaps)
-
-    if injector is not None:
-        injector.arm(sim, 0.0, horizon)
-    sim.run()
-
-    # walls come straight off the simulator's flow-completion map: end
-    # to end from the *original* submit, even for delayed/migrated jobs
-    walls: dict[int, float] = {}
-    for fid, i in job_fids.items():
-        completion = sim.flow_completions.get(fid)
-        if completion is not None:
-            walls[i] = completion[1] - config.submit_time(i)
-    return walls, modes, flap_counts, stats, sim
-
-
-def run_chaos(config: ChaosConfig, seed: int = 0) -> ChaosReport:
-    """Run one chaos campaign and its fault-free twin; report the damage.
-
-    Deterministic under ``seed``: the injector's fault schedule, the
-    backoff jitter, and the simulator are all seeded, so the same call
-    returns the same report — which is what lets tests assert on
-    recovery behaviour rather than eyeball it.
-    """
-    injector = config.build_injector(seed)
-    chaos_walls, modes, flap_counts, stats, sim = _run_campaign(
-        config, injector, seed
-    )
-    clean_walls, _, _, _, _ = _run_campaign(config, None, seed)
-
-    jobs = range(config.n_jobs)
-    completed = [i for i in jobs if i in chaos_walls]
-    total_bits = sum(config.job_size(i) * 8.0 for i in completed)
-    chaos_time = sum(chaos_walls[i] for i in completed)
-    clean_done = [i for i in jobs if i in clean_walls]
-    clean_bits = sum(config.job_size(i) * 8.0 for i in clean_done)
-    clean_time = sum(clean_walls[i] for i in clean_done)
-    goodput_chaos = total_bits / chaos_time if chaos_time > 0 else 0.0
-    goodput_clean = clean_bits / clean_time if clean_time > 0 else 0.0
-    both = [i for i in completed if i in clean_walls]
-    inflations = (
-        np.array([chaos_walls[i] / clean_walls[i] for i in both])
-        if both
-        else np.array([np.inf])
-    )
-    flapless_vc = sum(
-        1 for i in jobs if modes[i] == "vc" and flap_counts[i] == 0 and i in chaos_walls
-    )
-    return ChaosReport(
-        n_jobs=config.n_jobs,
-        n_completed=len(completed),
-        modes=tuple(modes),
-        flaps_per_job=tuple(flap_counts),
-        availability=flapless_vc / config.n_jobs,
-        goodput_clean_bps=goodput_clean,
-        goodput_chaos_bps=goodput_chaos,
-        goodput_degradation=(
-            1.0 - goodput_chaos / goodput_clean if goodput_clean > 0 else 1.0
-        ),
-        p50_inflation=float(np.percentile(inflations, 50)),
-        p99_inflation=float(np.percentile(inflations, 99)),
-        wall_clean_s=tuple(clean_walls.get(i, math.inf) for i in jobs),
-        wall_chaos_s=tuple(chaos_walls.get(i, math.inf) for i in jobs),
-        stats=stats,
-        n_flaps_injected=sum(flap_counts),
-        n_circuit_flaps_seen=sim.n_circuit_flaps,
-        marker_rollback_bytes=sim.marker_rollback_bytes,
-        n_idc_rejections=injector.count(FaultKind.IDC_REJECTION),
-        n_setup_timeouts=injector.count(FaultKind.VC_SETUP_TIMEOUT),
-        flaps_per_hour=config.flaps_per_hour,
-        rejection_prob=config.rejection_prob,
-        setup_timeout_prob=config.setup_timeout_prob,
-        n_events=sim.probe.n_events,
-        n_alloc_passes=sim.probe.n_alloc_passes,
-        mean_flows_per_pass=sim.probe.mean_flows_per_pass,
-        max_flows_touched=sim.probe.max_flows_touched,
-    )
-
-
-def chaos_sweep(
-    flap_rates_per_hour: Sequence[float],
-    config: ChaosConfig | None = None,
-    seed: int = 0,
-    rejection_probs: Sequence[float] | None = None,
-    timeout_probs: Sequence[float] | None = None,
-) -> list[ChaosReport]:
-    """Sweep fault knobs; one deterministic campaign per grid point.
-
-    ``flap_rates_per_hour`` is always swept.  ``rejection_probs`` and
-    ``timeout_probs`` optionally add IDC control-plane axes; omitted axes
-    stay pinned at ``config``'s value (default: a moderately hostile IDC —
-    30% rejections, 20% setup timeouts), so the single-axis call isolates
-    how goodput and completion-time inflation scale with data-plane
-    instability while the control-plane noise stays fixed.
-
-    Reports come back in ``itertools.product`` order — rejection outermost,
-    then timeout, then flap rate — so a pure flap sweep keeps its
-    historical ordering and a full grid reshapes to
-    ``(len(rejection_probs), len(timeout_probs), len(flap_rates))``.
-    """
-    base = config or ChaosConfig(rejection_prob=0.3, setup_timeout_prob=0.2)
-    rejections = (
-        [base.rejection_prob] if rejection_probs is None else list(rejection_probs)
-    )
-    timeouts = (
-        [base.setup_timeout_prob] if timeout_probs is None else list(timeout_probs)
-    )
-    reports = []
-    for rej in rejections:
-        for tmo in timeouts:
-            for rate in flap_rates_per_hour:
-                point = dataclasses.replace(
-                    base,
-                    flaps_per_hour=float(rate),
-                    rejection_prob=float(rej),
-                    setup_timeout_prob=float(tmo),
-                )
-                reports.append(run_chaos(point, seed=seed))
-    return reports
-
-
-# -- profiling: observe what the incremental engine actually does ------------
-
-
-@dataclasses.dataclass(frozen=True)
-class ProfileReport:
-    """Instrumented campaign run, optionally raced against the oracle."""
-
-    n_jobs: int
-    n_completed: int
-    allocator: str
-    wall_s: float
-    probe: SimProbe
-    #: wall-clock of the identical campaign on the oracle path (if raced)
-    oracle_wall_s: float | None = None
-
-    @property
-    def speedup(self) -> float | None:
-        if self.oracle_wall_s is None or self.wall_s <= 0:
-            return None
-        return self.oracle_wall_s / self.wall_s
-
-    def format(self) -> str:
-        lines = [
-            f"profile: {self.n_jobs} jobs, {self.n_completed} completed"
-            f" ({self.allocator} allocator)",
-            f"  wall clock          {self.wall_s:>12.3f} s",
-            self.probe.format_table(),
-        ]
-        if self.oracle_wall_s is not None:
-            lines.append(f"  oracle wall         {self.oracle_wall_s:>12.3f} s")
-            lines.append(f"  speedup             {self.speedup:>12.2f}x")
-        return "\n".join(lines)
-
-
-def _profile_jobs(n_jobs: int, seed: int) -> list[TransferJob]:
-    """A heavily concurrent all-to-all campaign for profiling runs."""
-    rng = np.random.default_rng(seed)
-    sites = ["NERSC", "ANL", "ORNL", "SLAC", "BNL", "LANL", "NICS"]
-    jobs = []
-    for _ in range(n_jobs):
-        src, dst = rng.choice(len(sites), size=2, replace=False)
-        jobs.append(
-            TransferJob(
-                submit_time=float(rng.uniform(0.0, n_jobs * 2.0)),
-                src=sites[int(src)],
-                dst=sites[int(dst)],
-                size_bytes=float(rng.uniform(2e9, 20e9)),
-                streams=int(rng.choice([1, 2, 4, 8])),
-            )
-        )
-    jobs.sort(key=lambda j: j.submit_time)
-    return jobs
-
-
-def profile_campaign(
-    n_jobs: int = 300,
-    seed: int = 0,
-    allocator: str = "incremental",
-    compare_oracle: bool = False,
-) -> ProfileReport:
-    """Run an instrumented synthetic campaign; report counters and wall time.
-
-    The workload is an all-to-all mix of best-effort science transfers with
-    heavy overlap, so the dirty-set machinery has real components to chew
-    on.  ``compare_oracle=True`` re-runs the identical campaign through the
-    full-recompute oracle and reports the speedup.
-    """
-    import time as _time
-
-    def _run(mode: str) -> tuple[float, SimProbe, int]:
-        topology = esnet_like()
-        dtns = default_dtns(topology)
-        sim = FluidSimulator(topology, dtns, allocator=mode)
-        for job in _profile_jobs(n_jobs, seed):
-            sim.submit(job)
-        t0 = _time.perf_counter()
-        result = sim.run()
-        return _time.perf_counter() - t0, result.probe, len(result.log)
-
-    wall, probe, n_done = _run(allocator)
-    oracle_wall = None
-    if compare_oracle:
-        oracle_wall, _, _ = _run("oracle")
-    return ProfileReport(
-        n_jobs=n_jobs,
-        n_completed=n_done,
-        allocator=allocator,
-        wall_s=wall,
-        probe=probe,
-        oracle_wall_s=oracle_wall,
-    )

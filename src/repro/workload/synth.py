@@ -41,6 +41,8 @@ __all__ = [
     "nersc_ornl_32gb",
     "nersc_anl_tests",
     "AnlTestSet",
+    "generate",
+    "GENERATORS",
     "NCAR_NICS_N_TRANSFERS",
     "SLAC_BNL_N_TRANSFERS",
 ]
@@ -642,3 +644,38 @@ def nersc_anl_tests(seed: int = 334, batches: int = 100) -> AnlTestSet:
         name: cat_sorted == i for i, name in enumerate(_ANL_CATEGORIES)
     }
     return AnlTestSet(log=log, masks=masks)
+
+
+# -- spec-driven generation entry point --------------------------------------
+
+#: generator name -> callable(seed=..., **kwargs); the names the
+#: experiment framework's "synth" scenario accepts as its ``dataset``
+GENERATORS = {
+    "ncar-nics": ncar_nics,
+    "slac-bnl": slac_bnl,
+    "nersc-ornl-32gb": nersc_ornl_32gb,
+    "nersc-anl-tests": nersc_anl_tests,
+}
+
+
+def generate(dataset: str, seed: int | None = None, **kwargs) -> TransferLog:
+    """Generate one calibrated dataset by name — the spec-driven entry.
+
+    ``dataset`` is a :data:`GENERATORS` key; ``seed=None`` keeps the
+    generator's own calibrated default seed.  Extra keyword arguments
+    pass through to the generator (``n_transfers=...``, or ``batches=...``
+    for the ANL test set).  Always returns a
+    :class:`~repro.gridftp.records.TransferLog` — the ANL test set's
+    category masks are dropped here; call :func:`nersc_anl_tests`
+    directly when you need them.
+    """
+    try:
+        fn = GENERATORS[dataset]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {dataset!r}; available: {sorted(GENERATORS)}"
+        ) from None
+    if seed is not None:
+        kwargs["seed"] = int(seed)
+    out = fn(**kwargs)
+    return out.log if isinstance(out, AnlTestSet) else out

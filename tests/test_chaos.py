@@ -248,6 +248,29 @@ class TestSimulatorFlapMechanics:
         result = sim.run()
         assert len(result.log) == 1
 
+    def test_fresh_ramp_migration_costs_a_slow_start(self):
+        """fresh_ramp=True re-enters slow start; channel reuse does not.
+
+        A client that opens new data channels onto the circuit pays the
+        TCP startup penalty again at migration time, so its transfer
+        takes strictly longer than one that rebinds its warmed channels
+        — and both must still complete on the circuit.
+        """
+        job = TransferJob(submit_time=0.0, src="NERSC", dst="ORNL",
+                          size_bytes=20e9, streams=8)
+        durations = {}
+        for fresh in (False, True):
+            topo, sim = self._sim()
+            vc = self._circuit(topo, rate=3e9)
+            fid = sim.submit(job)
+            sim.migrate_flow(fid, vc, at_time=10.0, fresh_ramp=fresh)
+            result = sim.run()
+            assert len(result.log) == 1
+            durations[fresh] = float(result.log.duration[0])
+        assert durations[True] > durations[False]
+        # the gap is a startup-scale pause, not a stall for the ages
+        assert durations[True] - durations[False] < 60.0
+
     def test_flap_validation(self):
         topo, sim = self._sim()
         vc = self._circuit(topo)

@@ -1,0 +1,459 @@
+"""Tests for the declarative experiment framework.
+
+Covers the spec layer (loading, validation, grid expansion, seeding),
+the content-addressed artifact cache, the Runner's serial and parallel
+executors with quarantine semantics, and the ``repro-gridftp run`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.rng import derive_seed
+from repro.experiments import (
+    CampaignResult,
+    ExperimentSpec,
+    ResultCache,
+    Runner,
+    canonical_json,
+    cell_key,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+# -- cheap scenarios registered for these tests ------------------------------
+# (the registry is process-global; fork-started workers inherit them)
+
+
+@register_scenario("t-echo")
+def _t_echo(params, seed):
+    return {"x": params["x"], "y": params.get("y", 0), "seed": seed}
+
+
+@register_scenario("t-boom")
+def _t_boom(params, seed):
+    if params["x"] == 2:
+        raise ValueError("x=2 is cursed")
+    return {"x": params["x"]}
+
+
+@register_scenario("t-sleep")
+def _t_sleep(params, seed):
+    time.sleep(float(params["sleep_s"]))
+    return {"slept": params["sleep_s"]}
+
+
+# -- spec loading and validation ---------------------------------------------
+
+
+class TestSpecLoading:
+    def test_from_toml_file(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            'name = "grid"\n'
+            'scenario = "t-echo"\n'
+            "seed = 7\n"
+            'seed_mode = "shared"\n'
+            "[params]\n"
+            "y = 5\n"
+            "[axes]\n"
+            "x = [1, 2, 3]\n"
+        )
+        spec = ExperimentSpec.from_file(path)
+        assert spec.name == "grid"
+        assert spec.scenario == "t-echo"
+        assert spec.seed == 7
+        assert spec.seed_mode == "shared"
+        assert spec.params == {"y": 5}
+        assert spec.axes == {"x": (1, 2, 3)}
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "grid",
+                    "scenario": "t-echo",
+                    "axes": {"x": [1, 2]},
+                }
+            )
+        )
+        spec = ExperimentSpec.from_file(path)
+        assert spec.n_cells == 2
+        assert spec.seed == 0
+        assert spec.seed_mode == "per-cell"
+
+    def test_to_dict_round_trip(self):
+        spec = ExperimentSpec(
+            name="rt",
+            scenario="t-echo",
+            params={"y": 1},
+            axes={"x": (1, 2)},
+            seed=3,
+            seed_mode="shared",
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec keys"):
+            ExperimentSpec.from_dict(
+                {"name": "a", "scenario": "t-echo", "bogus": 1}
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"name": "", "scenario": "s"}, "needs a name"),
+            ({"name": "a", "scenario": ""}, "needs a scenario"),
+            (
+                {"name": "a", "scenario": "s", "seed_mode": "wat"},
+                "seed_mode",
+            ),
+            (
+                {"name": "a", "scenario": "s", "axes": {"x": []}},
+                "empty",
+            ),
+            (
+                {"name": "a", "scenario": "s", "axes": {"x": "abc"}},
+                "list of values",
+            ),
+            (
+                {
+                    "name": "a",
+                    "scenario": "s",
+                    "params": {"x": 1},
+                    "axes": {"x": [1, 2]},
+                },
+                "shadow",
+            ),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ExperimentSpec(**kwargs)
+
+
+class TestSpecExpansion:
+    def test_product_order_first_axis_outermost(self):
+        spec = ExperimentSpec(
+            name="g",
+            scenario="t-echo",
+            axes={"a": (1, 2), "b": (10, 20, 30)},
+        )
+        assert spec.n_cells == 6
+        cells = spec.cells()
+        assert [c.coords for c in cells] == [
+            {"a": 1, "b": 10},
+            {"a": 1, "b": 20},
+            {"a": 1, "b": 30},
+            {"a": 2, "b": 10},
+            {"a": 2, "b": 20},
+            {"a": 2, "b": 30},
+        ]
+        assert [c.index for c in cells] == list(range(6))
+
+    def test_params_overlaid_with_coords(self):
+        spec = ExperimentSpec(
+            name="g", scenario="t-echo", params={"y": 9}, axes={"x": (1, 2)}
+        )
+        for cell in spec.cells():
+            assert cell.params == {"y": 9, "x": cell.coords["x"]}
+
+    def test_no_axes_single_cell(self):
+        spec = ExperimentSpec(name="g", scenario="t-echo", params={"x": 1})
+        cells = spec.cells()
+        assert len(cells) == 1
+        assert cells[0].coords == {}
+        assert cells[0].params == {"x": 1}
+
+    def test_per_cell_seeds_distinct_and_deterministic(self):
+        spec = ExperimentSpec(
+            name="g", scenario="t-echo", axes={"x": (1, 2, 3)}, seed=42
+        )
+        seeds = [c.seed for c in spec.cells()]
+        assert len(set(seeds)) == 3
+        assert seeds == [derive_seed(42, i) for i in range(3)]
+        # stable across expansions
+        assert seeds == [c.seed for c in spec.cells()]
+
+    def test_shared_seed_mode(self):
+        spec = ExperimentSpec(
+            name="g",
+            scenario="t-echo",
+            axes={"x": (1, 2, 3)},
+            seed=42,
+            seed_mode="shared",
+        )
+        assert [c.seed for c in spec.cells()] == [42, 42, 42]
+
+
+# -- the artifact cache ------------------------------------------------------
+
+
+class TestResultCache:
+    def test_key_independent_of_param_order(self):
+        a = cell_key("s", {"x": 1, "y": 2}, 7)
+        b = cell_key("s", {"y": 2, "x": 1}, 7)
+        assert a == b
+        assert cell_key("s", {"x": 1, "y": 3}, 7) != a
+        assert cell_key("s", {"x": 1, "y": 2}, 8) != a
+        assert cell_key("other", {"x": 1, "y": 2}, 7) != a
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("s", {"x": 1}, 0)
+        assert cache.get(key) is None
+        cache.put(key, "s", {"x": 1}, 0, {"metric": 3.5}, wall_s=0.25)
+        payload = cache.get(key)
+        assert payload["result"] == {"metric": 3.5}
+        assert payload["wall_s"] == 0.25
+        assert payload["scenario"] == "s"
+        assert len(cache) == 1
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("s", {"x": 1}, 0)
+        cache.put(key, "s", {"x": 1}, 0, {"m": 1}, wall_s=0.1)
+        cache.path_for(key).write_text("{ not json")
+        assert cache.get(key) is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("s", {"x": 1}, 0)
+        cache.put(key, "s", {"x": 1}, 0, {"m": 1}, wall_s=0.1)
+        payload = json.loads(cache.path_for(key).read_text())
+        payload["v"] = 999
+        cache.path_for(key).write_text(json.dumps(payload))
+        assert cache.get(key) is None
+
+
+# -- the Runner --------------------------------------------------------------
+
+
+def _echo_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="echo",
+        scenario="t-echo",
+        params={"y": 1},
+        axes={"x": (1, 2, 3, 4)},
+        seed=5,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestRunnerSerial:
+    def test_results_in_grid_order(self):
+        campaign = Runner().run(_echo_spec())
+        assert isinstance(campaign, CampaignResult)
+        assert campaign.n_cells == 4
+        assert campaign.n_executed == 4
+        assert campaign.n_cached == 0
+        assert campaign.n_failed == 0
+        assert [r["x"] for r in campaign.results()] == [1, 2, 3, 4]
+        seeds = {r["seed"] for r in campaign.results()}
+        assert seeds == {derive_seed(5, i) for i in range(4)}
+        assert all(c.wall_s >= 0 for c in campaign.cells)
+
+    def test_unknown_scenario_fails_fast(self):
+        spec = ExperimentSpec(name="x", scenario="no-such-scenario")
+        with pytest.raises(KeyError, match="no-such-scenario"):
+            Runner().run(spec)
+
+    def test_warm_cache_executes_zero_cells(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = _echo_spec()
+        first = Runner(cache=cache).run(spec)
+        assert first.n_executed == 4
+        second = Runner(cache=cache).run(spec)
+        assert second.n_executed == 0
+        assert second.n_cached == 4
+        assert second.results() == first.results()
+
+    def test_cache_invalidated_by_changed_inputs(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        Runner(cache=cache).run(_echo_spec())
+        # new seed -> all four cells recompute
+        campaign = Runner(cache=cache).run(_echo_spec(seed=6))
+        assert campaign.n_executed == 4
+        # growing an axis keeps the old cells' artifacts valid: indices
+        # 0..3 have unchanged (params, seed) pairs, only cell 4 is new
+        campaign = Runner(cache=cache).run(_echo_spec(axes={"x": (1, 2, 3, 4, 5)}))
+        assert campaign.n_cached == 4
+        assert campaign.n_executed == 1
+
+    def test_force_recomputes_but_still_stores(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = _echo_spec()
+        Runner(cache=cache).run(spec)
+        forced = Runner(cache=cache).run(spec, force=True)
+        assert forced.n_executed == 4
+        assert forced.n_cached == 0
+        again = Runner(cache=cache).run(spec)
+        assert again.n_cached == 4
+
+    def test_quarantine_keeps_campaign_alive(self):
+        spec = ExperimentSpec(
+            name="boom", scenario="t-boom", axes={"x": (1, 2, 3)}
+        )
+        campaign = Runner().run(spec)
+        assert campaign.n_failed == 1
+        assert campaign.n_executed == 2
+        bad = campaign.cells[1]
+        assert not bad.ok
+        assert "ValueError" in bad.error and "cursed" in bad.error
+        assert campaign.cells[0].ok and campaign.cells[2].ok
+        with pytest.raises(RuntimeError, match="quarantined"):
+            campaign.results()
+
+    def test_failed_cells_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = ExperimentSpec(
+            name="boom", scenario="t-boom", axes={"x": (1, 2, 3)}
+        )
+        Runner(cache=cache).run(spec)
+        assert len(cache) == 2
+        second = Runner(cache=cache).run(spec)
+        assert second.n_cached == 2
+        assert second.n_failed == 1  # retried, failed again
+
+    def test_format_summary_line(self):
+        campaign = Runner().run(_echo_spec())
+        text = campaign.format()
+        assert "cells: 4 total, 4 executed, 0 cached, 0 failed" in text
+        assert "campaign 'echo'" in text
+        assert "x=3" in text
+
+
+class TestRunnerParallel:
+    def test_parallel_matches_serial(self):
+        spec = _echo_spec()
+        serial = Runner(jobs=1).run(spec)
+        parallel = Runner(jobs=2, chunk_size=1).run(spec)
+        assert parallel.results() == serial.results()
+        assert parallel.n_executed == 4
+
+    def test_parallel_fills_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = _echo_spec()
+        Runner(jobs=2, cache=cache).run(spec)
+        warm = Runner(jobs=2, cache=cache).run(spec)
+        assert warm.n_executed == 0
+        assert warm.n_cached == 4
+
+    def test_parallel_quarantines_exceptions(self):
+        spec = ExperimentSpec(
+            name="boom", scenario="t-boom", axes={"x": (1, 2, 3)}
+        )
+        campaign = Runner(jobs=2).run(spec)
+        assert campaign.n_failed == 1
+        assert "cursed" in campaign.cells[1].error
+        assert campaign.cells[0].result == {"x": 1}
+
+    def test_cell_timeout_quarantines(self):
+        spec = ExperimentSpec(
+            name="slow",
+            scenario="t-sleep",
+            axes={"sleep_s": (0.0, 1.5)},
+        )
+        campaign = Runner(jobs=2, cell_timeout_s=0.3).run(spec)
+        assert campaign.cells[0].ok
+        slow = campaign.cells[1]
+        assert not slow.ok
+        assert "TimeoutError" in slow.error
+        assert "0.3 s budget" in slow.error
+
+    def test_bad_runner_args(self):
+        with pytest.raises(ValueError):
+            Runner(jobs=0)
+        with pytest.raises(ValueError):
+            Runner(chunk_size=0)
+
+
+# -- registry ----------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = scenario_names()
+        for expected in (
+            "chaos",
+            "profile",
+            "mechanistic",
+            "snmp",
+            "managed_service",
+            "synth",
+        ):
+            assert expected in names
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_scenario("t-echo")
+            def other(params, seed):  # pragma: no cover
+                return {}
+
+    def test_reregistering_same_fn_is_idempotent(self):
+        assert register_scenario("t-echo")(_t_echo) is _t_echo
+        assert get_scenario("t-echo") is _t_echo
+
+
+# -- the CLI `run` subcommand ------------------------------------------------
+
+
+class TestCliRun:
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "campaign.toml"
+        path.write_text(
+            'name = "cli-grid"\n'
+            'scenario = "t-echo"\n'
+            "seed = 3\n"
+            "[axes]\n"
+            "x = [1, 2]\n"
+            "y = [10, 20]\n"
+        )
+        return path
+
+    def test_run_then_warm_rerun(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = self._write_spec(tmp_path)
+        cache_dir = tmp_path / "cache"
+        rc = main(["run", str(spec), "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cells: 4 total, 4 executed, 0 cached, 0 failed" in out
+
+        rc = main(["run", str(spec), "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cells: 4 total, 0 executed, 4 cached, 0 failed" in out
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = self._write_spec(tmp_path)
+        for _ in range(2):
+            rc = main(["run", str(spec), "--no-cache"])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "4 executed, 0 cached" in out
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_failed_cell_sets_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "boom.toml"
+        path.write_text(
+            'name = "boom"\nscenario = "t-boom"\n[axes]\nx = [1, 2]\n'
+        )
+        rc = main(["run", str(path), "--no-cache"])
+        assert rc == 1
+        assert "1 failed" in capsys.readouterr().out

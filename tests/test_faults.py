@@ -370,12 +370,12 @@ class TestInjectorArm:
 
 class TestScenarioHelpers:
     def test_merge_intervals(self):
-        from repro.sim.scenarios import _merge_intervals
+        from repro.faults.injector import merge_intervals
 
-        assert _merge_intervals([(5.0, 9.0), (1.0, 3.0), (2.0, 4.0)]) == [
+        assert merge_intervals([(5.0, 9.0), (1.0, 3.0), (2.0, 4.0)]) == [
             (1.0, 4.0), (5.0, 9.0)
         ]
-        assert _merge_intervals([]) == []
+        assert merge_intervals([]) == []
 
     def test_scheduler_admission_counters(self):
         from repro.vc.scheduler import AdmissionError, BandwidthScheduler

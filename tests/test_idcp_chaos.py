@@ -1,0 +1,149 @@
+"""IDCP daisy-chain behaviour under per-domain injected faults.
+
+Multi-domain circuit setup is the paper's scalability substrate
+(Section II): a request daisy-chains through each domain's IDC, and any
+domain can reject or stall it independently.  These tests wire a
+:class:`~repro.faults.injector.FaultInjector` into individual domains of
+an :class:`~repro.vc.idcp.IdcpChain` and pin the two contracts that make
+the chain usable under faults:
+
+* a rejection anywhere rolls back every already-committed domain — no
+  orphaned segment reservations survive a failed end-to-end setup;
+* a signalling stall in one domain propagates downstream, pushing the
+  stitched circuit's usable start by (at least) the injected delay.
+"""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultKind, FaultSpec
+from repro.net.topology import esnet_like
+from repro.vc.circuits import BatchSignalling
+from repro.vc.idcp import DomainSegment, IdcpChain
+from repro.vc.oscars import OscarsIDC, ReservationRejected
+
+
+def _injector(*specs: FaultSpec) -> FaultInjector:
+    return FaultInjector(list(specs), seed=0)
+
+
+def _make_chain(topo, faulty: dict[str, FaultInjector] | None = None) -> IdcpChain:
+    """NERSC -> ANL -> ORNL -> BNL over three administrative domains."""
+    faulty = faulty or {}
+    hops = [("west", "NERSC", "ANL"), ("mid", "ANL", "ORNL"), ("east", "ORNL", "BNL")]
+    segments = [
+        DomainSegment(
+            name,
+            OscarsIDC(
+                topo,
+                setup_delay=BatchSignalling(1.0, 0.0),
+                fault_injector=faulty.get(name),
+            ),
+            ingress,
+            egress,
+        )
+        for name, ingress, egress in hops
+    ]
+    return IdcpChain(segments)
+
+
+class TestChainRollbackUnderRejection:
+    def test_last_domain_rejection_releases_upstream_reservations(self):
+        topo = esnet_like()
+        chain = _make_chain(
+            topo,
+            faulty={
+                "east": _injector(
+                    FaultSpec(FaultKind.IDC_REJECTION, probability=1.0)
+                )
+            },
+        )
+        with pytest.raises(ReservationRejected, match="injected IDC rejection"):
+            chain.create_circuit(1e9, request_time=0.0, end_time=10_000.0)
+        for seg in chain.segments:
+            assert seg.idc.scheduler.active_reservations == []
+
+    def test_middle_domain_signalling_failure_rolls_back_first(self):
+        topo = esnet_like()
+        chain = _make_chain(
+            topo,
+            faulty={
+                "mid": _injector(
+                    FaultSpec(FaultKind.VC_SETUP_FAILURE, probability=1.0)
+                )
+            },
+        )
+        with pytest.raises(ReservationRejected, match="signalling failure"):
+            chain.create_circuit(1e9, request_time=0.0, end_time=10_000.0)
+        for seg in chain.segments:
+            assert seg.idc.scheduler.active_reservations == []
+
+    def test_rollback_leaks_no_capacity(self):
+        """After a failed setup the full reservable bandwidth is back."""
+        topo = esnet_like()
+        rejecting = _make_chain(
+            topo,
+            faulty={
+                "east": _injector(
+                    FaultSpec(FaultKind.IDC_REJECTION, probability=1.0)
+                )
+            },
+        )
+        # a fat request that commits real capacity in west and mid first
+        with pytest.raises(ReservationRejected):
+            rejecting.create_circuit(8e9, request_time=0.0, end_time=10_000.0)
+        # the same domains (fresh chain over the same topology objects
+        # would hide a leak, so reuse these IDC instances fault-free)
+        for seg in rejecting.segments:
+            seg.idc.fault_injector = None
+        circuit = rejecting.create_circuit(8e9, request_time=0.0, end_time=10_000.0)
+        assert len(circuit.segments) == 3
+        rejecting.teardown(circuit)
+        for seg in rejecting.segments:
+            assert seg.idc.scheduler.active_reservations == []
+
+
+class TestChainStallPropagation:
+    def test_setup_timeout_pushes_usable_start_downstream(self):
+        topo = esnet_like()
+        clean = _make_chain(topo).create_circuit(
+            1e9, request_time=0.0, end_time=10_000.0
+        )
+        delay = 500.0
+        mid_injector = _injector(
+            FaultSpec(
+                FaultKind.VC_SETUP_TIMEOUT, probability=1.0, extra_delay_s=delay
+            )
+        )
+        stalled_chain = _make_chain(topo, faulty={"mid": mid_injector})
+        stalled = stalled_chain.create_circuit(
+            1e9, request_time=0.0, end_time=10_000.0
+        )
+        assert mid_injector.count(FaultKind.VC_SETUP_TIMEOUT) == 1
+        # the 1 s batch windows can only add quantization, never absorb
+        # the stall: the end-to-end usable start moves by >= delay - 1
+        assert stalled.usable_start >= clean.usable_start + delay - 1.0
+        # and the stall happened mid-chain: the east segment's window
+        # starts after the injected delay too (daisy-chained signalling)
+        east_vc = dict(stalled.segments)["east"]
+        assert east_vc.start_time >= delay
+
+    def test_stalled_setup_that_eats_the_window_is_rejected_and_rolled_back(self):
+        topo = esnet_like()
+        chain = _make_chain(
+            topo,
+            faulty={
+                "mid": _injector(
+                    FaultSpec(
+                        FaultKind.VC_SETUP_TIMEOUT,
+                        probability=1.0,
+                        extra_delay_s=900.0,
+                    )
+                )
+            },
+        )
+        # window ends before the stalled signalling completes
+        with pytest.raises(ReservationRejected, match="setup delay"):
+            chain.create_circuit(1e9, request_time=0.0, end_time=600.0)
+        for seg in chain.segments:
+            assert seg.idc.scheduler.active_reservations == []

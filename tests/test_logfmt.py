@@ -114,3 +114,34 @@ class TestNetloggerFormat:
 
     def test_read_empty(self):
         assert len(read_netlogger_log([])) == 0
+
+    def test_heterogeneous_rows_assemble_in_schema_order(self):
+        """Rows carrying different key subsets must parse deterministically.
+
+        Column assembly used to iterate a set union over row keys, whose
+        order varies with the process hash seed; columns now come out in
+        schema order with per-field defaults filling the gaps.
+        """
+        lines = [
+            "START=0 DURATION=1 NBYTES=100 STREAMS=4",
+            "START=5 DURATION=2 NBYTES=200 BUFFER=65536 DEST=3",
+            "START=9 DURATION=3 NBYTES=300",
+        ]
+        log = read_netlogger_log(lines)
+        assert len(log) == 3
+        # fields any row carried are materialized for every row...
+        assert list(log.streams) == [4, 1, 1]  # schema default fills rows 2-3
+        assert list(log.column("tcp_buffer")) == [0, 65536, 0]
+        assert log.column("remote_host")[1] == 3
+        # ...and assembly order is the schema's, not hash order
+        assert read_netlogger_log(lines) == log
+
+    def test_heterogeneous_rows_roundtrip_through_write(self, tmp_path):
+        lines = [
+            "START=0 DURATION=1 NBYTES=100 STREAMS=4",
+            "START=5 DURATION=2 NBYTES=200 BUFFER=65536",
+        ]
+        log = read_netlogger_log(lines)
+        path = tmp_path / "het.log"
+        write_netlogger_log(log, path)
+        assert read_netlogger_log(path) == log
