@@ -14,6 +14,15 @@ Examples::
     repro-gridftp arrivals ncar.log
     repro-gridftp profile --jobs 500 --compare-oracle
     repro-gridftp run campaign.toml --jobs 4
+    repro-gridftp cache stats
+    repro-gridftp cache gc --older-than 7d
+    repro-gridftp cache verify --delete
+    repro-gridftp cache prune-tmp
+
+A `run` campaign killed by SIGINT/SIGTERM drains in-flight cells,
+flushes its checkpoint journal, and exits with code 75 (EX_TEMPFAIL);
+re-running the same spec against the same cache resumes mid-batch and
+executes only cells that never finished.
 """
 
 from __future__ import annotations
@@ -152,15 +161,118 @@ def _cmd_arrivals(args: argparse.Namespace) -> int:
     return 0
 
 
+#: exit code for an interrupted-but-resumable campaign (EX_TEMPFAIL)
+EXIT_RESUMABLE = 75
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .experiments import ExperimentSpec, ResultCache, Runner
+    from .experiments import CampaignInterrupted, ExperimentSpec, ResultCache, Runner
+    from .experiments.checkpoint import CHECKPOINT_SUBDIR
 
     spec = ExperimentSpec.from_file(args.spec)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = Runner(jobs=args.jobs, cache=cache, cell_timeout_s=args.timeout)
-    campaign = runner.run(spec, force=args.force)
+    checkpoint_dir = None
+    if cache is not None and not args.no_checkpoint:
+        checkpoint_dir = cache.root / CHECKPOINT_SUBDIR
+    runner = Runner(
+        jobs=args.jobs,
+        cache=cache,
+        cell_timeout_s=args.timeout,
+        checkpoint_dir=checkpoint_dir,
+    )
+    try:
+        campaign = runner.run(spec, force=args.force)
+    except CampaignInterrupted as exc:
+        print(exc)
+        return EXIT_RESUMABLE
     print(campaign.format())
     return 1 if campaign.n_failed else 0
+
+
+def _parse_age(text: str) -> float:
+    """``'45'``/``'45s'``/``'30m'``/``'12h'``/``'7d'``/``'2w'`` -> seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+    text = text.strip().lower()
+    factor = units.get(text[-1:], None)
+    number = text[:-1] if factor is not None else text
+    try:
+        value = float(number)
+    except ValueError:
+        raise SystemExit(
+            f"invalid age {text!r}; use e.g. 45s, 30m, 12h, 7d, 2w"
+        ) from None
+    return value * (factor if factor is not None else 1.0)
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "kB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .experiments import ExperimentSpec, ResultCache, cell_key
+    from .experiments.checkpoint import CHECKPOINT_SUBDIR
+
+    cache = ResultCache(args.cache_dir)
+
+    if args.cache_command == "stats":
+        st = cache.stats()
+        print(f"cache {cache.root}: {st.n_artifacts} artifact(s), "
+              f"{_fmt_bytes(st.total_bytes)}")
+        for scenario in sorted(st.by_scenario):
+            print(f"  {scenario:18} {st.by_scenario[scenario]:>6}")
+        if st.n_artifacts:
+            print(f"  oldest {st.oldest_age_s:,.0f} s ago, "
+                  f"newest {st.newest_age_s:,.0f} s ago")
+        print(f"  orphaned tmp files: {st.n_tmp} ({_fmt_bytes(st.tmp_bytes)})")
+        checkpoints = sorted((cache.root / CHECKPOINT_SUBDIR).glob("*.ckpt.json"))
+        print(f"  pending checkpoints: {len(checkpoints)}")
+        for path in checkpoints:
+            print(f"    {path.name}")
+        return 0
+
+    if args.cache_command == "gc":
+        if args.older_than is None and args.spec is None:
+            print("cache gc refuses to run unfiltered: pass --older-than "
+                  "and/or --spec")
+            return 2
+        keys = None
+        if args.spec is not None:
+            spec = ExperimentSpec.from_file(args.spec)
+            keys = {
+                cell_key(spec.scenario, cell.params, cell.seed)
+                for cell in spec.cells()
+            }
+        older = None if args.older_than is None else _parse_age(args.older_than)
+        removed = cache.gc(older_than_s=older, keys=keys)
+        removed += cache.prune_tmp(older_than_s=older or 0.0)
+        print(f"gc removed {len(removed)} file(s)")
+        return 0
+
+    if args.cache_command == "verify":
+        report = cache.verify(delete=args.delete)
+        print(f"verified {report.n_ok + len(report.bad)} artifact(s): "
+              f"{report.n_ok} ok, {len(report.corrupt)} corrupt, "
+              f"{len(report.mismatched)} key-mismatched"
+              + (" (bad artifacts deleted)" if args.delete and report.bad else ""))
+        for path in report.corrupt:
+            print(f"  corrupt:    {path}")
+        for path in report.mismatched:
+            print(f"  mismatched: {path}")
+        return 0 if (report.ok or args.delete) else 1
+
+    if args.cache_command == "prune-tmp":
+        older = 0.0 if args.older_than is None else _parse_age(args.older_than)
+        removed = cache.prune_tmp(older_than_s=older)
+        print(f"pruned {len(removed)} orphaned tmp file(s)")
+        for path in removed:
+            print(f"  {path}")
+        return 0
+
+    raise SystemExit(f"unknown cache command {args.cache_command!r}")
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -327,7 +439,35 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-cell wall-clock budget in seconds (parallel mode)")
     rn.add_argument("--force", action="store_true",
                     help="recompute every cell even on cache hits")
+    rn.add_argument("--no-checkpoint", action="store_true",
+                    help="disable the crash-safe campaign checkpoint journal")
     rn.set_defaults(func=_cmd_run)
+
+    ca = sub.add_parser(
+        "cache", help="maintain the content-addressed campaign result cache"
+    )
+    ca.add_argument("--cache-dir", default=".repro-cache",
+                    help="artifact cache root (default: .repro-cache)")
+    casub = ca.add_subparsers(dest="cache_command", required=True)
+    casub.add_parser(
+        "stats", help="artifact counts, sizes, scenarios, orphans, checkpoints"
+    )
+    gc = casub.add_parser("gc", help="remove artifacts by age and/or by spec")
+    gc.add_argument("--older-than", default=None, metavar="AGE",
+                    help="only artifacts older than AGE (45s, 30m, 12h, 7d, 2w)")
+    gc.add_argument("--spec", default=None, metavar="SPEC",
+                    help="only artifacts belonging to this spec's cells")
+    ver = casub.add_parser(
+        "verify", help="re-hash every artifact against its filename key"
+    )
+    ver.add_argument("--delete", action="store_true",
+                     help="remove corrupt or key-mismatched artifacts")
+    pt = casub.add_parser(
+        "prune-tmp", help="remove orphaned in-flight temp files"
+    )
+    pt.add_argument("--older-than", default=None, metavar="AGE",
+                    help="only tmp files older than AGE (default: all)")
+    ca.set_defaults(func=_cmd_cache)
     return p
 
 

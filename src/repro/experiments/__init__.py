@@ -6,7 +6,10 @@ TOML/JSON.  A :class:`~repro.experiments.runner.Runner` expands it into
 deterministically seeded cells, executes them serially or across worker
 processes, quarantines failures, and (optionally) settles results
 through a content-addressed :class:`~repro.experiments.cache.ResultCache`
-so re-running a sweep only computes changed cells.
+so re-running a sweep only computes changed cells.  With a
+:class:`~repro.experiments.checkpoint.CampaignCheckpoint` journal the
+campaign is also crash-safe: a killed ``--jobs N`` run resumes mid-batch
+and executes only cells that never finished.
 
 The campaign families the repo grew before this framework — chaos,
 profiling, mechanistic, SNMP, managed-service, synth — are registered as
@@ -14,7 +17,14 @@ scenarios (:mod:`repro.experiments.registry`) and their report plumbing
 lives in :mod:`repro.experiments.campaigns`.
 """
 
-from .cache import ResultCache, canonical_json, cell_key
+from .cache import (
+    CacheStats,
+    ResultCache,
+    VerifyReport,
+    canonical_json,
+    cell_key,
+)
+from .checkpoint import CampaignCheckpoint, spec_fingerprint
 from .campaigns import (
     ChaosConfig,
     ChaosReport,
@@ -24,6 +34,8 @@ from .campaigns import (
     chaos_config_from_params,
     chaos_params_from_config,
     chaos_sweep,
+    decode_nonfinite,
+    encode_nonfinite,
     profile_campaign,
     report_from_dict,
     report_to_dict,
@@ -31,7 +43,7 @@ from .campaigns import (
     run_managed_chaos,
 )
 from .registry import get_scenario, register_scenario, scenario_names
-from .runner import CampaignResult, CellResult, Runner
+from .runner import CampaignInterrupted, CampaignResult, CellResult, Runner
 from .spec import Cell, ExperimentSpec
 
 __all__ = [
@@ -40,7 +52,12 @@ __all__ = [
     "Runner",
     "CampaignResult",
     "CellResult",
+    "CampaignInterrupted",
+    "CampaignCheckpoint",
+    "spec_fingerprint",
     "ResultCache",
+    "CacheStats",
+    "VerifyReport",
     "cell_key",
     "canonical_json",
     "register_scenario",
@@ -54,6 +71,8 @@ __all__ = [
     "chaos_config_from_params",
     "report_to_dict",
     "report_from_dict",
+    "encode_nonfinite",
+    "decode_nonfinite",
     "ManagedChaosConfig",
     "ManagedChaosReport",
     "run_managed_chaos",

@@ -7,30 +7,62 @@ the key is stable across processes and insertion orders — re-running a
 sweep recomputes only cells whose inputs actually changed, and growing
 an axis leaves the old cells' artifacts valid.
 
+Canonical JSON is strict RFC 8259: non-finite floats (``nan``,
+``inf``) are rejected with a clear error rather than emitted as the
+Python-only ``NaN``/``Infinity`` literals — two NaN-bearing param dicts
+would otherwise hash to *different* keys while meaning the same thing,
+and the artifact would be unreadable to any non-Python consumer.
+
 Artifacts are JSON files under ``<root>/<key[:2]>/<key>.json`` (two-level
 fan-out keeps directories small on big grids), written atomically via a
 temp file + rename so a killed run never leaves a truncated artifact
 that would poison later reads.  Corrupt or unreadable artifacts are
-treated as misses, never as errors.
+treated as misses, never as errors.  A run killed *between* the temp
+write and the rename leaves an orphaned ``<key>.<pid>.tmp`` file; those
+are invisible to :meth:`ResultCache.__len__`/:meth:`ResultCache.get`
+and are reaped by :meth:`ResultCache.prune_tmp` (surfaced as
+``repro-gridftp cache prune-tmp``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
+import re
+import time
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import Any
 
-__all__ = ["canonical_json", "cell_key", "ResultCache"]
+__all__ = [
+    "canonical_json",
+    "cell_key",
+    "CacheStats",
+    "VerifyReport",
+    "ResultCache",
+]
 
 #: bump when the artifact payload layout changes incompatibly
 _CACHE_VERSION = 1
 
+#: two-level shard directories are two lowercase hex chars
+_SHARD_RE = re.compile(r"^[0-9a-f]{2}$")
+#: artifact stems are full sha256 hex digests
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
 
 def canonical_json(obj: Any) -> str:
-    """Deterministic JSON: sorted keys, minimal separators."""
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=True)
+    """Deterministic strict JSON: sorted keys, minimal separators.
+
+    Raises ``ValueError`` on non-finite floats — ``NaN``/``Infinity``
+    are not JSON (RFC 8259) and would make equal-meaning inputs hash
+    unequal.
+    """
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
 
 
 def cell_key(scenario: str, params: dict[str, Any], seed: int) -> str:
@@ -41,7 +73,49 @@ def cell_key(scenario: str, params: dict[str, Any], seed: int) -> str:
         "params": params,
         "seed": int(seed),
     }
-    return hashlib.sha256(canonical_json(ident).encode("utf-8")).hexdigest()
+    try:
+        encoded = canonical_json(ident)
+    except ValueError as exc:
+        raise ValueError(
+            f"cell identity for scenario {scenario!r} contains non-finite "
+            f"floats (nan/inf), which cannot be content-addressed: {exc}. "
+            "Replace them with finite sentinels or None in the spec."
+        ) from None
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Shape of a cache directory, as reported by ``cache stats``."""
+
+    n_artifacts: int
+    total_bytes: int
+    #: scenario name -> artifact count ("?" for unreadable artifacts)
+    by_scenario: dict[str, int]
+    n_tmp: int
+    tmp_bytes: int
+    #: seconds since the oldest/newest artifact mtime (None when empty)
+    oldest_age_s: float | None
+    newest_age_s: float | None
+
+
+@dataclasses.dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of re-hashing every artifact against its filename key."""
+
+    n_ok: int
+    #: unparseable / wrong payload shape / non-finite floats
+    corrupt: tuple[Path, ...]
+    #: parseable but sha256(identity) != filename stem
+    mismatched: tuple[Path, ...]
+
+    @property
+    def bad(self) -> tuple[Path, ...]:
+        return self.corrupt + self.mismatched
+
+    @property
+    def ok(self) -> bool:
+        return not self.bad
 
 
 class ResultCache:
@@ -75,7 +149,12 @@ class ResultCache:
         result: Any,
         wall_s: float,
     ) -> None:
-        """Persist one computed cell atomically."""
+        """Persist one computed cell atomically.
+
+        Raises ``ValueError`` if the result contains non-finite floats —
+        the artifact must stay valid RFC 8259 JSON (the Runner treats
+        that as "uncacheable", not as a cell failure).
+        """
         payload = {
             "v": _CACHE_VERSION,
             "scenario": scenario,
@@ -84,13 +163,196 @@ class ResultCache:
             "result": result,
             "wall_s": wall_s,
         }
+        try:
+            encoded = json.dumps(payload, allow_nan=False)
+        except ValueError as exc:
+            raise ValueError(
+                f"result for scenario {scenario!r} (key {key[:12]}...) "
+                f"contains non-finite floats and cannot be stored as "
+                f"strict JSON: {exc}"
+            ) from None
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(
-            json.dumps(payload, allow_nan=True), encoding="utf-8"
-        )
+        # tmp name keeps the key visible and never ends in .json, so an
+        # orphan is (a) attributable and (b) invisible to readers
+        tmp = path.parent / f"{key}.{os.getpid()}.tmp"
+        tmp.write_text(encoded, encoding="utf-8")
         os.replace(tmp, path)
 
+    # -- enumeration -------------------------------------------------------
+
+    def iter_artifacts(self) -> Iterator[Path]:
+        """Every committed artifact, sorted; tmp/foreign files excluded."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or not _SHARD_RE.match(shard.name):
+                continue
+            for path in sorted(shard.glob("*.json")):
+                if _KEY_RE.match(path.stem):
+                    yield path
+
+    def tmp_files(self) -> list[Path]:
+        """Orphaned in-flight temp files (current and legacy naming)."""
+        if not self.root.is_dir():
+            return []
+        out: set[Path] = set()
+        for shard in self.root.iterdir():
+            if not shard.is_dir() or not _SHARD_RE.match(shard.name):
+                continue
+            out.update(shard.glob("*.tmp"))
+            out.update(shard.glob("*.tmp.*"))  # pre-maintenance naming
+        return sorted(out)
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self.iter_artifacts())
+
+    # -- maintenance -------------------------------------------------------
+
+    def stats(self, now: float | None = None) -> CacheStats:
+        """Counts, bytes, per-scenario breakdown, and orphan census."""
+        now = time.time() if now is None else now
+        n = 0
+        total = 0
+        by_scenario: dict[str, int] = {}
+        oldest: float | None = None
+        newest: float | None = None
+        for path in self.iter_artifacts():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            n += 1
+            total += st.st_size
+            age = now - st.st_mtime
+            oldest = age if oldest is None else max(oldest, age)
+            newest = age if newest is None else min(newest, age)
+            scenario = "?"
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                scenario = str(payload.get("scenario", "?"))
+            except (OSError, json.JSONDecodeError, AttributeError):
+                pass
+            by_scenario[scenario] = by_scenario.get(scenario, 0) + 1
+        tmp = self.tmp_files()
+        tmp_bytes = 0
+        for path in tmp:
+            try:
+                tmp_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(
+            n_artifacts=n,
+            total_bytes=total,
+            by_scenario=by_scenario,
+            n_tmp=len(tmp),
+            tmp_bytes=tmp_bytes,
+            oldest_age_s=oldest,
+            newest_age_s=newest,
+        )
+
+    def verify(self, delete: bool = False) -> VerifyReport:
+        """Re-hash every artifact against its filename key.
+
+        An artifact is *corrupt* when it fails to parse, has the wrong
+        payload shape/version, or contains non-finite floats (which can
+        never re-hash); *mismatched* when it parses cleanly but its
+        recomputed :func:`cell_key` differs from the filename — a
+        renamed, truncated-then-padded, or tampered file.  ``delete``
+        removes everything bad.
+        """
+        n_ok = 0
+        corrupt: list[Path] = []
+        mismatched: list[Path] = []
+        for path in self.iter_artifacts():
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                corrupt.append(path)
+                continue
+            if (
+                not isinstance(payload, dict)
+                or payload.get("v") != _CACHE_VERSION
+                or "scenario" not in payload
+                or "params" not in payload
+                or "seed" not in payload
+            ):
+                corrupt.append(path)
+                continue
+            try:
+                recomputed = cell_key(
+                    payload["scenario"], payload["params"], payload["seed"]
+                )
+            except (ValueError, TypeError):
+                corrupt.append(path)
+                continue
+            if recomputed != path.stem:
+                mismatched.append(path)
+            else:
+                n_ok += 1
+        if delete:
+            for path in corrupt + mismatched:
+                self._remove(path)
+        return VerifyReport(
+            n_ok=n_ok, corrupt=tuple(corrupt), mismatched=tuple(mismatched)
+        )
+
+    def gc(
+        self,
+        older_than_s: float | None = None,
+        keys: Iterable[str] | None = None,
+        now: float | None = None,
+    ) -> list[Path]:
+        """Remove artifacts matching *all* given filters; returns removals.
+
+        ``older_than_s`` drops artifacts whose mtime age exceeds it;
+        ``keys`` restricts removal to those cell keys (e.g. one spec's
+        cells).  At least one filter is required — an unfiltered gc
+        would silently wipe the store.
+        """
+        if older_than_s is None and keys is None:
+            raise ValueError(
+                "gc needs a filter: older_than_s and/or keys "
+                "(refusing to wipe the whole cache)"
+            )
+        now = time.time() if now is None else now
+        keyset = None if keys is None else set(keys)
+        removed: list[Path] = []
+        for path in list(self.iter_artifacts()):
+            if keyset is not None and path.stem not in keyset:
+                continue
+            if older_than_s is not None:
+                try:
+                    age = now - path.stat().st_mtime
+                except OSError:
+                    continue
+                if age < older_than_s:
+                    continue
+            self._remove(path)
+            removed.append(path)
+        return removed
+
+    def prune_tmp(self, older_than_s: float = 0.0, now: float | None = None) -> list[Path]:
+        """Remove orphaned temp files older than ``older_than_s`` seconds."""
+        now = time.time() if now is None else now
+        removed: list[Path] = []
+        for path in self.tmp_files():
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue
+            if age < older_than_s:
+                continue
+            self._remove(path)
+            removed.append(path)
+        return removed
+
+    def _remove(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return
+        try:  # drop the shard dir once it empties out
+            path.parent.rmdir()
+        except OSError:
+            pass

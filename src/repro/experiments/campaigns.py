@@ -58,6 +58,8 @@ __all__ = [
     "chaos_config_from_params",
     "report_to_dict",
     "report_from_dict",
+    "encode_nonfinite",
+    "decode_nonfinite",
     "ManagedChaosConfig",
     "ManagedChaosReport",
     "run_managed_chaos",
@@ -392,23 +394,63 @@ def chaos_config_from_params(params: Mapping[str, Any]) -> ChaosConfig:
 
 _TUPLE_FIELDS = ("modes", "flaps_per_job", "wall_clean_s", "wall_chaos_s")
 
+#: string sentinels for floats RFC 8259 cannot carry; the artifact cache
+#: rejects raw NaN/Infinity, and chaos reports legitimately contain
+#: ``math.inf`` (a job that never completed has an infinite wall)
+_NONFINITE_SENTINELS = {"Infinity": math.inf, "-Infinity": -math.inf, "NaN": math.nan}
+
+
+def encode_nonfinite(obj: Any) -> Any:
+    """Recursively replace non-finite floats with string sentinels.
+
+    Keeps campaign results strict-JSON-cacheable while staying lossless:
+    :func:`decode_nonfinite` restores the exact float values.
+    """
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "NaN"
+        if math.isinf(obj):
+            return "Infinity" if obj > 0 else "-Infinity"
+        return obj
+    if isinstance(obj, dict):
+        return {k: encode_nonfinite(v) for k, v in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(encode_nonfinite(v) for v in obj)
+    if isinstance(obj, list):
+        return [encode_nonfinite(v) for v in obj]
+    return obj
+
+
+def decode_nonfinite(obj: Any) -> Any:
+    """Inverse of :func:`encode_nonfinite`."""
+    if isinstance(obj, str):
+        return _NONFINITE_SENTINELS.get(obj, obj)
+    if isinstance(obj, dict):
+        return {k: decode_nonfinite(v) for k, v in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(decode_nonfinite(v) for v in obj)
+    if isinstance(obj, list):
+        return [decode_nonfinite(v) for v in obj]
+    return obj
+
 
 def report_to_dict(report: ChaosReport) -> dict[str, Any]:
     """Lossless JSON-safe encoding of a :class:`ChaosReport`.
 
-    Tuple fields are emitted as lists so the encoding is already in
-    JSON's value model — a fresh in-process result and one read back
-    from the artifact cache compare equal.
+    Tuple fields are emitted as lists and non-finite walls as string
+    sentinels, so the encoding is already in JSON's strict value model —
+    a fresh in-process result and one read back from the artifact cache
+    compare equal.
     """
     out = dataclasses.asdict(report)
     for name in _TUPLE_FIELDS:
         out[name] = list(out[name])
-    return out
+    return encode_nonfinite(out)
 
 
 def report_from_dict(data: Mapping[str, Any]) -> ChaosReport:
-    """Inverse of :func:`report_to_dict` (tuples and stats reconstructed)."""
-    kwargs = dict(data)
+    """Inverse of :func:`report_to_dict` (tuples, stats, infinities)."""
+    kwargs = decode_nonfinite(dict(data))
     kwargs["stats"] = RecoveryStats(**kwargs["stats"])
     for name in _TUPLE_FIELDS:
         kwargs[name] = tuple(kwargs[name])

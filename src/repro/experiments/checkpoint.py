@@ -1,0 +1,160 @@
+"""Crash-safe campaign checkpoints: the journal that makes resume work.
+
+The content-addressed :class:`~repro.experiments.cache.ResultCache`
+already makes *successful* cells recoverable — their artifacts survive a
+kill and re-read as cache hits.  What a killed campaign loses without a
+journal is everything the cache deliberately does not store: which cells
+were quarantined (errors are never cached, so a resume would re-execute
+known-bad cells), and which batch was in flight when the run died.
+
+A :class:`CampaignCheckpoint` is a single atomic JSON file, keyed by the
+sha256 fingerprint of the spec's canonical encoding so a journal can
+only ever resume the campaign that wrote it.  The Runner flushes it at
+every batch start (the *frontier*: cell indices submitted but not yet
+settled) and after every settle (index, cell key, error, wall seconds).
+On resume, quarantined cells are restored verbatim — same error string,
+same wall — so an interrupted-then-resumed campaign reports exactly what
+an uninterrupted one would, while completed cells come back through the
+cache and only genuinely unfinished cells execute.
+
+The file is deleted when a campaign settles every cell; a checkpoint on
+disk therefore always means "this spec has unfinished work".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from collections.abc import Iterable
+from pathlib import Path
+
+from .cache import canonical_json
+from .spec import ExperimentSpec
+
+__all__ = ["spec_fingerprint", "SettledEntry", "CampaignCheckpoint"]
+
+#: bump when the journal layout changes incompatibly
+_CHECKPOINT_VERSION = 1
+
+#: subdirectory of a cache root where the CLI keeps campaign journals
+CHECKPOINT_SUBDIR = ".checkpoints"
+
+
+def spec_fingerprint(spec: ExperimentSpec) -> str:
+    """Stable identity of a spec: sha256 of its canonical JSON encoding."""
+    return hashlib.sha256(
+        canonical_json(spec.to_dict()).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class SettledEntry:
+    """One settled cell as recorded in the journal."""
+
+    index: int
+    #: the cell's cache key (None when the run had no cache)
+    key: str | None
+    #: quarantine reason, or None for a successful cell
+    error: str | None
+    wall_s: float
+
+
+class CampaignCheckpoint:
+    """Atomic on-disk journal of one campaign's progress."""
+
+    def __init__(self, path: str | os.PathLike, spec: ExperimentSpec) -> None:
+        self.path = Path(path)
+        self.spec = spec
+        self.fingerprint = spec_fingerprint(spec)
+        self.settled: dict[int, SettledEntry] = {}
+        self.frontier: tuple[int, ...] = ()
+
+    @classmethod
+    def for_spec(
+        cls, directory: str | os.PathLike, spec: ExperimentSpec
+    ) -> "CampaignCheckpoint":
+        """The journal for ``spec`` under ``directory`` (one file per spec)."""
+        fp = spec_fingerprint(spec)
+        return cls(Path(directory) / f"{fp}.ckpt.json", spec)
+
+    # -- persistence -------------------------------------------------------
+
+    def load(self) -> bool:
+        """Restore journal state from disk.
+
+        Returns True when a valid journal for *this* spec was restored;
+        a missing, corrupt, wrong-version, or wrong-spec file leaves the
+        checkpoint empty and returns False (it will be overwritten on
+        the next flush).
+        """
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return False
+        if (
+            not isinstance(data, dict)
+            or data.get("v") != _CHECKPOINT_VERSION
+            or data.get("spec_fingerprint") != self.fingerprint
+        ):
+            return False
+        try:
+            settled = {
+                int(e["index"]): SettledEntry(
+                    index=int(e["index"]),
+                    key=e.get("key"),
+                    error=e.get("error"),
+                    wall_s=float(e.get("wall_s", 0.0)),
+                )
+                for e in data.get("settled", [])
+            }
+            frontier = tuple(int(i) for i in data.get("frontier", []))
+        except (KeyError, TypeError, ValueError):
+            return False
+        self.settled = settled
+        self.frontier = frontier
+        return True
+
+    def flush(self) -> None:
+        """Write the journal atomically (temp file + rename)."""
+        payload = {
+            "v": _CHECKPOINT_VERSION,
+            "spec_fingerprint": self.fingerprint,
+            "spec": self.spec.to_dict(),
+            "n_cells": self.spec.n_cells,
+            "frontier": list(self.frontier),
+            "settled": [
+                dataclasses.asdict(self.settled[i]) for i in sorted(self.settled)
+            ],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.parent / f"{self.path.name}.{os.getpid()}.tmp"
+        tmp.write_text(
+            json.dumps(payload, allow_nan=False), encoding="utf-8"
+        )
+        os.replace(tmp, self.path)
+
+    # -- journal events ----------------------------------------------------
+
+    def begin_batch(self, indices: Iterable[int]) -> None:
+        """Record the in-flight frontier before submitting a batch."""
+        self.frontier = tuple(int(i) for i in indices)
+        self.flush()
+
+    def record(
+        self, index: int, key: str | None, error: str | None, wall_s: float
+    ) -> None:
+        """Journal one settled cell and flush."""
+        self.settled[index] = SettledEntry(
+            index=int(index), key=key, error=error, wall_s=float(wall_s)
+        )
+        self.frontier = tuple(i for i in self.frontier if i != index)
+        self.flush()
+
+    def complete(self) -> None:
+        """The campaign settled every cell: remove the journal."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

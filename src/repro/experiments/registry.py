@@ -138,10 +138,35 @@ def _scenario_snmp(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
 @register_scenario("managed_service")
 def _scenario_managed(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
     """Globus-Online-style managed transfers under injected circuit chaos."""
-    from .campaigns import managed_config_from_params, run_managed_chaos
+    from .campaigns import (
+        encode_nonfinite,
+        managed_config_from_params,
+        run_managed_chaos,
+    )
 
     config = managed_config_from_params(params)
-    return run_managed_chaos(config, seed=seed).as_dict()
+    # inflation is math.inf when no file moved; sentinel-encode so the
+    # result stays strict-JSON cacheable
+    return encode_nonfinite(run_managed_chaos(config, seed=seed).as_dict())
+
+
+@register_scenario("sleep")
+def _scenario_sleep(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Sleep for ``sleep_s`` seconds and echo the cell identity.
+
+    A deliberately trivial scenario for harness smoke tests — timeout
+    budgets, kill/resume drills, scheduler latency — where the cell's
+    *duration* is the experiment and any real computation would be
+    noise.  The result is deterministic, so resumed runs compare equal.
+    """
+    import time as _time
+
+    _time.sleep(float(params.get("sleep_s", 0.0)))
+    return {
+        "slept_s": float(params.get("sleep_s", 0.0)),
+        "tag": params.get("tag"),
+        "seed": int(seed),
+    }
 
 
 @register_scenario("synth")

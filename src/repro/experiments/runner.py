@@ -6,13 +6,27 @@ mechanistic, SNMP, managed-service, synth) through the same pipeline:
 1. expand the :class:`~repro.experiments.spec.ExperimentSpec` into cells
    with deterministic per-cell seeds;
 2. satisfy what it can from the content-addressed
-   :class:`~repro.experiments.cache.ResultCache`;
+   :class:`~repro.experiments.cache.ResultCache` and, on a resumed run,
+   from the :class:`~repro.experiments.checkpoint.CampaignCheckpoint`
+   journal (which restores quarantined cells the cache never stores);
 3. execute the rest through a pluggable executor — serial in-process, or
    a ``ProcessPoolExecutor`` (``jobs > 1``) with chunked submission and a
-   per-cell wall-clock timeout;
+   per-cell wall-clock timeout measured from *observed execution start*
+   (workers stamp a shared start-time map), so a cell that merely queued
+   behind a slow batch never burns its budget waiting;
 4. quarantine failed cells (exception or timeout) as
    :class:`CellResult` errors instead of aborting the campaign, so one
-   pathological grid point cannot cost you the other 99.
+   pathological grid point cannot cost you the other 99.  A timed-out
+   cell's worker cannot be cancelled (``Future.cancel`` is a no-op once
+   running), so the pool is recycled — hung workers are terminated and
+   replaced — rather than letting one wedged cell serialize the
+   remaining batches.
+
+SIGINT/SIGTERM are handled gracefully while a campaign runs: the first
+signal stops new submissions, cancels not-yet-started futures, drains
+the in-flight cells, flushes the checkpoint, and raises
+:class:`CampaignInterrupted` (the CLI maps it to exit code 75,
+``EX_TEMPFAIL`` — "try again").  A second signal aborts immediately.
 
 Every cell result uniformly carries its wall-clock seconds; scenarios
 that run the fluid simulator embed their
@@ -24,19 +38,54 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import multiprocessing
+import os
+import signal
+import threading
 import time
 import traceback
+import warnings
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
 from .cache import ResultCache, cell_key
+from .checkpoint import CampaignCheckpoint
 from .registry import get_scenario
 from .spec import Cell, ExperimentSpec
 
-__all__ = ["CellResult", "CampaignResult", "Runner"]
+__all__ = ["CellResult", "CampaignResult", "CampaignInterrupted", "Runner"]
+
+#: supervisor poll interval while watching a parallel batch
+_POLL_S = 0.05
 
 
-def _execute_cell(scenario: str, params: dict[str, Any], seed: int) -> tuple[Any, float]:
-    """Run one cell; module-level so it pickles into worker processes."""
+def _worker_init() -> None:
+    """Worker processes ignore SIGINT so a Ctrl-C (delivered to the whole
+    process group) leaves in-flight cells drainable by the parent."""
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
+def _execute_cell(
+    scenario: str,
+    params: dict[str, Any],
+    seed: int,
+    start_times: Any = None,
+    index: int | None = None,
+) -> tuple[Any, float]:
+    """Run one cell; module-level so it pickles into worker processes.
+
+    ``start_times`` is an optional shared mapping the worker stamps with
+    ``time.monotonic()`` at execution start — the supervisor's timeout
+    clock starts there, not at submission.
+    """
+    if start_times is not None and index is not None:
+        try:
+            start_times[index] = time.monotonic()
+        except Exception:  # a dead manager must not fail the cell
+            pass
     fn = get_scenario(scenario)
     t0 = time.perf_counter()
     result = fn(params, seed)
@@ -122,6 +171,91 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+class CampaignInterrupted(RuntimeError):
+    """A campaign stopped on SIGINT/SIGTERM after draining in-flight cells.
+
+    The run is *resumable*: settled cells live in the cache, quarantined
+    cells and the batch frontier live in the checkpoint journal, and
+    re-running the same spec against the same cache/checkpoint executes
+    only what never finished.
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        signum: int,
+        n_cells: int,
+        n_settled: int,
+        n_executed: int,
+        n_cached: int,
+        n_failed: int,
+        checkpoint_path: os.PathLike | str | None,
+    ) -> None:
+        self.spec = spec
+        self.signum = signum
+        self.n_cells = n_cells
+        self.n_settled = n_settled
+        self.n_executed = n_executed
+        self.n_cached = n_cached
+        self.n_failed = n_failed
+        self.checkpoint_path = checkpoint_path
+        try:
+            signame = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - exotic signum
+            signame = str(signum)
+        where = (
+            f"; checkpoint at {checkpoint_path}" if checkpoint_path else ""
+        )
+        super().__init__(
+            f"campaign '{spec.name}' interrupted by {signame}: "
+            f"{n_settled}/{n_cells} cells settled "
+            f"({n_executed} executed, {n_cached} cached, {n_failed} failed)"
+            f"{where}; re-run with the same spec and cache to resume"
+        )
+
+
+class _SignalDrain:
+    """Context manager that converts SIGINT/SIGTERM into a drain flag.
+
+    First signal: remember it and let the runner drain gracefully.
+    Second signal: the user really means it — raise ``KeyboardInterrupt``
+    from the handler for an immediate (non-resumable-beyond-the-cache)
+    exit.  Handlers only install from the main thread; elsewhere the
+    drain flag simply never fires.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self.signum: int | None = None
+        self._previous: dict[int, Any] = {}
+
+    @property
+    def triggered(self) -> bool:
+        return self.signum is not None
+
+    def _handle(self, signum: int, frame: Any) -> None:
+        if self.signum is not None:
+            raise KeyboardInterrupt
+        self.signum = signum
+
+    def __enter__(self) -> "_SignalDrain":
+        if threading.current_thread() is threading.main_thread():
+            for sig in self.SIGNALS:
+                try:
+                    self._previous[sig] = signal.signal(sig, self._handle)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        for sig, handler in self._previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+
 def _summarize(result: Any, limit: int = 4) -> str:
     """First few scalar fields of a result dict, for the per-cell line."""
     if not isinstance(result, dict):
@@ -138,7 +272,7 @@ def _summarize(result: Any, limit: int = 4) -> str:
 
 
 class Runner:
-    """Execute campaigns: serial or process-parallel, optionally cached.
+    """Execute campaigns: serial or process-parallel, cached, resumable.
 
     Parameters
     ----------
@@ -149,12 +283,20 @@ class Runner:
         cell; ``None`` disables caching.
     cell_timeout_s:
         Per-cell wall-clock budget (parallel mode only — a serial run
-        has no supervisor to interrupt the cell); overruns quarantine
-        the cell with a timeout error.
+        has no supervisor to interrupt the cell), measured from the
+        cell's observed execution start, not its submission; overruns
+        quarantine the cell and the wedged worker is terminated when
+        the pool recycles.
     chunk_size:
         Cells submitted per worker per batch in parallel mode.  Batches
         bound how much work is in flight, so a campaign killed mid-run
         has cached everything completed rather than nothing.
+    checkpoint_dir:
+        Directory for :class:`CampaignCheckpoint` journals; ``None``
+        disables checkpointing.  With a journal, a killed run restarted
+        with the same spec (and cache) resumes mid-batch: cached cells
+        come back as hits, quarantined cells are restored verbatim, and
+        only genuinely unfinished cells execute.
     """
 
     def __init__(
@@ -163,6 +305,7 @@ class Runner:
         cache: ResultCache | None = None,
         cell_timeout_s: float | None = None,
         chunk_size: int = 4,
+        checkpoint_dir: str | os.PathLike | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -172,15 +315,24 @@ class Runner:
         self.cache = cache
         self.cell_timeout_s = cell_timeout_s
         self.chunk_size = chunk_size
+        self.checkpoint_dir = checkpoint_dir
 
     def run(self, spec: ExperimentSpec, force: bool = False) -> CampaignResult:
         """Expand ``spec`` and settle every cell; never raises per-cell.
 
-        ``force=True`` skips cache lookups (results still get stored).
+        ``force=True`` skips cache lookups and checkpoint restore
+        (results still get stored).  Raises :class:`CampaignInterrupted`
+        if a SIGINT/SIGTERM arrived; everything settled up to that point
+        is journaled/cached for resume.
         """
         t0 = time.perf_counter()
         get_scenario(spec.scenario)  # fail fast on unknown scenarios
         cells = spec.cells()
+        ckpt: CampaignCheckpoint | None = None
+        if self.checkpoint_dir is not None:
+            ckpt = CampaignCheckpoint.for_spec(self.checkpoint_dir, spec)
+            if not force:
+                ckpt.load()
         settled: dict[int, CellResult] = {}
         pending: list[tuple[Cell, str | None]] = []
         for cell in cells:
@@ -189,6 +341,22 @@ class Runner:
                 if self.cache is not None
                 else None
             )
+            if not force and ckpt is not None:
+                entry = ckpt.settled.get(cell.index)
+                if entry is not None and entry.error is not None:
+                    # quarantined cells are never cached; restore them
+                    # verbatim so the resumed campaign reports exactly
+                    # what the uninterrupted one would
+                    settled[cell.index] = CellResult(
+                        index=cell.index,
+                        coords=cell.coords,
+                        params=cell.params,
+                        seed=cell.seed,
+                        result=None,
+                        wall_s=entry.wall_s,
+                        error=entry.error,
+                    )
+                    continue
             hit = self.cache.get(key) if (key is not None and not force) else None
             if hit is not None:
                 settled[cell.index] = CellResult(
@@ -204,11 +372,29 @@ class Runner:
                 pending.append((cell, key))
 
         if pending:
-            if self.jobs == 1:
-                self._run_serial(spec, pending, settled)
-            else:
-                self._run_parallel(spec, pending, settled)
+            with _SignalDrain() as drain:
+                if self.jobs == 1:
+                    self._run_serial(spec, pending, settled, ckpt, drain)
+                else:
+                    self._run_parallel(spec, pending, settled, ckpt, drain)
+                if drain.triggered:
+                    if ckpt is not None:
+                        ckpt.flush()
+                    raise CampaignInterrupted(
+                        spec,
+                        drain.signum,
+                        n_cells=len(cells),
+                        n_settled=len(settled),
+                        n_executed=sum(
+                            1 for c in settled.values() if c.ok and not c.cached
+                        ),
+                        n_cached=sum(1 for c in settled.values() if c.cached),
+                        n_failed=sum(1 for c in settled.values() if not c.ok),
+                        checkpoint_path=ckpt.path if ckpt is not None else None,
+                    )
 
+        if ckpt is not None:
+            ckpt.complete()
         ordered = tuple(settled[c.index] for c in cells)
         return CampaignResult(
             spec=spec, cells=ordered, wall_s=time.perf_counter() - t0
@@ -225,11 +411,21 @@ class Runner:
         result: Any,
         wall_s: float,
         error: str | None,
+        ckpt: CampaignCheckpoint | None = None,
     ) -> None:
         if error is None and key is not None:
-            self.cache.put(
-                key, spec.scenario, cell.params, cell.seed, result, wall_s
-            )
+            try:
+                self.cache.put(
+                    key, spec.scenario, cell.params, cell.seed, result, wall_s
+                )
+            except ValueError as exc:
+                # an uncacheable (non-finite-float) result is still a
+                # valid in-memory result; warn and carry on uncached
+                warnings.warn(
+                    f"cell {cell.index} not cached: {exc}",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
         settled[cell.index] = CellResult(
             index=cell.index,
             coords=cell.coords,
@@ -239,14 +435,22 @@ class Runner:
             wall_s=wall_s,
             error=error,
         )
+        if ckpt is not None:
+            ckpt.record(cell.index, key, error, wall_s)
 
     def _run_serial(
         self,
         spec: ExperimentSpec,
         pending: list[tuple[Cell, str | None]],
         settled: dict[int, CellResult],
+        ckpt: CampaignCheckpoint | None,
+        drain: _SignalDrain,
     ) -> None:
         for cell, key in pending:
+            if drain.triggered:
+                return
+            if ckpt is not None:
+                ckpt.begin_batch([cell.index])
             t0 = time.perf_counter()
             try:
                 result, wall = _execute_cell(spec.scenario, cell.params, cell.seed)
@@ -256,44 +460,169 @@ class Runner:
                 error = "".join(
                     traceback.format_exception_only(type(exc), exc)
                 ).strip()
-            self._settle(spec, cell, key, settled, result, wall, error)
+            self._settle(spec, cell, key, settled, result, wall, error, ckpt)
 
     def _run_parallel(
         self,
         spec: ExperimentSpec,
         pending: list[tuple[Cell, str | None]],
         settled: dict[int, CellResult],
+        ckpt: CampaignCheckpoint | None,
+        drain: _SignalDrain,
     ) -> None:
         batch_size = self.jobs * self.chunk_size
-        with concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs) as pool:
+        manager = None
+        start_times = None
+        if self.cell_timeout_s is not None:
+            # workers stamp execution start here; the supervisor's
+            # timeout clock starts at the stamp, not at submission
+            manager = multiprocessing.Manager()
+            start_times = manager.dict()
+        pool = self._new_pool()
+        try:
             for start in range(0, len(pending), batch_size):
+                if drain.triggered:
+                    return
                 batch = pending[start : start + batch_size]
-                futures = []
-                for cell, key in batch:
-                    fut = pool.submit(
-                        _execute_cell, spec.scenario, cell.params, cell.seed
-                    )
-                    futures.append((cell, key, fut, time.perf_counter()))
-                for cell, key, fut, submitted in futures:
-                    budget = None
-                    if self.cell_timeout_s is not None:
-                        budget = max(
-                            0.0,
-                            submitted + self.cell_timeout_s - time.perf_counter(),
-                        )
-                    try:
-                        result, wall = fut.result(timeout=budget)
-                        error = None
-                    except concurrent.futures.TimeoutError:
-                        fut.cancel()
-                        result, wall = None, self.cell_timeout_s
-                        error = (
+                if ckpt is not None:
+                    ckpt.begin_batch([cell.index for cell, _ in batch])
+                hung, broken = self._drain_batch(
+                    pool, spec, batch, settled, ckpt, drain, start_times
+                )
+                if (hung or broken) and start + batch_size < len(pending):
+                    # Future.cancel() is a no-op once running: a hung
+                    # cell would silently hold its pool slot for the
+                    # rest of the campaign.  Recycle instead.
+                    self._kill_pool(pool)
+                    pool = self._new_pool()
+        finally:
+            self._kill_pool(pool)
+            if manager is not None:
+                manager.shutdown()
+
+    def _drain_batch(
+        self,
+        pool: concurrent.futures.ProcessPoolExecutor,
+        spec: ExperimentSpec,
+        batch: list[tuple[Cell, str | None]],
+        settled: dict[int, CellResult],
+        ckpt: CampaignCheckpoint | None,
+        drain: _SignalDrain,
+        start_times: Any,
+    ) -> tuple[list[concurrent.futures.Future], bool]:
+        """Submit one batch and settle every future.
+
+        Returns ``(hung, broken)``: futures abandoned past their budget
+        with the worker still running, and whether the pool itself broke.
+        A drain signal mid-batch cancels not-yet-started futures (they
+        stay unfinished, for resume) and waits out the running ones.
+        """
+        futmap: dict[concurrent.futures.Future, tuple[Cell, str | None, float]] = {}
+        try:
+            for cell, key in batch:
+                fut = pool.submit(
+                    _execute_cell,
+                    spec.scenario,
+                    cell.params,
+                    cell.seed,
+                    start_times,
+                    cell.index,
+                )
+                futmap[fut] = (cell, key, time.perf_counter())
+        except BrokenProcessPool:
+            return [f for f in futmap if f.running()], True
+
+        pending_futs = set(futmap)
+        hung: list[concurrent.futures.Future] = []
+        broken = False
+        drained = False
+        while pending_futs:
+            if drain.triggered and not drained:
+                drained = True
+                for fut in list(pending_futs):
+                    if fut.cancel():  # never started: leave unfinished
+                        pending_futs.discard(fut)
+            done, pending_futs = concurrent.futures.wait(
+                pending_futs,
+                timeout=_POLL_S,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            for fut in done:
+                cell, key, submitted = futmap[fut]
+                try:
+                    result, wall = fut.result()
+                    error = None
+                except concurrent.futures.CancelledError:
+                    continue
+                except BrokenProcessPool as exc:
+                    broken = True
+                    if drain.triggered:
+                        # the signal (e.g. group-delivered SIGINT) took
+                        # the workers down; the cell never finished —
+                        # leave it unsettled so a resume re-runs it
+                        continue
+                    result, wall = None, time.perf_counter() - submitted
+                    error = "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
+                except Exception as exc:
+                    result, wall = None, time.perf_counter() - submitted
+                    error = "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
+                self._settle(spec, cell, key, settled, result, wall, error, ckpt)
+            if self.cell_timeout_s is not None and pending_futs:
+                now = time.monotonic()
+                for fut in list(pending_futs):
+                    cell, key, _ = futmap[fut]
+                    begun = None
+                    if start_times is not None:
+                        try:
+                            begun = start_times.get(cell.index)
+                        except Exception:  # pragma: no cover - dead manager
+                            begun = None
+                    if begun is not None and now - begun > self.cell_timeout_s:
+                        pending_futs.discard(fut)
+                        hung.append(fut)
+                        self._settle(
+                            spec,
+                            cell,
+                            key,
+                            settled,
+                            None,
+                            self.cell_timeout_s,
                             f"TimeoutError: cell exceeded "
-                            f"{self.cell_timeout_s:.1f} s budget"
+                            f"{self.cell_timeout_s:.1f} s budget",
+                            ckpt,
                         )
-                    except Exception as exc:
-                        result, wall = None, time.perf_counter() - submitted
-                        error = "".join(
-                            traceback.format_exception_only(type(exc), exc)
-                        ).strip()
-                    self._settle(spec, cell, key, settled, result, wall, error)
+        return [f for f in hung if f.running()], broken
+
+    def _new_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=_worker_init
+        )
+
+    @staticmethod
+    def _kill_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+        """Shut the pool down without waiting for wedged workers.
+
+        ``shutdown(wait=True)`` would block until a hung cell returns —
+        exactly the leak this avoids.  Worker processes are terminated
+        outright; every settled result has already been fetched, and
+        abandoned cells are quarantined or journaled for resume.
+        """
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        for proc in procs:
+            try:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            except Exception:  # pragma: no cover - already gone
+                pass

@@ -8,6 +8,8 @@ executors with quarantine semantics, and the ``repro-gridftp run`` CLI.
 from __future__ import annotations
 
 import json
+import math
+import os
 import time
 
 import pytest
@@ -457,3 +459,349 @@ class TestCliRun:
         rc = main(["run", str(path), "--no-cache"])
         assert rc == 1
         assert "1 failed" in capsys.readouterr().out
+
+
+# -- registered here so the NaN-producing scenario exists for the Runner ----
+
+
+@register_scenario("t-nan")
+def _t_nan(params, seed):
+    return {"x": params["x"], "bad": float("nan")}
+
+
+# -- strict JSON: non-finite floats are rejected, not emitted ---------------
+
+
+class TestNonFiniteRejection:
+    def test_canonical_json_rejects_nan_and_inf(self):
+        for value in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError):
+                canonical_json({"v": value})
+
+    def test_cell_key_error_names_the_scenario(self):
+        with pytest.raises(ValueError, match="non-finite") as info:
+            cell_key("my-study", {"rate": math.nan}, 0)
+        assert "my-study" in str(info.value)
+
+    def test_put_rejects_nonfinite_result(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cell_key("t-echo", {"x": 1}, 0)
+        with pytest.raises(ValueError, match="non-finite"):
+            cache.put(key, "t-echo", {"x": 1}, 0, {"bad": math.inf}, 0.1)
+        # the rejected put leaves nothing behind, not even a tmp file
+        assert len(cache) == 0
+        assert cache.tmp_files() == []
+
+    def test_runner_warns_and_continues_on_uncacheable_result(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = ExperimentSpec(
+            name="nan-grid", scenario="t-nan", axes={"x": (1, 2)}, seed=0
+        )
+        with pytest.warns(RuntimeWarning, match="not cached"):
+            campaign = Runner(cache=cache).run(spec)
+        # the in-memory campaign still has the results...
+        assert campaign.n_executed == 2
+        assert math.isnan(campaign.cells[0].result["bad"])
+        # ...but nothing hit the disk
+        assert len(cache) == 0
+
+    def test_nonfinite_reports_round_trip_via_sentinels(self):
+        from repro.experiments import decode_nonfinite, encode_nonfinite
+
+        original = {
+            "inflation": math.inf,
+            "walls": [1.0, -math.inf, 2.5],
+            "nested": {"x": math.nan},
+            "fine": 3.0,
+        }
+        encoded = encode_nonfinite(original)
+        canonical_json(encoded)  # must be strict-JSON clean
+        decoded = decode_nonfinite(encoded)
+        assert decoded["inflation"] == math.inf
+        assert decoded["walls"] == [1.0, -math.inf, 2.5]
+        assert math.isnan(decoded["nested"]["x"])
+        assert decoded["fine"] == 3.0
+
+
+# -- cache maintenance: tmp hygiene, stats, verify, gc ----------------------
+
+
+def _fill_cache(cache, n=3, scenario="t-echo"):
+    keys = []
+    for x in range(n):
+        key = cell_key(scenario, {"x": x}, 0)
+        cache.put(key, scenario, {"x": x}, 0, {"x": x}, 0.01)
+        keys.append(key)
+    return keys
+
+
+class TestCacheMaintenance:
+    def test_len_and_iter_exclude_tmp_and_foreign_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill_cache(cache, 3)
+        shard = cache.path_for(keys[0]).parent
+        # plant orphans in current and legacy naming, plus foreign noise
+        (shard / f"{keys[0]}.12345.tmp").write_text("{")
+        (shard / f"{keys[0]}.json.tmp.999").write_text("{")
+        (shard / "README.json").write_text("{}")
+        (tmp_path / "notashard").mkdir()
+        (tmp_path / "notashard" / "x.json").write_text("{}")
+        assert len(cache) == 3
+        assert {p.stem for p in cache.iter_artifacts()} == set(keys)
+        assert len(cache.tmp_files()) == 2
+
+    def test_checkpoints_subdir_is_not_an_artifact(self, tmp_path):
+        from repro.experiments import CampaignCheckpoint
+        from repro.experiments.checkpoint import CHECKPOINT_SUBDIR
+
+        cache = ResultCache(tmp_path)
+        _fill_cache(cache, 2)
+        spec = ExperimentSpec(
+            name="g", scenario="t-echo", axes={"x": (1,)}, seed=0
+        )
+        ck = CampaignCheckpoint.for_spec(tmp_path / CHECKPOINT_SUBDIR, spec)
+        ck.record(0, None, "err", 0.1)
+        assert len(cache) == 2
+        assert cache.verify().ok
+
+    def test_prune_tmp_by_age(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill_cache(cache, 1)
+        shard = cache.path_for(keys[0]).parent
+        old = shard / f"{keys[0]}.111.tmp"
+        new = shard / f"{keys[0]}.222.tmp"
+        old.write_text("x")
+        new.write_text("x")
+        past = time.time() - 7200
+        os.utime(old, (past, past))
+        removed = cache.prune_tmp(older_than_s=3600)
+        assert removed == [old]
+        assert cache.tmp_files() == [new]
+        # age 0 reaps everything
+        assert cache.prune_tmp() == [new]
+        assert len(cache) == 1  # artifacts untouched
+
+    def test_stats_counts_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill_cache(cache, 2, scenario="t-echo")
+        key3 = cell_key("t-boom", {"x": 9}, 1)
+        cache.put(key3, "t-boom", {"x": 9}, 1, {"x": 9}, 0.01)
+        shard = cache.path_for(keys[0]).parent
+        (shard / f"{keys[0]}.5.tmp").write_text("orphan")
+        st = cache.stats()
+        assert st.n_artifacts == 3
+        assert st.by_scenario == {"t-echo": 2, "t-boom": 1}
+        assert st.n_tmp == 1
+        assert st.tmp_bytes == len("orphan")
+        assert st.total_bytes > 0
+        assert st.oldest_age_s >= st.newest_age_s >= 0.0
+
+    def test_verify_clean_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill_cache(cache, 3)
+        report = cache.verify()
+        assert report.ok
+        assert report.n_ok == 3
+
+    def test_verify_flags_corrupt_and_mismatched(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill_cache(cache, 3)
+        # corrupt: truncate one artifact
+        corrupt_path = cache.path_for(keys[0])
+        corrupt_path.write_text('{"v": 1, "scen')
+        # mismatched: rename a valid artifact to a different (valid) key
+        bogus_key = cell_key("t-echo", {"x": 999}, 0)
+        mismatched_path = cache.path_for(bogus_key)
+        mismatched_path.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(cache.path_for(keys[1]), mismatched_path)
+        report = cache.verify()
+        assert not report.ok
+        assert report.n_ok == 1
+        assert report.corrupt == (corrupt_path,)
+        assert report.mismatched == (mismatched_path,)
+
+    def test_verify_delete_removes_bad(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill_cache(cache, 2)
+        cache.path_for(keys[0]).write_text("garbage")
+        report = cache.verify(delete=True)
+        assert len(report.bad) == 1
+        assert len(cache) == 1
+        assert cache.verify().ok
+
+    def test_gc_requires_a_filter(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill_cache(cache, 2)
+        with pytest.raises(ValueError, match="refusing"):
+            cache.gc()
+        assert len(cache) == 2
+
+    def test_gc_by_age(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill_cache(cache, 3)
+        past = time.time() - 10 * 86400
+        for key in keys[:2]:
+            os.utime(cache.path_for(key), (past, past))
+        removed = cache.gc(older_than_s=7 * 86400)
+        assert sorted(p.stem for p in removed) == sorted(keys[:2])
+        assert len(cache) == 1
+        # emptied shards are cleaned up
+        for path in removed:
+            assert not path.parent.exists() or any(path.parent.iterdir())
+
+    def test_gc_by_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill_cache(cache, 3)
+        removed = cache.gc(keys=[keys[1]])
+        assert [p.stem for p in removed] == [keys[1]]
+        assert len(cache) == 2
+
+    def test_gc_by_age_and_keys_is_an_intersection(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill_cache(cache, 2)
+        past = time.time() - 7200
+        os.utime(cache.path_for(keys[0]), (past, past))
+        # keys[1] matches the keyset but is too young; keys[0] matches both
+        removed = cache.gc(older_than_s=3600, keys=keys)
+        assert [p.stem for p in removed] == [keys[0]]
+
+
+# -- the CLI `cache` subcommand ---------------------------------------------
+
+
+class TestCliCache:
+    def _seed_cache(self, tmp_path, n=2):
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        keys = _fill_cache(cache, n)
+        return cache_dir, cache, keys
+
+    def test_stats_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir, cache, keys = self._seed_cache(tmp_path)
+        shard = cache.path_for(keys[0]).parent
+        (shard / f"{keys[0]}.7.tmp").write_text("x")
+        rc = main(["cache", "--cache-dir", str(cache_dir), "stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 artifact(s)" in out
+        assert "t-echo" in out
+        assert "orphaned tmp files: 1" in out
+        assert "pending checkpoints: 0" in out
+
+    def test_verify_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir, cache, keys = self._seed_cache(tmp_path)
+        rc = main(["cache", "--cache-dir", str(cache_dir), "verify"])
+        assert rc == 0
+        assert "2 ok, 0 corrupt" in capsys.readouterr().out
+
+        cache.path_for(keys[0]).write_text("junk")
+        rc = main(["cache", "--cache-dir", str(cache_dir), "verify"])
+        assert rc == 1
+        assert "1 corrupt" in capsys.readouterr().out
+
+        rc = main(["cache", "--cache-dir", str(cache_dir), "verify", "--delete"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["cache", "--cache-dir", str(cache_dir), "verify"])
+        assert rc == 0
+        assert "1 ok" in capsys.readouterr().out
+
+    def test_gc_refuses_unfiltered(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir, cache, _ = self._seed_cache(tmp_path)
+        rc = main(["cache", "--cache-dir", str(cache_dir), "gc"])
+        assert rc == 2
+        assert "refuses" in capsys.readouterr().out
+        assert len(cache) == 2
+
+    def test_gc_by_age_units(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir, cache, keys = self._seed_cache(tmp_path)
+        past = time.time() - 3 * 86400
+        os.utime(cache.path_for(keys[0]), (past, past))
+        rc = main(["cache", "--cache-dir", str(cache_dir), "gc",
+                   "--older-than", "2d"])
+        assert rc == 0
+        assert "removed 1 file(s)" in capsys.readouterr().out
+        assert len(cache) == 1
+
+    def test_gc_by_spec_removes_only_that_campaign(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        spec_path = tmp_path / "grid.toml"
+        spec_path.write_text(
+            'name = "g"\nscenario = "t-echo"\nseed = 3\n[axes]\nx = [1, 2]\n'
+        )
+        rc = main(["run", str(spec_path), "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        cache = ResultCache(cache_dir)
+        foreign = _fill_cache(cache, 1, scenario="t-boom")
+        capsys.readouterr()
+        rc = main(["cache", "--cache-dir", str(cache_dir), "gc",
+                   "--spec", str(spec_path)])
+        assert rc == 0
+        assert "removed 2 file(s)" in capsys.readouterr().out
+        assert [p.stem for p in cache.iter_artifacts()] == foreign
+
+    def test_prune_tmp(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir, cache, keys = self._seed_cache(tmp_path, n=1)
+        shard = cache.path_for(keys[0]).parent
+        (shard / f"{keys[0]}.9.tmp").write_text("x")
+        rc = main(["cache", "--cache-dir", str(cache_dir), "prune-tmp"])
+        assert rc == 0
+        assert "pruned 1" in capsys.readouterr().out
+        assert cache.tmp_files() == []
+        assert len(cache) == 1
+
+    def test_bad_age_is_a_clean_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="invalid age"):
+            main(["cache", "--cache-dir", str(tmp_path), "gc",
+                  "--older-than", "fortnight"])
+
+    def test_run_interrupted_exits_resumable(self, tmp_path, capsys):
+        import signal as _signal
+
+        from repro.cli import EXIT_RESUMABLE, main
+
+        spec_path = tmp_path / "kill.toml"
+        spec_path.write_text(
+            'name = "kill"\nscenario = "t-self-sigterm"\nseed = 0\n'
+            "[axes]\nx = [0, 1, 2]\n"
+        )
+
+        @register_scenario("t-self-sigterm")
+        def _t_self_sigterm(params, seed):
+            if params["x"] == 0:
+                os.kill(os.getpid(), _signal.SIGTERM)
+                time.sleep(0.1)
+            return {"x": params["x"]}
+
+        cache_dir = tmp_path / "cache"
+        rc = main(["run", str(spec_path), "--cache-dir", str(cache_dir)])
+        assert rc == EXIT_RESUMABLE
+        out = capsys.readouterr().out
+        assert "interrupted by SIGTERM" in out
+        assert "resume" in out
+        # stats now shows the pending checkpoint
+        rc = main(["cache", "--cache-dir", str(cache_dir), "stats"])
+        assert rc == 0
+        assert "pending checkpoints: 1" in capsys.readouterr().out
+        # the resumed run completes and consumes the checkpoint
+        rc = main(["run", str(spec_path), "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 executed, 1 cached, 0 failed" in out
+        rc = main(["cache", "--cache-dir", str(cache_dir), "stats"])
+        assert rc == 0
+        assert "pending checkpoints: 0" in capsys.readouterr().out
