@@ -50,7 +50,7 @@ def test_ext_resume_and_maintenance(benchmark, tmp_path):
 
     cold = Runner(jobs=2, cache=cache, checkpoint_dir=ck_dir).run(spec)
     assert cold.n_executed == 8 and cold.n_failed == 0
-    assert list(ck_dir.glob("*.ckpt.json")) == []  # consumed on success
+    assert list(ck_dir.glob("*.ckpt.jsonl")) == []  # consumed on success
 
     # model a mid-campaign death: 3 of 8 cells never settled
     artifacts = list(cache.iter_artifacts())

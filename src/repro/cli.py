@@ -228,7 +228,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"  oldest {st.oldest_age_s:,.0f} s ago, "
                   f"newest {st.newest_age_s:,.0f} s ago")
         print(f"  orphaned tmp files: {st.n_tmp} ({_fmt_bytes(st.tmp_bytes)})")
-        checkpoints = sorted((cache.root / CHECKPOINT_SUBDIR).glob("*.ckpt.json"))
+        ck_dir = cache.root / CHECKPOINT_SUBDIR
+        # current (.jsonl) and pre-review (.json) journal names alike
+        checkpoints = sorted(
+            p for pat in ("*.ckpt.jsonl", "*.ckpt.json")
+            for p in ck_dir.glob(pat)
+        )
         print(f"  pending checkpoints: {len(checkpoints)}")
         for path in checkpoints:
             print(f"    {path.name}")
@@ -248,7 +253,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             }
         older = None if args.older_than is None else _parse_age(args.older_than)
         removed = cache.gc(older_than_s=older, keys=keys)
-        removed += cache.prune_tmp(older_than_s=older or 0.0)
+        if older is not None:
+            # tmp files carry no cell key, so a spec-only gc must not
+            # touch them: a fresh .tmp may belong to a campaign writing
+            # *right now*, and deleting it would crash that run's rename
+            removed += cache.prune_tmp(older_than_s=older)
         print(f"gc removed {len(removed)} file(s)")
         return 0
 

@@ -45,7 +45,9 @@ __all__ = [
 ]
 
 #: bump when the artifact payload layout changes incompatibly
-_CACHE_VERSION = 1
+#: (2: non-finite floats are tagged ``{"__nonfinite__": ...}`` wrappers,
+#: not bare ``"NaN"``/``"Infinity"`` strings)
+_CACHE_VERSION = 2
 
 #: two-level shard directories are two lowercase hex chars
 _SHARD_RE = re.compile(r"^[0-9a-f]{2}$")

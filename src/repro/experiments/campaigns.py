@@ -394,25 +394,37 @@ def chaos_config_from_params(params: Mapping[str, Any]) -> ChaosConfig:
 
 _TUPLE_FIELDS = ("modes", "flaps_per_job", "wall_clean_s", "wall_chaos_s")
 
-#: string sentinels for floats RFC 8259 cannot carry; the artifact cache
+#: wrapper key for floats RFC 8259 cannot carry; the artifact cache
 #: rejects raw NaN/Infinity, and chaos reports legitimately contain
-#: ``math.inf`` (a job that never completed has an infinite wall)
-_NONFINITE_SENTINELS = {"Infinity": math.inf, "-Infinity": -math.inf, "NaN": math.nan}
+#: ``math.inf`` (a job that never completed has an infinite wall).
+#: A tagged one-key object — not a bare string like ``"NaN"`` — so a
+#: field that *legitimately* holds such a string survives the round
+#: trip unchanged.
+_NONFINITE_KEY = "__nonfinite__"
+_NONFINITE_SENTINELS = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
 
 
 def encode_nonfinite(obj: Any) -> Any:
-    """Recursively replace non-finite floats with string sentinels.
+    """Recursively wrap non-finite floats as ``{"__nonfinite__": tag}``.
 
-    Keeps campaign results strict-JSON-cacheable while staying lossless:
-    :func:`decode_nonfinite` restores the exact float values.
+    Keeps campaign results strict-JSON-cacheable while staying lossless
+    for every other value — including strings such as ``"NaN"`` —
+    :func:`decode_nonfinite` restores the exact float values.  Raises
+    ``ValueError`` if the input already uses the reserved wrapper key
+    (no real report does; the keys come from dataclass field names).
     """
     if isinstance(obj, float):
         if math.isnan(obj):
-            return "NaN"
+            return {_NONFINITE_KEY: "nan"}
         if math.isinf(obj):
-            return "Infinity" if obj > 0 else "-Infinity"
+            return {_NONFINITE_KEY: "inf" if obj > 0 else "-inf"}
         return obj
     if isinstance(obj, dict):
+        if _NONFINITE_KEY in obj:
+            raise ValueError(
+                f"cannot encode a mapping that already uses the reserved "
+                f"{_NONFINITE_KEY!r} key"
+            )
         return {k: encode_nonfinite(v) for k, v in obj.items()}
     if isinstance(obj, tuple):
         return tuple(encode_nonfinite(v) for v in obj)
@@ -423,9 +435,11 @@ def encode_nonfinite(obj: Any) -> Any:
 
 def decode_nonfinite(obj: Any) -> Any:
     """Inverse of :func:`encode_nonfinite`."""
-    if isinstance(obj, str):
-        return _NONFINITE_SENTINELS.get(obj, obj)
     if isinstance(obj, dict):
+        tag = obj.get(_NONFINITE_KEY)
+        if set(obj) == {_NONFINITE_KEY} and isinstance(tag, str):
+            if tag in _NONFINITE_SENTINELS:
+                return _NONFINITE_SENTINELS[tag]
         return {k: decode_nonfinite(v) for k, v in obj.items()}
     if isinstance(obj, tuple):
         return tuple(decode_nonfinite(v) for v in obj)

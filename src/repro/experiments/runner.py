@@ -20,7 +20,11 @@ mechanistic, SNMP, managed-service, synth) through the same pipeline:
    cell's worker cannot be cancelled (``Future.cancel`` is a no-op once
    running), so the pool is recycled — hung workers are terminated and
    replaced — rather than letting one wedged cell serialize the
-   remaining batches.
+   remaining batches.  Cells a batch could not execute at all (the pool
+   broke under them, or every worker slot wedged past budget before the
+   queued cells could start) are resubmitted on the recycled pool, with
+   a retry cap so a cell that keeps killing its workers is eventually
+   quarantined instead of looping forever — every cell always settles.
 
 SIGINT/SIGTERM are handled gracefully while a campaign runs: the first
 signal stops new submissions, cancels not-yet-started futures, drains
@@ -57,6 +61,10 @@ __all__ = ["CellResult", "CampaignResult", "CampaignInterrupted", "Runner"]
 
 #: supervisor poll interval while watching a parallel batch
 _POLL_S = 0.05
+
+#: times a cell is resubmitted after a broken pool before assuming the
+#: cell itself is what keeps killing the workers and quarantining it
+_MAX_POOL_RETRIES = 2
 
 
 def _worker_init() -> None:
@@ -393,6 +401,13 @@ class Runner:
                         checkpoint_path=ckpt.path if ckpt is not None else None,
                     )
 
+        missing = [c.index for c in cells if c.index not in settled]
+        if missing:  # invariant: every non-drained path settles its cell
+            raise RuntimeError(
+                f"internal error: {len(missing)} cell(s) never settled "
+                f"(first: {missing[0]}); the checkpoint journal was kept "
+                "so the run stays resumable"
+            )
         if ckpt is not None:
             ckpt.complete()
         ordered = tuple(settled[c.index] for c in cells)
@@ -418,8 +433,9 @@ class Runner:
                 self.cache.put(
                     key, spec.scenario, cell.params, cell.seed, result, wall_s
                 )
-            except ValueError as exc:
-                # an uncacheable (non-finite-float) result is still a
+            except (ValueError, OSError) as exc:
+                # an uncacheable result (non-finite floats, or the tmp
+                # file lost to a concurrent prune/full disk) is still a
                 # valid in-memory result; warn and carry on uncached
                 warnings.warn(
                     f"cell {cell.index} not cached: {exc}",
@@ -478,18 +494,51 @@ class Runner:
             # timeout clock starts at the stamp, not at submission
             manager = multiprocessing.Manager()
             start_times = manager.dict()
+        queue = list(pending)
+        pool_retries: dict[int, int] = {}
         pool = self._new_pool()
         try:
-            for start in range(0, len(pending), batch_size):
+            while queue:
                 if drain.triggered:
                     return
-                batch = pending[start : start + batch_size]
+                batch, queue = queue[:batch_size], queue[batch_size:]
                 if ckpt is not None:
                     ckpt.begin_batch([cell.index for cell, _ in batch])
-                hung, broken = self._drain_batch(
+                hung, broken, unfinished = self._drain_batch(
                     pool, spec, batch, settled, ckpt, drain, start_times
                 )
-                if (hung or broken) and start + batch_size < len(pending):
+                if drain.triggered:
+                    # unfinished cells stay journaled for resume
+                    return
+                # cells the batch could not execute (pool broke under
+                # them, or every worker slot was wedged) go back on the
+                # queue for the recycled pool — capped, so a cell that
+                # keeps killing its workers is quarantined, not retried
+                # forever
+                requeue: list[tuple[Cell, str | None]] = []
+                for cell, key in unfinished:
+                    if broken:
+                        pool_retries[cell.index] = (
+                            pool_retries.get(cell.index, 0) + 1
+                        )
+                    if pool_retries.get(cell.index, 0) > _MAX_POOL_RETRIES:
+                        self._settle(
+                            spec,
+                            cell,
+                            key,
+                            settled,
+                            None,
+                            0.0,
+                            "BrokenProcessPool: worker pool broke "
+                            f"{pool_retries[cell.index]} times with this "
+                            "cell in flight (does the scenario kill or "
+                            "exit its worker process?)",
+                            ckpt,
+                        )
+                    else:
+                        requeue.append((cell, key))
+                queue = requeue + queue
+                if (hung or broken) and queue:
                     # Future.cancel() is a no-op once running: a hung
                     # cell would silently hold its pool slot for the
                     # rest of the campaign.  Recycle instead.
@@ -509,15 +558,25 @@ class Runner:
         ckpt: CampaignCheckpoint | None,
         drain: _SignalDrain,
         start_times: Any,
-    ) -> tuple[list[concurrent.futures.Future], bool]:
+    ) -> tuple[
+        list[concurrent.futures.Future],
+        bool,
+        list[tuple[Cell, str | None]],
+    ]:
         """Submit one batch and settle every future.
 
-        Returns ``(hung, broken)``: futures abandoned past their budget
-        with the worker still running, and whether the pool itself broke.
+        Returns ``(hung, broken, unfinished)``: futures abandoned past
+        their budget with the worker still running; whether the pool
+        itself broke; and cells this batch could not execute — the pool
+        broke before/under them, or every worker slot was wedged past
+        budget so a queued cell could never start.  The caller resubmits
+        unfinished cells on a recycled pool (every cell is eventually
+        settled — ``run()`` relies on that to build the ordered result).
         A drain signal mid-batch cancels not-yet-started futures (they
         stay unfinished, for resume) and waits out the running ones.
         """
         futmap: dict[concurrent.futures.Future, tuple[Cell, str | None, float]] = {}
+        unfinished: list[tuple[Cell, str | None]] = []
         try:
             for cell, key in batch:
                 fut = pool.submit(
@@ -530,7 +589,15 @@ class Runner:
                 )
                 futmap[fut] = (cell, key, time.perf_counter())
         except BrokenProcessPool:
-            return [f for f in futmap if f.running()], True
+            # the pool died mid-submission: salvage futures that still
+            # settled, hand everything else back for resubmission
+            submitted = {cell.index for cell, _, _ in futmap.values()}
+            unfinished.extend(
+                (cell, key) for cell, key in batch
+                if cell.index not in submitted
+            )
+            self._salvage(spec, futmap, settled, ckpt, unfinished)
+            return [], True, unfinished
 
         pending_futs = set(futmap)
         hung: list[concurrent.futures.Future] = []
@@ -554,17 +621,19 @@ class Runner:
                     error = None
                 except concurrent.futures.CancelledError:
                     continue
-                except BrokenProcessPool as exc:
+                except BrokenProcessPool:
                     broken = True
                     if drain.triggered:
                         # the signal (e.g. group-delivered SIGINT) took
                         # the workers down; the cell never finished —
                         # leave it unsettled so a resume re-runs it
                         continue
-                    result, wall = None, time.perf_counter() - submitted
-                    error = "".join(
-                        traceback.format_exception_only(type(exc), exc)
-                    ).strip()
+                    # the cell may be innocent (a batch-mate killed the
+                    # pool): resubmit on the recycled pool rather than
+                    # quarantining it outright; the caller's retry cap
+                    # catches the actual worker-killer
+                    unfinished.append((cell, key))
+                    continue
                 except Exception as exc:
                     result, wall = None, time.perf_counter() - submitted
                     error = "".join(
@@ -595,7 +664,66 @@ class Runner:
                             f"{self.cell_timeout_s:.1f} s budget",
                             ckpt,
                         )
-        return [f for f in hung if f.running()], broken
+                if pending_futs and sum(
+                    1 for f in hung if f.running()
+                ) >= self.jobs:
+                    # every worker slot is wedged past budget: a queued
+                    # future can never start, never stamp, and never
+                    # time out — this drain would spin forever (or wait
+                    # out the hung sleeps).  Pull every cell that has
+                    # not stamped an execution start back for the
+                    # recycled pool; cancel() alone is not enough, the
+                    # pool marks call-queue-buffered futures RUNNING
+                    # even though no worker will ever pick them up.
+                    for fut in list(pending_futs):
+                        cell, key, _ = futmap[fut]
+                        begun = None
+                        if start_times is not None:
+                            try:
+                                begun = start_times.get(cell.index)
+                            except Exception:  # pragma: no cover
+                                begun = None
+                        if begun is None:
+                            fut.cancel()  # best effort; pool dies anyway
+                            pending_futs.discard(fut)
+                            unfinished.append((cell, key))
+        return [f for f in hung if f.running()], broken, unfinished
+
+    def _salvage(
+        self,
+        spec: ExperimentSpec,
+        futmap: dict[concurrent.futures.Future, tuple[Cell, str | None, float]],
+        settled: dict[int, CellResult],
+        ckpt: CampaignCheckpoint | None,
+        unfinished: list[tuple[Cell, str | None]],
+    ) -> None:
+        """After a pool break, settle what finished; queue the rest.
+
+        A future that completed before the break still holds its result
+        (or its genuine scenario exception, which quarantines as usual);
+        anything cancelled, failed-by-the-break, or still nominally
+        pending is appended to ``unfinished`` for resubmission.
+        """
+        for fut, (cell, key, submitted) in futmap.items():
+            if not fut.done():
+                unfinished.append((cell, key))
+                continue
+            try:
+                result, wall = fut.result(timeout=0)
+                error = None
+            except (
+                concurrent.futures.CancelledError,
+                concurrent.futures.TimeoutError,
+                BrokenProcessPool,
+            ):
+                unfinished.append((cell, key))
+                continue
+            except Exception as exc:
+                result, wall = None, time.perf_counter() - submitted
+                error = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+            self._settle(spec, cell, key, settled, result, wall, error, ckpt)
 
     def _new_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         return concurrent.futures.ProcessPoolExecutor(

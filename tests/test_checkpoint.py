@@ -47,6 +47,16 @@ def _ck_sleep(params, seed):
     return {"slept": params["sleep_s"], "seed": seed}
 
 
+@register_scenario("ck-die")
+def _ck_die(params, seed):
+    if params["x"] == int(params.get("die_on", -1)):
+        # give batch-mates time to settle, then take the worker down
+        # hard enough to break the whole pool
+        time.sleep(0.3)
+        os._exit(3)
+    return {"x": params["x"]}
+
+
 @register_scenario("ck-kill-parent")
 def _ck_kill_parent(params, seed):
     # deliver the drain signal *during* the campaign, deterministically
@@ -94,10 +104,49 @@ class TestCheckpointJournal:
         spec = _echo_spec()
         ck = CampaignCheckpoint.for_spec(tmp_path, spec)
         ck.begin_batch([2, 3])
-        data = json.loads(ck.path.read_text())
-        assert data["frontier"] == [2, 3]
-        assert data["spec_fingerprint"] == spec_fingerprint(spec)
-        assert data["spec"]["name"] == "ck-grid"
+        lines = [json.loads(l) for l in ck.path.read_text().splitlines()]
+        header, events = lines[0], lines[1:]
+        assert header["spec_fingerprint"] == spec_fingerprint(spec)
+        assert header["spec"]["name"] == "ck-grid"
+        assert {"f": [2, 3]} in events
+
+    def test_settles_append_instead_of_rewriting(self, tmp_path):
+        # the journal must stay O(1) I/O per settled cell: each record()
+        # appends one event line, it does not rewrite the whole file
+        spec = _echo_spec(n=64)
+        ck = CampaignCheckpoint.for_spec(tmp_path, spec)
+        ck.begin_batch(range(64))
+        ck.record(0, None, None, 0.1)
+        header_size = ck.path.stat().st_size
+        deltas = []
+        for i in range(1, 64):
+            before = ck.path.stat().st_size
+            ck.record(i, "c" * 64, None, 0.1)
+            deltas.append(ck.path.stat().st_size - before)
+        # every settle appends the same-sized event line; a full-rewrite
+        # journal would grow its delta linearly with cells settled
+        assert max(deltas) - min(deltas) <= 4
+        assert max(deltas) < header_size
+
+        fresh = CampaignCheckpoint.for_spec(tmp_path, spec)
+        assert fresh.load()
+        assert len(fresh.settled) == 64
+        assert fresh.frontier == ()
+
+    def test_torn_trailing_append_loses_only_that_event(self, tmp_path):
+        spec = _echo_spec()
+        ck = CampaignCheckpoint.for_spec(tmp_path, spec)
+        ck.begin_batch([0, 1])
+        ck.record(0, "a" * 64, None, 0.2)
+        ck.record(1, None, "ValueError: boom", 0.3)
+        # a kill mid-append tears the last line
+        torn = ck.path.read_text()[:-9]
+        ck.path.write_text(torn)
+        fresh = CampaignCheckpoint.for_spec(tmp_path, spec)
+        assert fresh.load()
+        assert 0 in fresh.settled
+        assert 1 not in fresh.settled  # the torn event, nothing else
+        assert fresh.frontier == (1,)
 
     def test_wrong_spec_fingerprint_is_ignored(self, tmp_path):
         ck = CampaignCheckpoint.for_spec(tmp_path, _echo_spec())
@@ -137,7 +186,7 @@ class TestRunnerCheckpoint:
         )
         campaign = runner.run(_echo_spec())
         assert campaign.n_executed == 4
-        assert list((tmp_path / "ck").glob("*.ckpt.json")) == []
+        assert list((tmp_path / "ck").glob("*.ckpt.jsonl")) == []
 
     def test_quarantined_cells_restored_verbatim(self, tmp_path):
         spec = _echo_spec()
@@ -181,7 +230,7 @@ class TestRunnerCheckpoint:
             )
             campaign = runner.run(_echo_spec())
             assert campaign.n_executed == 4
-            assert list(ckdir.glob("*.ckpt.json")) == []
+            assert list(ckdir.glob("*.ckpt.jsonl")) == []
 
 
 # -- graceful signal handling ------------------------------------------------
@@ -366,7 +415,7 @@ class TestSigkillResume:
             reference.results()
         )
         # journal consumed, nothing left pending
-        assert list(ck_dir.glob("*.ckpt.json")) == []
+        assert list(ck_dir.glob("*.ckpt.jsonl")) == []
 
     def test_resume_equivalence_when_cache_is_partial(self, tmp_path):
         # deterministic variant of the same contract: drop artifacts to
@@ -474,6 +523,56 @@ class TestHungWorkerRecycle:
         # sleep the wedged worker was holding
         assert wall < 15.0, f"campaign took {wall:.1f} s - worker leak?"
 
+    def test_saturated_batch_of_hung_cells_does_not_deadlock(self):
+        # BOTH workers wedge on the first two cells of a single batch:
+        # the queued cells 2-3 never start, never stamp an execution
+        # start, and under the old code never timed out — the drain spun
+        # forever and the campaign hung despite cell_timeout_s.  The
+        # wedged-slot bailout must pull them back, recycle the pool, and
+        # execute them there.
+        spec = ExperimentSpec(
+            name="ck-hang-saturated",
+            scenario="ck-sleep",
+            axes={"sleep_s": (30.0, 30.01, 0.05, 0.06)},
+            seed=0,
+        )
+        t0 = time.perf_counter()
+        campaign = Runner(jobs=2, chunk_size=2, cell_timeout_s=0.5).run(spec)
+        wall = time.perf_counter() - t0
+        assert campaign.n_failed == 2
+        assert "TimeoutError" in campaign.cells[0].error
+        assert "TimeoutError" in campaign.cells[1].error
+        # the queued cells were innocent and must have executed
+        assert campaign.cells[2].ok and campaign.cells[3].ok
+        assert wall < 15.0, f"campaign took {wall:.1f} s - drain deadlock?"
+
+    def test_worker_killing_cell_settles_not_keyerror(self, tmp_path):
+        # a cell that exits its worker breaks the pool mid-batch; the
+        # old code abandoned the batch's unsettled cells and run() then
+        # crashed with a bare KeyError building the result tuple.  Now
+        # innocent batch-mates are resubmitted on the recycled pool and
+        # the killer is quarantined after the retry cap.
+        spec = ExperimentSpec(
+            name="ck-die-grid",
+            scenario="ck-die",
+            params={"die_on": 0},
+            axes={"x": (0, 1, 2, 3)},
+            seed=0,
+        )
+        campaign = Runner(
+            jobs=2,
+            chunk_size=2,
+            cache=ResultCache(tmp_path / "c"),
+            checkpoint_dir=tmp_path / "ck",
+        ).run(spec)
+        assert campaign.n_cells == 4  # settled everything, no KeyError
+        killer = campaign.cells[0]
+        assert not killer.ok
+        assert "BrokenProcessPool" in killer.error
+        assert all(c.ok for c in campaign.cells[1:])
+        # every cell settled -> journal consumed
+        assert list((tmp_path / "ck").glob("*.ckpt.jsonl")) == []
+
     def test_hung_cells_journal_as_quarantined_for_resume(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
         spec = ExperimentSpec(
@@ -488,7 +587,7 @@ class TestHungWorkerRecycle:
         ).run(spec)
         assert campaign.n_failed == 1
         # campaign settled every cell -> journal consumed
-        assert list((tmp_path / "ck").glob("*.ckpt.json")) == []
+        assert list((tmp_path / "ck").glob("*.ckpt.jsonl")) == []
         # warm re-run: fast cell cached, hung cell retried (and re-fails)
         again = Runner(
             jobs=2, cell_timeout_s=0.4, cache=cache,

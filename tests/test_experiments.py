@@ -522,6 +522,29 @@ class TestNonFiniteRejection:
         assert math.isnan(decoded["nested"]["x"])
         assert decoded["fine"] == 3.0
 
+    def test_sentinel_lookalike_strings_round_trip_unchanged(self):
+        # a field that *legitimately* holds "NaN"/"Infinity" as a string
+        # (a tag, a message) must come back as that string, not a float
+        from repro.experiments import decode_nonfinite, encode_nonfinite
+
+        original = {
+            "tag": "NaN",
+            "message": "Infinity",
+            "notes": ["-Infinity", "fine"],
+            "wall": math.inf,
+        }
+        decoded = decode_nonfinite(encode_nonfinite(original))
+        assert decoded["tag"] == "NaN"
+        assert decoded["message"] == "Infinity"
+        assert decoded["notes"] == ["-Infinity", "fine"]
+        assert decoded["wall"] == math.inf
+
+    def test_encode_rejects_reserved_wrapper_key(self):
+        from repro.experiments import encode_nonfinite
+
+        with pytest.raises(ValueError, match="reserved"):
+            encode_nonfinite({"__nonfinite__": 1.0})
+
 
 # -- cache maintenance: tmp hygiene, stats, verify, gc ----------------------
 
@@ -749,6 +772,33 @@ class TestCliCache:
         assert rc == 0
         assert "removed 2 file(s)" in capsys.readouterr().out
         assert [p.stem for p in cache.iter_artifacts()] == foreign
+
+    def test_gc_by_spec_leaves_inflight_tmp_files_alone(self, tmp_path, capsys):
+        # a fresh .tmp may belong to a campaign writing *right now*; a
+        # spec-scoped gc (no --older-than) must not reap it — deleting
+        # it would crash that campaign's os.replace
+        from repro.cli import main
+
+        cache_dir, cache, keys = self._seed_cache(tmp_path)
+        spec_path = tmp_path / "grid.toml"
+        spec_path.write_text(
+            'name = "g"\nscenario = "t-echo"\nseed = 3\n[axes]\nx = [1, 2]\n'
+        )
+        shard = cache.path_for(keys[0]).parent
+        inflight = shard / f"{keys[0]}.777.tmp"
+        inflight.write_text("{")
+        rc = main(["cache", "--cache-dir", str(cache_dir), "gc",
+                   "--spec", str(spec_path)])
+        assert rc == 0
+        assert inflight.exists()
+        # with an age filter the tmp file is fair game once old enough
+        past = time.time() - 3600
+        os.utime(inflight, (past, past))
+        capsys.readouterr()
+        rc = main(["cache", "--cache-dir", str(cache_dir), "gc",
+                   "--older-than", "30m"])
+        assert rc == 0
+        assert not inflight.exists()
 
     def test_prune_tmp(self, tmp_path, capsys):
         from repro.cli import main
