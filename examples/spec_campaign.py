@@ -19,7 +19,10 @@ This walkthrough:
   5. "kills" a campaign partway (drops artifacts), resumes it, and runs
      the cache-maintenance pass (stats / verify / gc) — the same
      machinery behind ``repro-gridftp cache`` and the exit-75
-     resume flow.
+     resume flow;
+  6. runs the cross-spec Pareto pipeline: the chaos grid from step 1 is
+     *read* from the cache (zero recompute) while a managed-service
+     sweep and the Pareto-front analysis stage execute on top of it.
 
 Everything is seeded: rerunning prints identical numbers.
 
@@ -33,6 +36,7 @@ from repro.experiments import (
     ExperimentSpec,
     ResultCache,
     Runner,
+    load_spec,
     register_scenario,
     scenario_names,
 )
@@ -126,6 +130,27 @@ def main() -> None:
         print(f"cache verify: {report.n_ok} ok, {len(report.bad)} bad")
         removed = cache.gc(older_than_s=7 * 86400)  # nothing that old yet
         print(f"cache gc --older-than 7d: removed {len(removed)}")
+    print()
+
+    # -- 6. pipelines: analysis stages over other specs' cached grids --------
+    pipeline = load_spec(HERE / "specs" / "pareto_pipeline.toml")
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = Runner(cache=ResultCache(tmp))
+        # run the chaos grid on its own first, the way a colleague
+        # (or a previous CI job) would have...
+        runner.run(spec)
+        # ...then the pipeline reads it straight from the cache: its
+        # `needs = ["chaos_grid.toml"]` stage reports every cell cached,
+        # and only the managed sweep + the Pareto front execute.
+        result = runner.run_pipeline(pipeline)
+        print(result.format())
+        front = result.stage("front").results()[0]
+        print(f"pareto front: {front['n_front']} non-dominated of "
+              f"{front['n_points']} points")
+        for pt in front["front"]:
+            print(f"  avail={pt['availability']:.3f}  "
+                  f"goodput={pt['goodput_bps'] / 1e9:6.2f} Gb/s  "
+                  f"({pt['source']})")
 
 
 if __name__ == "__main__":

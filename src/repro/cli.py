@@ -14,7 +14,8 @@ Examples::
     repro-gridftp arrivals ncar.log
     repro-gridftp profile --jobs 500 --compare-oracle
     repro-gridftp run campaign.toml --jobs 4
-    repro-gridftp cache stats
+    repro-gridftp run pipeline.toml --dry-run
+    repro-gridftp cache stats --json
     repro-gridftp cache gc --older-than 7d
     repro-gridftp cache verify --delete
     repro-gridftp cache prune-tmp
@@ -166,10 +167,16 @@ EXIT_RESUMABLE = 75
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .experiments import CampaignInterrupted, ExperimentSpec, ResultCache, Runner
+    from .experiments import (
+        CampaignInterrupted,
+        ExperimentSpec,
+        ResultCache,
+        Runner,
+        load_spec,
+    )
     from .experiments.checkpoint import CHECKPOINT_SUBDIR
 
-    spec = ExperimentSpec.from_file(args.spec)
+    spec = load_spec(args.spec)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     checkpoint_dir = None
     if cache is not None and not args.no_checkpoint:
@@ -180,11 +187,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cell_timeout_s=args.timeout,
         checkpoint_dir=checkpoint_dir,
     )
+    if args.dry_run:
+        plans = runner.dry_run(spec)
+        total = sum(p.n_cells for p in plans)
+        hits = sum(p.n_hits for p in plans)
+        print(f"dry run of '{spec.name}': {len(plans)} stage(s), "
+              f"{total} cell(s), nothing executed")
+        for plan in plans:
+            origin = "external spec" if plan.external else "stage"
+            print(f"  {origin} '{plan.name}' [{plan.scenario}]: "
+                  f"{plan.n_cells} cell(s), {plan.n_hits} cached, "
+                  f"{plan.n_cells - plan.n_hits} to execute  "
+                  f"(fingerprint {plan.fingerprint[:12]})")
+        print(f"plan: {total} cell(s) total, {hits} cached, "
+              f"{total - hits} to execute")
+        return 0
     try:
-        campaign = runner.run(spec, force=args.force)
+        if isinstance(spec, ExperimentSpec):
+            campaign = runner.run(spec, force=args.force)
+        else:
+            campaign = runner.run_pipeline(spec, force=args.force)
     except CampaignInterrupted as exc:
         print(exc)
         return EXIT_RESUMABLE
+    except RuntimeError as exc:
+        # e.g. a pipeline stage quarantined cells a downstream stage needs
+        print(exc)
+        return 1
     print(campaign.format())
     return 1 if campaign.n_failed else 0
 
@@ -213,13 +242,35 @@ def _fmt_bytes(n: int) -> str:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from .experiments import ExperimentSpec, ResultCache, cell_key
+    from .experiments import ResultCache, Runner, load_spec
     from .experiments.checkpoint import CHECKPOINT_SUBDIR
 
     cache = ResultCache(args.cache_dir)
 
     if args.cache_command == "stats":
         st = cache.stats()
+        ck_dir = cache.root / CHECKPOINT_SUBDIR
+        # current (.jsonl) and pre-review (.json) journal names alike
+        checkpoints = sorted(
+            p for pat in ("*.ckpt.jsonl", "*.ckpt.json")
+            for p in ck_dir.glob(pat)
+        )
+        if args.json:
+            import json as _json
+
+            print(_json.dumps({
+                "root": str(cache.root),
+                "n_artifacts": st.n_artifacts,
+                "total_bytes": st.total_bytes,
+                "by_scenario": st.by_scenario,
+                "n_tmp": st.n_tmp,
+                "tmp_bytes": st.tmp_bytes,
+                "oldest_age_s": st.oldest_age_s,
+                "newest_age_s": st.newest_age_s,
+                "n_checkpoints": len(checkpoints),
+                "checkpoints": [p.name for p in checkpoints],
+            }, indent=2, sort_keys=True))
+            return 0
         print(f"cache {cache.root}: {st.n_artifacts} artifact(s), "
               f"{_fmt_bytes(st.total_bytes)}")
         for scenario in sorted(st.by_scenario):
@@ -228,12 +279,6 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"  oldest {st.oldest_age_s:,.0f} s ago, "
                   f"newest {st.newest_age_s:,.0f} s ago")
         print(f"  orphaned tmp files: {st.n_tmp} ({_fmt_bytes(st.tmp_bytes)})")
-        ck_dir = cache.root / CHECKPOINT_SUBDIR
-        # current (.jsonl) and pre-review (.json) journal names alike
-        checkpoints = sorted(
-            p for pat in ("*.ckpt.jsonl", "*.ckpt.json")
-            for p in ck_dir.glob(pat)
-        )
         print(f"  pending checkpoints: {len(checkpoints)}")
         for path in checkpoints:
             print(f"    {path.name}")
@@ -246,11 +291,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             return 2
         keys = None
         if args.spec is not None:
-            spec = ExperimentSpec.from_file(args.spec)
-            keys = {
-                cell_key(spec.scenario, cell.params, cell.seed)
-                for cell in spec.cells()
-            }
+            # the dry-run planner yields every cell key a spec (or
+            # pipeline, digests included) owns, without executing
+            plans = Runner(cache=cache).dry_run(load_spec(args.spec))
+            keys = {k for plan in plans for k in plan.keys}
         older = None if args.older_than is None else _parse_age(args.older_than)
         removed = cache.gc(older_than_s=older, keys=keys)
         if older is not None:
@@ -435,9 +479,9 @@ def build_parser() -> argparse.ArgumentParser:
     pr.set_defaults(func=_cmd_profile)
 
     rn = sub.add_parser(
-        "run", help="run a declarative experiment spec (TOML or JSON)"
+        "run", help="run a declarative experiment spec or pipeline (TOML/JSON)"
     )
-    rn.add_argument("spec", help="path to the campaign spec file")
+    rn.add_argument("spec", help="path to the campaign spec or pipeline file")
     rn.add_argument("--jobs", type=int, default=1,
                     help="worker processes (1 = serial in-process)")
     rn.add_argument("--no-cache", action="store_true",
@@ -450,6 +494,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="recompute every cell even on cache hits")
     rn.add_argument("--no-checkpoint", action="store_true",
                     help="disable the crash-safe campaign checkpoint journal")
+    rn.add_argument("--dry-run", action="store_true",
+                    help="expand the spec/pipeline, report per-stage cell "
+                         "counts and the cache-hit census, execute nothing")
     rn.set_defaults(func=_cmd_run)
 
     ca = sub.add_parser(
@@ -458,9 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
     ca.add_argument("--cache-dir", default=".repro-cache",
                     help="artifact cache root (default: .repro-cache)")
     casub = ca.add_subparsers(dest="cache_command", required=True)
-    casub.add_parser(
+    stp = casub.add_parser(
         "stats", help="artifact counts, sizes, scenarios, orphans, checkpoints"
     )
+    stp.add_argument("--json", action="store_true",
+                     help="machine-readable JSON instead of the human summary")
     gc = casub.add_parser("gc", help="remove artifacts by age and/or by spec")
     gc.add_argument("--older-than", default=None, metavar="AGE",
                     help="only artifacts older than AGE (45s, 30m, 12h, 7d, 2w)")

@@ -1,0 +1,133 @@
+"""First-class campaign artifacts: typed reads over cached cell results.
+
+A cached cell result used to be an anonymous JSON blob only its own
+spec could find again.  Pipelines change that: a downstream stage needs
+to *resolve* an upstream stage's results — possibly written by a
+different spec file in a different run — without recomputing them.  So
+a cell result becomes an :class:`Artifact` carrying its provenance
+(producing spec fingerprint and name, stage, cell index/coords) next to
+the identity the cache already stored (scenario, params, seed, cell
+key, cache version), and a stage's worth of artifacts becomes an
+:class:`ArtifactSet` with a small query API.
+
+The set's :attr:`ArtifactSet.digest` is the identity of the upstream
+data as seen by a consumer: the hash of the ordered cell keys.  Each
+cell key already content-addresses *what was computed* (scenario,
+params, seed), so the digest changes exactly when any upstream input
+changed — it is folded into downstream cell keys and stage
+fingerprints, which is what makes cross-stage caching sound: editing an
+upstream axis invalidates downstream artifacts automatically, while a
+byte-identical upstream grid (even one declared in a different spec
+file) resolves to the same artifacts with zero recomputation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from .cache import canonical_json
+
+__all__ = ["keys_digest", "Artifact", "ArtifactSet"]
+
+
+def keys_digest(keys: Iterable[str]) -> str:
+    """Stable identity of an ordered collection of cell keys."""
+    return hashlib.sha256(
+        canonical_json(list(keys)).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class Artifact:
+    """One cell result plus the provenance that locates it.
+
+    ``scenario``/``params``/``seed``/``key``/``cache_version`` are the
+    content address (what was computed); ``spec_fingerprint``/
+    ``spec_name``/``index``/``coords`` are provenance (who computed it,
+    where in their grid).  Provenance is ``None``-tolerant: artifacts
+    written before provenance headers existed still resolve.
+    """
+
+    scenario: str
+    params: dict[str, Any]
+    seed: int
+    #: the cell's content-addressed cache key
+    key: str
+    result: Any
+    wall_s: float
+    cache_version: int
+    #: sha256 fingerprint of the spec (+ input digests) that produced it
+    spec_fingerprint: str | None = None
+    spec_name: str | None = None
+    #: position in the producing grid, and the axis values at that cell
+    index: int | None = None
+    coords: dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: upstream dependency digests this cell was computed against
+    inputs: dict[str, str] | None = None
+    #: True when the value was read back from the cache (vs. fresh)
+    cached: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class ArtifactSet:
+    """An ordered, queryable collection of one stage's artifacts."""
+
+    #: the dependency name downstream stages resolve this set under
+    name: str
+    artifacts: tuple[Artifact, ...]
+
+    def __len__(self) -> int:
+        return len(self.artifacts)
+
+    def __iter__(self) -> Iterator[Artifact]:
+        return iter(self.artifacts)
+
+    def __getitem__(self, index: int) -> Artifact:
+        return self.artifacts[index]
+
+    @property
+    def digest(self) -> str:
+        """Hash of the ordered cell keys: the set's identity to consumers."""
+        missing = [a.index for a in self.artifacts if a.key is None]
+        if missing:
+            raise ValueError(
+                f"artifact set {self.name!r} has {len(missing)} cell(s) "
+                "without a content-addressed key (non-JSON-safe params?); "
+                "its digest — and therefore downstream cache identity — "
+                "is undefined"
+            )
+        return keys_digest(a.key for a in self.artifacts)
+
+    def query(self, **filters: Any) -> "ArtifactSet":
+        """Artifacts whose params match every ``name=value`` filter.
+
+        Axis coordinates are part of each cell's params, so
+        ``aset.query(flaps_per_hour=6.0)`` selects one slice of the
+        producing grid.  Unknown names simply match nothing.
+        """
+        kept = tuple(
+            a
+            for a in self.artifacts
+            if all(
+                name in a.params and a.params[name] == value
+                for name, value in filters.items()
+            )
+        )
+        return ArtifactSet(name=self.name, artifacts=kept)
+
+    def one(self, **filters: Any) -> Artifact:
+        """The single artifact matching ``filters``; raises otherwise."""
+        found = self.query(**filters) if filters else self
+        if len(found) != 1:
+            raise LookupError(
+                f"expected exactly one artifact in {self.name!r} for "
+                f"{filters or 'the whole set'}, found {len(found)}"
+            )
+        return found.artifacts[0]
+
+    def results(self) -> list[Any]:
+        """Every artifact's result payload, in producing-grid order."""
+        return [a.result for a in self.artifacts]

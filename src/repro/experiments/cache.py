@@ -67,14 +67,29 @@ def canonical_json(obj: Any) -> str:
     )
 
 
-def cell_key(scenario: str, params: dict[str, Any], seed: int) -> str:
-    """The content address of one cell's computation."""
+def cell_key(
+    scenario: str,
+    params: dict[str, Any],
+    seed: int,
+    inputs: dict[str, str] | None = None,
+) -> str:
+    """The content address of one cell's computation.
+
+    ``inputs`` names the upstream artifact-set digests an analysis cell
+    was computed against (dependency name -> digest).  It participates
+    in the key, so changing *anything* upstream — an axis value, a
+    seed, a param — re-keys every downstream cell; a plain (non-
+    analysis) cell omits it and its key is byte-identical to what this
+    function produced before pipelines existed.
+    """
     ident = {
         "v": _CACHE_VERSION,
         "scenario": scenario,
         "params": params,
         "seed": int(seed),
     }
+    if inputs:
+        ident["inputs"] = dict(inputs)
     try:
         encoded = canonical_json(ident)
     except ValueError as exc:
@@ -150,8 +165,17 @@ class ResultCache:
         seed: int,
         result: Any,
         wall_s: float,
+        inputs: dict[str, str] | None = None,
+        provenance: dict[str, Any] | None = None,
     ) -> None:
         """Persist one computed cell atomically.
+
+        ``inputs`` are the upstream digests that participated in the
+        cell's key (analysis cells; see :func:`cell_key`) — stored so
+        :meth:`verify` can re-derive the key.  ``provenance`` is the
+        producing spec's header (fingerprint, name, cell index/coords);
+        it does not affect the key, only how the artifact can be
+        located and attributed by cross-spec readers.
 
         Raises ``ValueError`` if the result contains non-finite floats —
         the artifact must stay valid RFC 8259 JSON (the Runner treats
@@ -165,6 +189,10 @@ class ResultCache:
             "result": result,
             "wall_s": wall_s,
         }
+        if inputs:
+            payload["inputs"] = dict(inputs)
+        if provenance:
+            payload["provenance"] = dict(provenance)
         try:
             encoded = json.dumps(payload, allow_nan=False)
         except ValueError as exc:
@@ -180,6 +208,38 @@ class ResultCache:
         tmp = path.parent / f"{key}.{os.getpid()}.tmp"
         tmp.write_text(encoded, encoding="utf-8")
         os.replace(tmp, path)
+
+    def open_artifact(self, key: str):
+        """The stored cell as a typed :class:`~.artifacts.Artifact`.
+
+        Returns ``None`` on miss/corruption, like :meth:`get`.
+        Artifacts written before provenance headers existed open with
+        ``spec_fingerprint``/``spec_name``/``index`` as ``None``.
+        """
+        from .artifacts import Artifact  # local: avoids an import cycle
+
+        payload = self.get(key)
+        if payload is None:
+            return None
+        prov = payload.get("provenance") or {}
+        try:
+            return Artifact(
+                scenario=payload["scenario"],
+                params=payload["params"],
+                seed=payload["seed"],
+                key=key,
+                result=payload["result"],
+                wall_s=float(payload["wall_s"]),
+                cache_version=payload["v"],
+                spec_fingerprint=prov.get("spec_fingerprint"),
+                spec_name=prov.get("spec_name"),
+                index=prov.get("index"),
+                coords=prov.get("coords") or {},
+                inputs=payload.get("inputs"),
+                cached=True,
+            )
+        except (KeyError, TypeError, ValueError):  # wrong payload shape
+            return None
 
     # -- enumeration -------------------------------------------------------
 
@@ -283,7 +343,10 @@ class ResultCache:
                 continue
             try:
                 recomputed = cell_key(
-                    payload["scenario"], payload["params"], payload["seed"]
+                    payload["scenario"],
+                    payload["params"],
+                    payload["seed"],
+                    inputs=payload.get("inputs"),
                 )
             except (ValueError, TypeError):
                 corrupt.append(path)

@@ -17,7 +17,14 @@ runner, one seeding rule, and one artifact cache:
   :class:`~repro.faults.injector.FaultInjector` schedules the fluid
   simulator uses (extension Ext-L);
 * :class:`ProfileReport` / :func:`profile_campaign` — the instrumented
-  allocator campaign behind ``repro-gridftp profile``.
+  allocator campaign behind ``repro-gridftp profile``;
+* :func:`pareto_front_points` / :func:`cross_spec_pareto` — the
+  cross-spec analysis layer: an availability-vs-goodput Pareto front
+  computed over *other* campaigns' cached artifacts (chaos grids,
+  managed-service grids) resolved through the pipeline machinery, and
+  :func:`managed_campaign_from_workload`, which sizes a managed-service
+  campaign from upstream synthesized workloads (measurement -> model ->
+  decision).
 
 Reports serialize losslessly to JSON (:func:`report_to_dict` /
 :func:`report_from_dict`), which is what lets chaos cells cross process
@@ -29,6 +36,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import os
 from collections.abc import Mapping, Sequence
 from typing import Any
 
@@ -47,7 +55,7 @@ from ..sim.probe import SimProbe
 from ..vc.oscars import OscarsIDC, ReservationRejected, ReservationRequest
 from ..vc.policy import FallbackMode, FallbackPolicy
 from .runner import Runner
-from .spec import ExperimentSpec
+from .spec import ExperimentSpec, PipelineSpec, StageSpec
 
 __all__ = [
     "ChaosConfig",
@@ -66,6 +74,9 @@ __all__ = [
     "managed_config_from_params",
     "ProfileReport",
     "profile_campaign",
+    "pareto_front_points",
+    "managed_campaign_from_workload",
+    "cross_spec_pareto",
 ]
 
 
@@ -756,3 +767,222 @@ def profile_campaign(
         probe=probe,
         oracle_wall_s=oracle_wall,
     )
+
+
+# -- cross-spec analysis: Pareto fronts over cached campaign grids -----------
+
+
+def _availability_goodput(artifact: Any) -> tuple[float, float] | None:
+    """Extract an (availability, goodput_bps) point from one upstream cell.
+
+    Understands the three grid families that expose the trade-off:
+    ``chaos`` reports (availability + chaos goodput), ``managed_service``
+    reports (task success rate + rate deflated by inflation), and
+    ``managed_from_workload`` aggregates (which report the pair
+    directly).  Anything else — a synth workload, a profile run —
+    yields no point and is skipped.
+    """
+    result = decode_nonfinite(artifact.result)
+    if not isinstance(result, Mapping):
+        return None
+    if "availability" in result and "goodput_chaos_bps" in result:
+        availability = float(result["availability"])
+        goodput = float(result["goodput_chaos_bps"])
+    elif "availability" in result and "goodput_bps" in result:
+        availability = float(result["availability"])
+        goodput = float(result["goodput_bps"])
+    elif "n_succeeded" in result and "inflation" in result:
+        n_tasks = int(result.get("n_tasks", 0))
+        if n_tasks < 1:
+            return None
+        availability = float(result["n_succeeded"]) / n_tasks
+        # params only carry overrides; an omitted rate means the
+        # ManagedChaosConfig default, not a zero-rate endpoint pair
+        rate = float(
+            artifact.params.get("rate_bps", ManagedChaosConfig.rate_bps)
+        )
+        inflation = float(result["inflation"])
+        goodput = (
+            rate / inflation
+            if math.isfinite(inflation) and inflation > 0
+            else 0.0
+        )
+    else:
+        return None
+    if not math.isfinite(availability):
+        return None
+    if not math.isfinite(goodput):
+        goodput = 0.0
+    return availability, goodput
+
+
+def pareto_front_points(artifacts: Mapping[str, Any]) -> dict[str, Any]:
+    """Availability-vs-goodput Pareto front over upstream artifact sets.
+
+    ``artifacts`` maps dependency names to
+    :class:`~repro.experiments.artifacts.ArtifactSet` objects — exactly
+    what the Runner hands the ``pareto_front`` analysis scenario.  Every
+    upstream cell that exposes the trade-off contributes one point
+    (tagged with its source, cell index, and coords); the front is the
+    non-dominated subset maximizing both axes, sorted by availability.
+    The points are *read* from the upstream sets, never recomputed.
+    """
+    points: list[dict[str, Any]] = []
+    for dep in sorted(artifacts):
+        for artifact in artifacts[dep]:
+            pair = _availability_goodput(artifact)
+            if pair is None:
+                continue
+            availability, goodput = pair
+            points.append(
+                {
+                    "source": dep,
+                    "scenario": artifact.scenario,
+                    "index": artifact.index,
+                    "coords": dict(artifact.coords),
+                    "availability": availability,
+                    "goodput_bps": goodput,
+                }
+            )
+    if not points:
+        raise ValueError(
+            "no upstream cell exposes an availability/goodput trade-off; "
+            f"needs resolved: {sorted(artifacts)} — point them at chaos "
+            "or managed-service grids"
+        )
+    front = [
+        p
+        for p in points
+        if not any(
+            (q["availability"] >= p["availability"])
+            and (q["goodput_bps"] >= p["goodput_bps"])
+            and (
+                q["availability"] > p["availability"]
+                or q["goodput_bps"] > p["goodput_bps"]
+            )
+            for q in points
+        )
+    ]
+    front.sort(key=lambda p: (p["availability"], p["goodput_bps"]))
+    return {
+        "n_points": len(points),
+        "n_front": len(front),
+        "front": front,
+        "points": points,
+    }
+
+
+def managed_campaign_from_workload(
+    params: Mapping[str, Any], seed: int, artifacts: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Run managed-service chaos campaigns sized from measured workloads.
+
+    Each upstream ``synth`` cell is treated as a measured workload: its
+    mean file size (``total_gbytes / n_transfers``) and median achieved
+    throughput (``p50_tput_mbps``) parameterize one
+    :class:`ManagedChaosConfig`, which runs under this cell's fault
+    knobs (``flaps_per_hour`` and friends from ``params``).  The result
+    aggregates availability (tasks succeeded over tasks submitted) and
+    goodput (mean per-source rate deflated by completion-time
+    inflation) so a downstream ``pareto_front`` stage can consume it
+    directly.
+    """
+    sources: list[dict[str, Any]] = []
+    total_tasks = 0
+    total_succeeded = 0
+    for dep in sorted(artifacts):
+        for artifact in artifacts[dep]:
+            result = artifact.result
+            if (
+                not isinstance(result, Mapping)
+                or "n_transfers" not in result
+                or "total_gbytes" not in result
+            ):
+                continue  # not a workload cell (skip, don't fail the mix)
+            n_transfers = max(int(result["n_transfers"]), 1)
+            file_bytes = max(
+                float(result["total_gbytes"]) * 1e9 / n_transfers, 1e6
+            )
+            rate_bps = max(
+                float(result.get("p50_tput_mbps", 100.0)) * 1e6, 1e6
+            )
+            config = ManagedChaosConfig(
+                n_tasks=int(params.get("n_tasks", 4)),
+                files_per_task=int(params.get("files_per_task", 3)),
+                file_bytes=file_bytes,
+                rate_bps=rate_bps,
+                concurrency=int(params.get("concurrency", 2)),
+                submit_spacing_s=float(params.get("submit_spacing_s", 240.0)),
+                flaps_per_hour=float(params.get("flaps_per_hour", 0.0)),
+                flap_duration_s=float(params.get("flap_duration_s", 25.0)),
+            )
+            report = run_managed_chaos(config, seed=seed)
+            goodput = (
+                rate_bps / report.inflation
+                if math.isfinite(report.inflation) and report.inflation > 0
+                else 0.0
+            )
+            total_tasks += report.n_tasks
+            total_succeeded += report.n_succeeded
+            sources.append(
+                {
+                    "source": dep,
+                    "index": artifact.index,
+                    "coords": dict(artifact.coords),
+                    "dataset": result.get("dataset"),
+                    "file_bytes": file_bytes,
+                    "rate_bps": rate_bps,
+                    "availability": report.n_succeeded / report.n_tasks,
+                    "goodput_bps": goodput,
+                    "inflation": report.inflation,
+                    "n_files_moved": report.n_files_moved,
+                    "n_flaps_injected": report.n_flaps_injected,
+                }
+            )
+    if not sources:
+        raise ValueError(
+            "no upstream workload cells (need synth results with "
+            f"n_transfers/total_gbytes); needs resolved: {sorted(artifacts)}"
+        )
+    return encode_nonfinite(
+        {
+            "availability": total_succeeded / total_tasks,
+            "goodput_bps": float(
+                np.mean([s["goodput_bps"] for s in sources])
+            ),
+            "flaps_per_hour": float(params.get("flaps_per_hour", 0.0)),
+            "n_sources": len(sources),
+            "sources": sources,
+        }
+    )
+
+
+def cross_spec_pareto(
+    spec_paths: Sequence[str | os.PathLike],
+    name: str = "cross-spec-pareto",
+    seed: int = 0,
+    runner: Runner | None = None,
+) -> dict[str, Any]:
+    """The availability-vs-goodput front across *other* specs' grids.
+
+    Builds a one-stage pipeline whose ``pareto_front`` stage ``needs``
+    the given external spec files (chaos grids, managed-service grids)
+    and runs it through ``runner``.  With a shared cache, grids those
+    specs already computed resolve as pure cache reads — the campaign
+    the paper-style comparison wants ("which operating points dominate
+    across the chaos and managed-service studies?") without recomputing
+    either study.
+    """
+    paths = [os.fspath(p) for p in spec_paths]
+    if not paths:
+        raise ValueError("cross_spec_pareto needs at least one spec path")
+    stage = StageSpec(
+        name="pareto",
+        spec=ExperimentSpec(
+            name=f"{name}/pareto", scenario="pareto_front", seed=seed
+        ),
+        needs=tuple(paths),
+    )
+    pipeline = PipelineSpec(name=name, stages=(stage,), seed=seed)
+    result = (runner or Runner()).run_pipeline(pipeline)
+    return result.stage("pareto").results()[0]

@@ -51,10 +51,22 @@ _CHECKPOINT_VERSION = 2
 CHECKPOINT_SUBDIR = ".checkpoints"
 
 
-def spec_fingerprint(spec: ExperimentSpec) -> str:
-    """Stable identity of a spec: sha256 of its canonical JSON encoding."""
+def spec_fingerprint(
+    spec: ExperimentSpec, inputs: dict[str, str] | None = None
+) -> str:
+    """Stable identity of a spec: sha256 of its canonical JSON encoding.
+
+    ``inputs`` are the upstream artifact-set digests a pipeline stage
+    runs against (dependency name -> digest); they participate in the
+    fingerprint so the same stage spec consuming *different* upstream
+    data gets its own checkpoint journal and provenance identity.  A
+    flat spec (``inputs=None``) fingerprints exactly as it always has.
+    """
+    ident: dict = spec.to_dict()
+    if inputs:
+        ident = {"inputs": dict(inputs), "spec": spec.to_dict()}
     return hashlib.sha256(
-        canonical_json(spec.to_dict()).encode("utf-8")
+        canonical_json(ident).encode("utf-8")
     ).hexdigest()
 
 
@@ -73,10 +85,17 @@ class SettledEntry:
 class CampaignCheckpoint:
     """Append-only on-disk journal of one campaign's progress."""
 
-    def __init__(self, path: str | os.PathLike, spec: ExperimentSpec) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        spec: ExperimentSpec,
+        fingerprint: str | None = None,
+    ) -> None:
         self.path = Path(path)
         self.spec = spec
-        self.fingerprint = spec_fingerprint(spec)
+        #: identity of the campaign this journal may resume; a pipeline
+        #: stage passes its inputs-aware fingerprint explicitly
+        self.fingerprint = fingerprint or spec_fingerprint(spec)
         self.settled: dict[int, SettledEntry] = {}
         self.frontier: tuple[int, ...] = ()
         #: persistent append handle (lazily opened)
@@ -86,11 +105,21 @@ class CampaignCheckpoint:
 
     @classmethod
     def for_spec(
-        cls, directory: str | os.PathLike, spec: ExperimentSpec
+        cls,
+        directory: str | os.PathLike,
+        spec: ExperimentSpec,
+        inputs: dict[str, str] | None = None,
     ) -> "CampaignCheckpoint":
-        """The journal for ``spec`` under ``directory`` (one file per spec)."""
-        fp = spec_fingerprint(spec)
-        return cls(Path(directory) / f"{fp}.ckpt.jsonl", spec)
+        """The journal for ``spec`` under ``directory``.
+
+        One file per campaign identity: a flat spec keeps its historical
+        fingerprint, while a pipeline stage's journal is additionally
+        keyed by the upstream digests it consumes, so resuming a stage
+        whose upstream changed starts fresh instead of replaying a
+        journal written against different inputs.
+        """
+        fp = spec_fingerprint(spec, inputs=inputs)
+        return cls(Path(directory) / f"{fp}.ckpt.jsonl", spec, fingerprint=fp)
 
     # -- persistence -------------------------------------------------------
 

@@ -10,12 +10,26 @@ Register one with::
         ...
         return {"metric": value}
 
+An **analysis scenario** consumes upstream artifacts instead of (only)
+computing from scratch: register it with ``needs_artifacts=True`` and a
+three-argument signature — the Runner resolves the stage's ``needs``
+into :class:`~repro.experiments.artifacts.ArtifactSet` objects and
+passes them as the third argument::
+
+    @register_scenario("my-analysis", needs_artifacts=True)
+    def my_analysis(params, seed, artifacts):
+        upstream = artifacts["workload"]          # an ArtifactSet
+        sizes = [a.result["total_gbytes"] for a in upstream]
+        ...
+
 The built-in scenarios cover every campaign family the repo runs — the
 chaos stack, the allocator profiler, the two mechanistic paper setups,
-the managed-service (Globus-Online-style) chaos campaign, and synthetic
-workload generation — so all of them ride the same Runner, cache, and
-seeding machinery.  Their bodies import lazily: the registry stays cheap
-to import and free of circular dependencies on the simulation layers.
+the managed-service (Globus-Online-style) chaos campaign, synthetic
+workload generation, and the cross-grid analyses (``pareto_front``,
+``managed_from_workload``) — so all of them ride the same Runner,
+cache, and seeding machinery.  Their bodies import lazily: the registry
+stays cheap to import and free of circular dependencies on the
+simulation layers.
 """
 
 from __future__ import annotations
@@ -25,21 +39,41 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["register_scenario", "get_scenario", "scenario_names"]
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "scenario_needs_artifacts",
+]
 
-ScenarioFn = Callable[[Mapping[str, Any], int], Any]
+ScenarioFn = Callable[..., Any]
 
 _SCENARIOS: dict[str, ScenarioFn] = {}
+#: names registered with needs_artifacts=True (analysis scenarios)
+_ARTIFACT_SCENARIOS: set[str] = set()
 
 
-def register_scenario(name: str) -> Callable[[ScenarioFn], ScenarioFn]:
-    """Decorator: expose ``fn`` to specs under ``scenario = name``."""
+def register_scenario(
+    name: str, needs_artifacts: bool = False
+) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Decorator: expose ``fn`` to specs under ``scenario = name``.
+
+    ``needs_artifacts=True`` marks an analysis scenario: its signature
+    is ``(params, seed, artifacts)`` and the Runner only accepts it as
+    a pipeline stage with resolved ``needs``.
+    """
 
     def deco(fn: ScenarioFn) -> ScenarioFn:
         existing = _SCENARIOS.get(name)
         if existing is not None and existing is not fn:
             raise ValueError(f"scenario {name!r} is already registered")
         _SCENARIOS[name] = fn
+        if needs_artifacts:
+            _ARTIFACT_SCENARIOS.add(name)
+        elif name in _ARTIFACT_SCENARIOS:
+            raise ValueError(
+                f"scenario {name!r} was registered with needs_artifacts=True"
+            )
         return fn
 
     return deco
@@ -52,6 +86,11 @@ def get_scenario(name: str) -> ScenarioFn:
         raise KeyError(
             f"unknown scenario {name!r}; registered: {scenario_names()}"
         ) from None
+
+
+def scenario_needs_artifacts(name: str) -> bool:
+    """True when ``name`` is an analysis scenario (3-arg signature)."""
+    return name in _ARTIFACT_SCENARIOS
 
 
 def scenario_names() -> list[str]:
@@ -167,6 +206,41 @@ def _scenario_sleep(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
         "tag": params.get("tag"),
         "seed": int(seed),
     }
+
+
+@register_scenario("pareto_front", needs_artifacts=True)
+def _scenario_pareto_front(
+    params: Mapping[str, Any], seed: int, artifacts: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Availability-vs-goodput Pareto front over upstream campaign grids.
+
+    Reads every resolved dependency (chaos grids, managed-service
+    grids, ``managed_from_workload`` stages — anything whose cells
+    expose an availability and a goodput), extracts one point per
+    upstream cell, and reports the non-dominated set.  This is the
+    cross-spec analysis ROADMAP asked for: the upstream grids are
+    *read* from the artifact cache, never recomputed here.
+    """
+    from .campaigns import pareto_front_points
+
+    return pareto_front_points(artifacts)
+
+
+@register_scenario("managed_from_workload", needs_artifacts=True)
+def _scenario_managed_from_workload(
+    params: Mapping[str, Any], seed: int, artifacts: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Size a managed-service chaos campaign from synthesized workloads.
+
+    The measurement -> model -> decision shape from the grid-scheduling
+    literature: each upstream ``synth`` cell is a measured workload;
+    its mean file size and median achieved throughput parameterize a
+    :class:`~repro.experiments.campaigns.ManagedChaosConfig`, which
+    then runs under this cell's fault knobs (``flaps_per_hour`` etc.).
+    """
+    from .campaigns import managed_campaign_from_workload
+
+    return managed_campaign_from_workload(params, seed, artifacts)
 
 
 @register_scenario("synth")

@@ -36,6 +36,17 @@ Every cell result uniformly carries its wall-clock seconds; scenarios
 that run the fluid simulator embed their
 :class:`~repro.sim.probe.SimProbe` counters in the result payload, so
 engine instrumentation flows into campaign reports for free.
+
+Multi-stage pipelines ride the same machinery.  :meth:`Runner.run_pipeline`
+executes a :class:`~repro.experiments.spec.PipelineSpec` stage by stage
+in topological order: each stage's ``needs`` resolve to the upstream
+stages' (or external specs') :class:`~repro.experiments.artifacts.ArtifactSet`
+objects, whose digests fold into the stage's cell keys and checkpoint
+fingerprint — so a warm re-run short-circuits entire stages through the
+cache, an upstream edit re-keys (and therefore re-runs) exactly the
+stages downstream of it, and a kill mid-stage resumes from that stage's
+own journal.  :meth:`Runner.dry_run` walks the same plan without
+executing anything.
 """
 
 from __future__ import annotations
@@ -52,12 +63,20 @@ import warnings
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
-from .cache import ResultCache, cell_key
-from .checkpoint import CampaignCheckpoint
-from .registry import get_scenario
-from .spec import Cell, ExperimentSpec
+from .artifacts import Artifact, ArtifactSet, keys_digest
+from .cache import _CACHE_VERSION, ResultCache, cell_key
+from .checkpoint import CampaignCheckpoint, spec_fingerprint
+from .registry import get_scenario, scenario_needs_artifacts
+from .spec import Cell, ExperimentSpec, PipelineSpec, load_spec
 
-__all__ = ["CellResult", "CampaignResult", "CampaignInterrupted", "Runner"]
+__all__ = [
+    "CellResult",
+    "CampaignResult",
+    "CampaignInterrupted",
+    "StagePlan",
+    "PipelineResult",
+    "Runner",
+]
 
 #: supervisor poll interval while watching a parallel batch
 _POLL_S = 0.05
@@ -82,12 +101,15 @@ def _execute_cell(
     seed: int,
     start_times: Any = None,
     index: int | None = None,
+    artifacts: dict[str, ArtifactSet] | None = None,
 ) -> tuple[Any, float]:
     """Run one cell; module-level so it pickles into worker processes.
 
     ``start_times`` is an optional shared mapping the worker stamps with
     ``time.monotonic()`` at execution start — the supervisor's timeout
-    clock starts there, not at submission.
+    clock starts there, not at submission.  ``artifacts`` are the
+    resolved upstream sets an analysis scenario receives as its third
+    argument (plain frozen dataclasses, so they pickle into workers).
     """
     if start_times is not None and index is not None:
         try:
@@ -96,7 +118,10 @@ def _execute_cell(
             pass
     fn = get_scenario(scenario)
     t0 = time.perf_counter()
-    result = fn(params, seed)
+    if scenario_needs_artifacts(scenario):
+        result = fn(params, seed, artifacts or {})
+    else:
+        result = fn(params, seed)
     return result, time.perf_counter() - t0
 
 
@@ -115,6 +140,8 @@ class CellResult:
     cached: bool = False
     #: quarantine reason ("TimeoutError: ..." / "ValueError: ..."), or None
     error: str | None = None
+    #: the cell's content-addressed cache key (None when uncomputable)
+    key: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -129,6 +156,8 @@ class CampaignResult:
     cells: tuple[CellResult, ...]
     #: end-to-end campaign wall clock, including cache traffic
     wall_s: float
+    #: inputs-aware spec fingerprint (provenance identity of this run)
+    fingerprint: str | None = None
 
     @property
     def n_cells(self) -> int:
@@ -156,6 +185,40 @@ class CampaignResult:
             )
         return [c.result for c in self.cells]
 
+    def artifact_set(self, name: str | None = None) -> ArtifactSet:
+        """This campaign's cells as first-class artifacts, grid order.
+
+        Raises if any cell is quarantined — a downstream consumer must
+        never silently analyze a partial grid.
+        """
+        bad = [c for c in self.cells if not c.ok]
+        if bad:
+            raise RuntimeError(
+                f"campaign '{self.spec.name}' has {len(bad)} quarantined "
+                f"cell(s); first: cell {bad[0].index} {bad[0].coords}: "
+                f"{bad[0].error}"
+            )
+        return ArtifactSet(
+            name=name or self.spec.name,
+            artifacts=tuple(
+                Artifact(
+                    scenario=self.spec.scenario,
+                    params=c.params,
+                    seed=c.seed,
+                    key=c.key,
+                    result=c.result,
+                    wall_s=c.wall_s,
+                    cache_version=_CACHE_VERSION,
+                    spec_fingerprint=self.fingerprint,
+                    spec_name=self.spec.name,
+                    index=c.index,
+                    coords=c.coords,
+                    cached=c.cached,
+                )
+                for c in self.cells
+            ),
+        )
+
     def format(self) -> str:
         """Human-readable campaign summary (also what the CLI prints)."""
         axes = " x ".join(self.spec.axes) if self.spec.axes else "(no axes)"
@@ -175,6 +238,94 @@ class CampaignResult:
             f"cells: {self.n_cells} total, {self.n_executed} executed, "
             f"{self.n_cached} cached, {self.n_failed} failed; "
             f"wall {self.wall_s:.2f} s"
+        )
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class StagePlan:
+    """One stage of an expanded pipeline plan (:meth:`Runner.dry_run`).
+
+    Everything here is computed without executing a single cell: keys
+    and digests are pure functions of the specs, and the cache-hit
+    census only checks artifact existence.
+    """
+
+    #: the key downstream stages resolve this stage under (a stage name,
+    #: or an external spec reference exactly as written in ``needs``)
+    name: str
+    scenario: str
+    needs: tuple[str, ...]
+    #: inputs-aware fingerprint (checkpoint/provenance identity)
+    fingerprint: str
+    #: ordered cell keys (one per grid point)
+    keys: tuple[str, ...]
+    #: how many of those keys are already in the cache
+    n_hits: int
+    #: True for an external spec folded in as an implicit stage
+    external: bool = False
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.keys)
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineResult:
+    """Every stage of one pipeline run, in execution order.
+
+    ``stages`` maps each stage's resolution key — a stage name, or an
+    external spec reference as written in ``needs`` — to its
+    :class:`CampaignResult`; insertion order is execution order.
+    """
+
+    pipeline: PipelineSpec
+    stages: dict[str, CampaignResult]
+    #: end-to-end pipeline wall clock, including cache traffic
+    wall_s: float
+
+    def stage(self, name: str) -> CampaignResult:
+        try:
+            return self.stages[name]
+        except KeyError:
+            raise KeyError(
+                f"no stage {name!r} in pipeline {self.pipeline.name!r}; "
+                f"ran: {list(self.stages)}"
+            ) from None
+
+    @property
+    def n_cells(self) -> int:
+        return sum(c.n_cells for c in self.stages.values())
+
+    @property
+    def n_cached(self) -> int:
+        return sum(c.n_cached for c in self.stages.values())
+
+    @property
+    def n_failed(self) -> int:
+        return sum(c.n_failed for c in self.stages.values())
+
+    @property
+    def n_executed(self) -> int:
+        return sum(c.n_executed for c in self.stages.values())
+
+    def format(self) -> str:
+        """Per-stage summary (also what the CLI prints for pipelines)."""
+        lines = [
+            f"pipeline '{self.pipeline.name}': "
+            f"{len(self.stages)} stage(s), {self.n_cells} cell(s)"
+        ]
+        for name, campaign in self.stages.items():
+            lines.append(
+                f"  stage '{name}' [{campaign.spec.scenario}]: "
+                f"{campaign.n_cells} total, {campaign.n_executed} executed, "
+                f"{campaign.n_cached} cached, {campaign.n_failed} failed; "
+                f"wall {campaign.wall_s:.2f} s"
+            )
+        lines.append(
+            f"pipeline cells: {self.n_cells} total, "
+            f"{self.n_executed} executed, {self.n_cached} cached, "
+            f"{self.n_failed} failed; wall {self.wall_s:.2f} s"
         )
         return "\n".join(lines)
 
@@ -279,6 +430,25 @@ def _summarize(result: Any, limit: int = 4) -> str:
     return " ".join(parts)
 
 
+@dataclasses.dataclass(frozen=True)
+class _RunContext:
+    """Everything one campaign's executors need beyond the cell itself.
+
+    Bundles the spec with the pipeline-era extras — upstream artifact
+    sets (for analysis scenarios), their digests (folded into cell keys
+    and stored with each artifact), and the inputs-aware fingerprint
+    (the provenance header) — so the executor plumbing stays one
+    argument wide.
+    """
+
+    spec: ExperimentSpec
+    #: dependency name -> resolved upstream set (analysis scenarios only)
+    artifacts: dict[str, ArtifactSet] | None = None
+    #: dependency name -> upstream set digest (participates in cell keys)
+    digests: dict[str, str] | None = None
+    fingerprint: str | None = None
+
+
 class Runner:
     """Execute campaigns: serial or process-parallel, cached, resumable.
 
@@ -325,30 +495,64 @@ class Runner:
         self.chunk_size = chunk_size
         self.checkpoint_dir = checkpoint_dir
 
-    def run(self, spec: ExperimentSpec, force: bool = False) -> CampaignResult:
+    def run(
+        self,
+        spec: ExperimentSpec,
+        force: bool = False,
+        inputs: dict[str, ArtifactSet] | None = None,
+    ) -> CampaignResult:
         """Expand ``spec`` and settle every cell; never raises per-cell.
 
         ``force=True`` skips cache lookups and checkpoint restore
-        (results still get stored).  Raises :class:`CampaignInterrupted`
-        if a SIGINT/SIGTERM arrived; everything settled up to that point
-        is journaled/cached for resume.
+        (results still get stored).  ``inputs`` are the resolved
+        upstream artifact sets an analysis scenario consumes (dependency
+        name -> :class:`ArtifactSet`); their digests fold into every
+        cell key and into the campaign's fingerprint, so changing
+        anything upstream re-keys (and re-runs) this campaign while a
+        byte-identical upstream resolves straight from the cache.
+        Raises :class:`CampaignInterrupted` if a SIGINT/SIGTERM arrived;
+        everything settled up to that point is journaled/cached for
+        resume.
         """
         t0 = time.perf_counter()
         get_scenario(spec.scenario)  # fail fast on unknown scenarios
+        if scenario_needs_artifacts(spec.scenario):
+            if inputs is None:
+                raise ValueError(
+                    f"scenario {spec.scenario!r} consumes upstream artifacts; "
+                    "run it as a pipeline stage with needs=[...] (or pass "
+                    "inputs= explicitly)"
+                )
+        elif inputs is not None:
+            raise ValueError(
+                f"scenario {spec.scenario!r} takes no upstream artifacts "
+                "but inputs were supplied; register it with "
+                "needs_artifacts=True or drop the stage's needs"
+            )
+        digests = (
+            {name: aset.digest for name, aset in sorted(inputs.items())}
+            if inputs
+            else None
+        )
+        fingerprint = spec_fingerprint(spec, inputs=digests)
+        ctx = _RunContext(
+            spec=spec,
+            artifacts=dict(inputs) if inputs else None,
+            digests=digests,
+            fingerprint=fingerprint,
+        )
         cells = spec.cells()
         ckpt: CampaignCheckpoint | None = None
         if self.checkpoint_dir is not None:
-            ckpt = CampaignCheckpoint.for_spec(self.checkpoint_dir, spec)
+            ckpt = CampaignCheckpoint.for_spec(
+                self.checkpoint_dir, spec, inputs=digests
+            )
             if not force:
                 ckpt.load()
         settled: dict[int, CellResult] = {}
         pending: list[tuple[Cell, str | None]] = []
         for cell in cells:
-            key = (
-                cell_key(spec.scenario, cell.params, cell.seed)
-                if self.cache is not None
-                else None
-            )
+            key = self._key_for(ctx, cell)
             if not force and ckpt is not None:
                 entry = ckpt.settled.get(cell.index)
                 if entry is not None and entry.error is not None:
@@ -363,9 +567,14 @@ class Runner:
                         result=None,
                         wall_s=entry.wall_s,
                         error=entry.error,
+                        key=key,
                     )
                     continue
-            hit = self.cache.get(key) if (key is not None and not force) else None
+            hit = (
+                self.cache.get(key)
+                if (self.cache is not None and key is not None and not force)
+                else None
+            )
             if hit is not None:
                 settled[cell.index] = CellResult(
                     index=cell.index,
@@ -375,6 +584,7 @@ class Runner:
                     result=hit["result"],
                     wall_s=float(hit["wall_s"]),
                     cached=True,
+                    key=key,
                 )
             else:
                 pending.append((cell, key))
@@ -382,9 +592,9 @@ class Runner:
         if pending:
             with _SignalDrain() as drain:
                 if self.jobs == 1:
-                    self._run_serial(spec, pending, settled, ckpt, drain)
+                    self._run_serial(ctx, pending, settled, ckpt, drain)
                 else:
-                    self._run_parallel(spec, pending, settled, ckpt, drain)
+                    self._run_parallel(ctx, pending, settled, ckpt, drain)
                 if drain.triggered:
                     if ckpt is not None:
                         ckpt.flush()
@@ -412,14 +622,38 @@ class Runner:
             ckpt.complete()
         ordered = tuple(settled[c.index] for c in cells)
         return CampaignResult(
-            spec=spec, cells=ordered, wall_s=time.perf_counter() - t0
+            spec=spec,
+            cells=ordered,
+            wall_s=time.perf_counter() - t0,
+            fingerprint=fingerprint,
         )
+
+    def _key_for(self, ctx: _RunContext, cell: Cell) -> str | None:
+        """The cell's content address, or None when it has no identity.
+
+        With a cache attached the key *must* compute — a spec whose
+        params cannot be content-addressed cannot be cached, and the
+        historical behaviour is to raise.  Without a cache the key is
+        still computed when possible (downstream digests need it), but a
+        programmatic spec with non-JSON-safe params degrades to None
+        instead of failing a run that never asked for caching.
+        """
+        if self.cache is not None:
+            return cell_key(
+                ctx.spec.scenario, cell.params, cell.seed, inputs=ctx.digests
+            )
+        try:
+            return cell_key(
+                ctx.spec.scenario, cell.params, cell.seed, inputs=ctx.digests
+            )
+        except (TypeError, ValueError):
+            return None
 
     # -- executors ---------------------------------------------------------
 
     def _settle(
         self,
-        spec: ExperimentSpec,
+        ctx: _RunContext,
         cell: Cell,
         key: str | None,
         settled: dict[int, CellResult],
@@ -428,10 +662,22 @@ class Runner:
         error: str | None,
         ckpt: CampaignCheckpoint | None = None,
     ) -> None:
-        if error is None and key is not None:
+        if error is None and key is not None and self.cache is not None:
             try:
                 self.cache.put(
-                    key, spec.scenario, cell.params, cell.seed, result, wall_s
+                    key,
+                    ctx.spec.scenario,
+                    cell.params,
+                    cell.seed,
+                    result,
+                    wall_s,
+                    inputs=ctx.digests,
+                    provenance={
+                        "spec_fingerprint": ctx.fingerprint,
+                        "spec_name": ctx.spec.name,
+                        "index": cell.index,
+                        "coords": cell.coords,
+                    },
                 )
             except (ValueError, OSError) as exc:
                 # an uncacheable result (non-finite floats, or the tmp
@@ -450,13 +696,14 @@ class Runner:
             result=result,
             wall_s=wall_s,
             error=error,
+            key=key,
         )
         if ckpt is not None:
             ckpt.record(cell.index, key, error, wall_s)
 
     def _run_serial(
         self,
-        spec: ExperimentSpec,
+        ctx: _RunContext,
         pending: list[tuple[Cell, str | None]],
         settled: dict[int, CellResult],
         ckpt: CampaignCheckpoint | None,
@@ -469,18 +716,23 @@ class Runner:
                 ckpt.begin_batch([cell.index])
             t0 = time.perf_counter()
             try:
-                result, wall = _execute_cell(spec.scenario, cell.params, cell.seed)
+                result, wall = _execute_cell(
+                    ctx.spec.scenario,
+                    cell.params,
+                    cell.seed,
+                    artifacts=ctx.artifacts,
+                )
                 error = None
             except Exception as exc:  # quarantine, keep the campaign alive
                 result, wall = None, time.perf_counter() - t0
                 error = "".join(
                     traceback.format_exception_only(type(exc), exc)
                 ).strip()
-            self._settle(spec, cell, key, settled, result, wall, error, ckpt)
+            self._settle(ctx, cell, key, settled, result, wall, error, ckpt)
 
     def _run_parallel(
         self,
-        spec: ExperimentSpec,
+        ctx: _RunContext,
         pending: list[tuple[Cell, str | None]],
         settled: dict[int, CellResult],
         ckpt: CampaignCheckpoint | None,
@@ -505,7 +757,7 @@ class Runner:
                 if ckpt is not None:
                     ckpt.begin_batch([cell.index for cell, _ in batch])
                 hung, broken, unfinished = self._drain_batch(
-                    pool, spec, batch, settled, ckpt, drain, start_times
+                    pool, ctx, batch, settled, ckpt, drain, start_times
                 )
                 if drain.triggered:
                     # unfinished cells stay journaled for resume
@@ -523,7 +775,7 @@ class Runner:
                         )
                     if pool_retries.get(cell.index, 0) > _MAX_POOL_RETRIES:
                         self._settle(
-                            spec,
+                            ctx,
                             cell,
                             key,
                             settled,
@@ -552,7 +804,7 @@ class Runner:
     def _drain_batch(
         self,
         pool: concurrent.futures.ProcessPoolExecutor,
-        spec: ExperimentSpec,
+        ctx: _RunContext,
         batch: list[tuple[Cell, str | None]],
         settled: dict[int, CellResult],
         ckpt: CampaignCheckpoint | None,
@@ -581,11 +833,12 @@ class Runner:
             for cell, key in batch:
                 fut = pool.submit(
                     _execute_cell,
-                    spec.scenario,
+                    ctx.spec.scenario,
                     cell.params,
                     cell.seed,
                     start_times,
                     cell.index,
+                    ctx.artifacts,
                 )
                 futmap[fut] = (cell, key, time.perf_counter())
         except BrokenProcessPool:
@@ -596,7 +849,7 @@ class Runner:
                 (cell, key) for cell, key in batch
                 if cell.index not in submitted
             )
-            self._salvage(spec, futmap, settled, ckpt, unfinished)
+            self._salvage(ctx, futmap, settled, ckpt, unfinished)
             return [], True, unfinished
 
         pending_futs = set(futmap)
@@ -639,7 +892,7 @@ class Runner:
                     error = "".join(
                         traceback.format_exception_only(type(exc), exc)
                     ).strip()
-                self._settle(spec, cell, key, settled, result, wall, error, ckpt)
+                self._settle(ctx, cell, key, settled, result, wall, error, ckpt)
             if self.cell_timeout_s is not None and pending_futs:
                 now = time.monotonic()
                 for fut in list(pending_futs):
@@ -654,7 +907,7 @@ class Runner:
                         pending_futs.discard(fut)
                         hung.append(fut)
                         self._settle(
-                            spec,
+                            ctx,
                             cell,
                             key,
                             settled,
@@ -691,7 +944,7 @@ class Runner:
 
     def _salvage(
         self,
-        spec: ExperimentSpec,
+        ctx: _RunContext,
         futmap: dict[concurrent.futures.Future, tuple[Cell, str | None, float]],
         settled: dict[int, CellResult],
         ckpt: CampaignCheckpoint | None,
@@ -723,7 +976,153 @@ class Runner:
                 error = "".join(
                     traceback.format_exception_only(type(exc), exc)
                 ).strip()
-            self._settle(spec, cell, key, settled, result, wall, error, ckpt)
+            self._settle(ctx, cell, key, settled, result, wall, error, ckpt)
+
+    # -- pipelines ---------------------------------------------------------
+
+    def run_pipeline(
+        self, pipeline: PipelineSpec, force: bool = False
+    ) -> PipelineResult:
+        """Execute every stage of ``pipeline`` in topological order.
+
+        External spec references in ``needs`` are loaded and folded in
+        as implicit stages ahead of the pipeline's own — their cells are
+        content-addressed exactly like a direct run of that spec, so a
+        grid another spec already computed resolves entirely from the
+        cache with zero recomputation.  Each stage short-circuits
+        through the cache independently; a stage whose upstream is
+        unchanged and whose own cells are cached executes nothing.
+
+        Raises ``RuntimeError`` when a stage that downstream stages
+        ``need`` settles with quarantined cells — an analysis must never
+        silently read a partial grid.  A SIGINT/SIGTERM surfaces as
+        :class:`CampaignInterrupted` from the in-flight stage; re-running
+        the pipeline resumes there (earlier stages come back as hits).
+        """
+        t0 = time.perf_counter()
+        plan = self._pipeline_plan(pipeline)
+        campaigns: dict[str, CampaignResult] = {}
+        sets: dict[str, ArtifactSet] = {}
+        for key, spec, needs, external in plan:
+            # needs on a plain scenario only order the stage; the sets
+            # (and the digest folding) are for artifact consumers
+            inputs = (
+                {need: sets[need] for need in needs}
+                if needs and scenario_needs_artifacts(spec.scenario)
+                else None
+            )
+            campaign = self.run(spec, force=force, inputs=inputs)
+            campaigns[key] = campaign
+            if self._is_needed(pipeline, key):
+                try:
+                    sets[key] = campaign.artifact_set(name=key)
+                except RuntimeError as exc:
+                    raise RuntimeError(
+                        f"pipeline '{pipeline.name}': stage '{key}' must "
+                        f"feed downstream stages but {exc}"
+                    ) from None
+        return PipelineResult(
+            pipeline=pipeline,
+            stages=campaigns,
+            wall_s=time.perf_counter() - t0,
+        )
+
+    def dry_run(
+        self, target: ExperimentSpec | PipelineSpec
+    ) -> list[StagePlan]:
+        """Expand a spec or pipeline without executing a single cell.
+
+        Returns one :class:`StagePlan` per stage in execution order,
+        with the stage's cell keys, inputs-aware fingerprint, and a
+        cache-hit census.  Downstream keys are computed from upstream
+        *digests*, which are pure functions of the upstream keys — so
+        the plan is exact, not an estimate: a subsequent real run
+        executes precisely the cells reported missing here.
+        """
+        if isinstance(target, ExperimentSpec):
+            target = PipelineSpec.wrap(target)
+        out: list[StagePlan] = []
+        digests: dict[str, str] = {}
+        for key, spec, needs, external in self._pipeline_plan(target):
+            stage_inputs = (
+                {need: digests[need] for need in sorted(needs)}
+                if needs and scenario_needs_artifacts(spec.scenario)
+                else None
+            )
+            keys = tuple(
+                cell_key(spec.scenario, c.params, c.seed, inputs=stage_inputs)
+                for c in spec.cells()
+            )
+            digests[key] = keys_digest(keys)
+            n_hits = (
+                sum(1 for k in keys if self.cache.path_for(k).is_file())
+                if self.cache is not None
+                else 0
+            )
+            out.append(
+                StagePlan(
+                    name=key,
+                    scenario=spec.scenario,
+                    needs=needs,
+                    fingerprint=spec_fingerprint(spec, inputs=stage_inputs),
+                    keys=keys,
+                    n_hits=n_hits,
+                    external=external,
+                )
+            )
+        return out
+
+    def _pipeline_plan(
+        self, pipeline: PipelineSpec
+    ) -> list[tuple[str, ExperimentSpec, tuple[str, ...], bool]]:
+        """Resolve a pipeline into ``(key, spec, needs, external)`` rows.
+
+        External spec references load from disk (anchored at the
+        pipeline's ``base_dir``) and come first, keyed by the reference
+        string exactly as written in ``needs`` — that string is how the
+        consuming stage's scenario will look the set up.  Validation is
+        all up front: unknown scenarios, pipeline-shaped external refs,
+        and needs/scenario signature mismatches fail before any cell
+        runs.
+        """
+        rows: list[tuple[str, ExperimentSpec, tuple[str, ...], bool]] = []
+        for need in pipeline.external_needs():
+            path = pipeline.resolve_path(need)
+            try:
+                loaded = load_spec(path)
+            except OSError as exc:
+                raise ValueError(
+                    f"pipeline '{pipeline.name}': cannot load external "
+                    f"spec {need!r}: {exc}"
+                ) from None
+            if isinstance(loaded, PipelineSpec):
+                raise ValueError(
+                    f"pipeline '{pipeline.name}': external need {need!r} "
+                    "is itself a pipeline; point needs at flat specs "
+                    "(run the other pipeline separately — its cached "
+                    "stages resolve here for free)"
+                )
+            rows.append((need, loaded, (), True))
+        for stage in pipeline.stage_order():
+            rows.append((stage.name, stage.spec, stage.needs, False))
+        for key, spec, needs, _external in rows:
+            get_scenario(spec.scenario)  # fail fast, before any stage runs
+            if scenario_needs_artifacts(spec.scenario) and not needs:
+                raise ValueError(
+                    f"pipeline '{pipeline.name}': stage '{key}' runs "
+                    f"analysis scenario {spec.scenario!r} but declares no "
+                    "needs — it would have nothing to analyze"
+                )
+        return rows
+
+    @staticmethod
+    def _is_needed(pipeline: PipelineSpec, key: str) -> bool:
+        """Whether an artifact-consuming stage reads ``key``'s artifacts."""
+        return any(
+            key in stage.needs
+            and scenario_needs_artifacts(stage.spec.scenario)
+            for stage in pipeline.stages
+        )
 
     def _new_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         return concurrent.futures.ProcessPoolExecutor(

@@ -465,7 +465,7 @@ class TestTimeoutFromExecutionStart:
         # with one worker the second cell waits out the whole first cell
         # before starting; jobs=1 routes serial in run(), so drive the
         # parallel executor directly to pin its budget clock
-        from repro.experiments.runner import _SignalDrain
+        from repro.experiments.runner import _RunContext, _SignalDrain
 
         spec = ExperimentSpec(
             name="ck-queue-1w",
@@ -477,7 +477,9 @@ class TestTimeoutFromExecutionStart:
         settled = {}
         pending = [(cell, None) for cell in spec.cells()]
         with _SignalDrain() as drain:
-            runner._run_parallel(spec, pending, settled, None, drain)
+            runner._run_parallel(
+                _RunContext(spec=spec), pending, settled, None, drain
+            )
         assert len(settled) == 2
         assert all(r.ok for r in settled.values()), {
             i: r.error for i, r in settled.items() if not r.ok
