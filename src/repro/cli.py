@@ -19,6 +19,9 @@ Examples::
     repro-gridftp cache gc --older-than 7d
     repro-gridftp cache verify --delete
     repro-gridftp cache prune-tmp
+    repro-gridftp serve --socket /tmp/svc.sock --flaps-per-hour 12
+    repro-gridftp request --socket /tmp/svc.sock submit --sizes 4e9 --wait
+    repro-gridftp request --socket /tmp/svc.sock status
 
 A `run` campaign killed by SIGINT/SIGTERM drains in-flight cells,
 flushes its checkpoint journal, and exits with code 75 (EX_TEMPFAIL);
@@ -215,7 +218,101 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(exc)
         return 1
     print(campaign.format())
+    _print_error_summary(campaign)
     return 1 if campaign.n_failed else 0
+
+
+def _print_error_summary(campaign) -> int:
+    """One line per quarantined cell, for flat campaigns and pipelines.
+
+    The grid summary only *counts* failures (and pipeline stages bury
+    them entirely); operators triaging a long campaign need the
+    scenario, the cell identity, and the exception without replaying
+    the run.  Returns the number of lines printed.
+    """
+    stages = (
+        list(campaign.stages.items())
+        if hasattr(campaign, "stages")
+        else [(campaign.spec.name, campaign)]
+    )
+    failed = [
+        (stage_name, stage.spec.scenario, cell)
+        for stage_name, stage in stages
+        for cell in stage.cells
+        if not cell.ok
+    ]
+    if not failed:
+        return 0
+    print(f"\n{len(failed)} quarantined cell(s):")
+    for stage_name, scenario, cell in failed:
+        coords = (
+            " ".join(f"{k}={v}" for k, v in sorted(cell.coords.items()))
+            or "-"
+        )
+        print(f"  {stage_name} [{scenario}] cell {cell.index} ({coords}) "
+              f"seed={cell.seed}: {cell.error}")
+    return len(failed)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from .service.daemon import DaemonConfig, run_daemon
+
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        stream=sys.stderr,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    config = DaemonConfig(
+        socket_path=args.socket,
+        workers=args.workers,
+        time_scale=args.time_scale,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.tenant_quota,
+        vc_rate_bps=args.vc_rate_bps,
+        ip_rate_bps=args.ip_rate_bps,
+        default_deadline_s=args.default_deadline,
+        reject_prob=args.reject_prob,
+        setup_timeout_prob=args.timeout_prob,
+        flaps_per_hour=args.flaps_per_hour,
+        flap_duration_s=args.flap_duration,
+        drain_grace_s=args.drain_grace,
+        chaos_ops=args.chaos_ops,
+        seed=args.seed,
+    )
+    return run_daemon(config)
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service.api import ServiceClient
+
+    with ServiceClient(args.socket, timeout=args.timeout) as client:
+        if args.request_command == "submit":
+            sizes = [float(s) for s in args.sizes.split(",") if s]
+            resp = client.submit(
+                sizes,
+                tenant=args.tenant,
+                deadline_s=args.deadline,
+                wait=args.wait,
+            )
+        elif args.request_command == "wait":
+            resp = client.wait(args.request_id)
+        elif args.request_command == "status":
+            resp = client.status()
+        elif args.request_command == "health":
+            resp = client.health()
+        elif args.request_command == "crash":
+            resp = client.crash()
+        else:  # pragma: no cover - argparse enforces the choices
+            raise SystemExit(f"unknown request {args.request_command!r}")
+    print(_json.dumps(resp, indent=2, sort_keys=True))
+    if resp.get("ok"):
+        return 0
+    # an admission rejection is retryable, everything else is an error
+    return EXIT_RESUMABLE if resp.get("status") == "rejected" else 1
 
 
 def _parse_age(text: str) -> float:
@@ -498,6 +595,61 @@ def build_parser() -> argparse.ArgumentParser:
                     help="expand the spec/pipeline, report per-stage cell "
                          "counts and the cache-hit census, execute nothing")
     rn.set_defaults(func=_cmd_run)
+
+    sv = sub.add_parser(
+        "serve", help="run the long-lived transfer daemon on a Unix socket"
+    )
+    sv.add_argument("--socket", required=True,
+                    help="control-socket path (JSON lines, one op per line)")
+    sv.add_argument("--workers", type=int, default=4)
+    sv.add_argument("--time-scale", type=float, default=60.0,
+                    help="virtual service seconds per real second")
+    sv.add_argument("--queue-limit", type=int, default=64,
+                    help="max admitted-but-unsettled requests")
+    sv.add_argument("--tenant-quota", type=int, default=8,
+                    help="max outstanding requests per tenant")
+    sv.add_argument("--vc-rate-bps", type=float, default=1.6e9)
+    sv.add_argument("--ip-rate-bps", type=float, default=4e8)
+    sv.add_argument("--default-deadline", type=float, default=None,
+                    help="budget (virtual s) for submissions naming none")
+    sv.add_argument("--reject-prob", type=float, default=0.0,
+                    help="per-request IDC rejection probability")
+    sv.add_argument("--timeout-prob", type=float, default=0.0,
+                    help="per-request signalling-timeout probability")
+    sv.add_argument("--flaps-per-hour", type=float, default=0.0,
+                    help="circuit flap rate while a request rides its VC")
+    sv.add_argument("--flap-duration", type=float, default=25.0,
+                    help="mean flap outage duration, virtual seconds")
+    sv.add_argument("--drain-grace", type=float, default=5.0,
+                    help="real seconds SIGTERM waits before checkpointing")
+    sv.add_argument("--chaos-ops", action="store_true",
+                    help="honour the 'crash' chaos op (tests/soaks only)")
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--verbose", action="store_true")
+    sv.set_defaults(func=_cmd_serve)
+
+    rq = sub.add_parser(
+        "request", help="talk to a running transfer daemon"
+    )
+    rq.add_argument("--socket", required=True,
+                    help="the daemon's control-socket path")
+    rq.add_argument("--timeout", type=float, default=30.0,
+                    help="socket timeout, real seconds")
+    rqsub = rq.add_subparsers(dest="request_command", required=True)
+    rqs = rqsub.add_parser("submit", help="submit one transfer request")
+    rqs.add_argument("--sizes", required=True, metavar="S1,S2,...",
+                     help="comma-separated file sizes in bytes")
+    rqs.add_argument("--tenant", default="default")
+    rqs.add_argument("--deadline", type=float, default=None,
+                     help="deadline budget, virtual seconds")
+    rqs.add_argument("--wait", action="store_true",
+                     help="block until the request settles")
+    rqw = rqsub.add_parser("wait", help="block until a request settles")
+    rqw.add_argument("request_id", type=int)
+    rqsub.add_parser("status", help="full service dashboard")
+    rqsub.add_parser("health", help="liveness verdict")
+    rqsub.add_parser("crash", help="chaos op: panic one work loop")
+    rq.set_defaults(func=_cmd_request)
 
     ca = sub.add_parser(
         "cache", help="maintain the content-addressed campaign result cache"

@@ -243,6 +243,22 @@ def _scenario_managed_from_workload(
     return managed_campaign_from_workload(params, seed, artifacts)
 
 
+@register_scenario("service_soak")
+def _scenario_service_soak(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Fault-storm soak of the long-lived transfer daemon.
+
+    Boots a real :class:`~repro.service.daemon.TransferDaemon` (asyncio
+    loops, Unix control socket) in-process, drives a Poisson arrival
+    storm with injected reservation rejections, signalling timeouts,
+    circuit flaps, and deliberate work-loop panics, then drains and
+    pins the service contracts (every accepted request settled,
+    overload shed explicitly, crashed loops restarted).
+    """
+    from ..service.soak import run_service_soak
+
+    return run_service_soak(dict(params), seed)
+
+
 @register_scenario("synth")
 def _scenario_synth(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
     """Generate a calibrated synthetic workload; report its shape."""

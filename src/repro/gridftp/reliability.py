@@ -257,8 +257,11 @@ class ReliableTransferService:
             t_fault = self.fault_model.time_to_fault_s(rng)
             t_finish = remaining / rate_Bps
             t_outage = math.inf
+            # >= so an outage landing exactly at the attempt's start (or at
+            # the transfer's t=0) interrupts immediately instead of letting
+            # the attempt run through a dark path
             for t_down, _ in outages:
-                if t_down > wall:
+                if t_down >= wall:
                     t_outage = t_down - wall
                     break
             horizon = min(t_fault, t_outage)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import itertools
+import math
 
 import numpy as np
 
@@ -70,9 +71,13 @@ class TransferTask:
     def __post_init__(self) -> None:
         if not self.file_sizes:
             raise ValueError("a task needs at least one file")
-        if any(s <= 0 for s in self.file_sizes):
-            raise ValueError("file sizes must be positive")
-        if self.deadline_s is not None and self.deadline_s <= 0:
+        if any(not math.isfinite(s) or s <= 0 for s in self.file_sizes):
+            raise ValueError("file sizes must be positive and finite")
+        if not math.isfinite(self.submitted_at) or self.submitted_at < 0:
+            raise ValueError("submitted_at must be non-negative and finite")
+        if self.deadline_s is not None and (
+            not math.isfinite(self.deadline_s) or self.deadline_s <= 0
+        ):
             raise ValueError("deadline must be positive")
 
     @property

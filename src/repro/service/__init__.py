@@ -1,0 +1,57 @@
+"""The long-lived transfer service: the managed layer as a daemon.
+
+This package hosts :class:`~repro.service.daemon.TransferDaemon`, a
+supervised asyncio process that serves a continuous stream of transfer
+requests over a local JSON-lines control socket while the virtual-circuit
+stack misbehaves underneath it.  The pieces:
+
+* :mod:`~repro.service.admission` — bounded queue, per-tenant quotas,
+  429-style shedding with retry-after;
+* :mod:`~repro.service.budget` — per-request deadline budgets and the
+  VC → IP degradation ladder;
+* :mod:`~repro.service.supervisor` — panic-restart of work/status loops
+  under exponential backoff;
+* :mod:`~repro.service.health` — ``/health`` and ``/status`` views;
+* :mod:`~repro.service.api` — the control-socket protocol and the
+  blocking client;
+* :mod:`~repro.service.daemon` — the daemon itself (serve, drain,
+  checkpoint, exit 75);
+* :mod:`~repro.service.soak` — the ``service_soak`` fault-storm
+  scenario.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .api import ServiceClient, decode_line, encode_line
+from .budget import DeadlineBudget, PathChoice, TransferPlan, plan_path
+from .daemon import (
+    EXIT_DRAINED,
+    DaemonConfig,
+    InjectedCrash,
+    ServiceRequest,
+    TransferDaemon,
+    run_daemon,
+)
+from .health import HealthMonitor, ServiceMetrics
+from .supervisor import LoopStatus, Supervisor
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ServiceClient",
+    "encode_line",
+    "decode_line",
+    "DeadlineBudget",
+    "PathChoice",
+    "TransferPlan",
+    "plan_path",
+    "DaemonConfig",
+    "TransferDaemon",
+    "ServiceRequest",
+    "InjectedCrash",
+    "run_daemon",
+    "EXIT_DRAINED",
+    "HealthMonitor",
+    "ServiceMetrics",
+    "Supervisor",
+    "LoopStatus",
+]

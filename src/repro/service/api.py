@@ -1,0 +1,142 @@
+"""The control-socket protocol: JSON lines over a local Unix socket.
+
+One request per line, one response per line, strict RFC 8259 JSON (the
+same discipline as the artifact cache).  Operations:
+
+* ``submit`` — enqueue a transfer request; the response is the admission
+  decision (accepted with a ``request_id``, or a 429-style rejection
+  with ``retry_after_s``).  ``"wait": true`` holds the response until
+  the request settles.
+* ``wait`` — block until a previously-accepted request settles.
+* ``status`` / ``health`` — the dashboards from
+  :mod:`repro.service.health`.
+* ``crash`` — chaos operation (only honoured when the daemon was
+  started with ``chaos_ops``): panic one work loop to exercise
+  supervision.
+
+Defensive parsing throughout: oversized lines, non-JSON, non-object
+payloads and unknown ops all produce an error *response*, never a
+daemon-side exception.  :class:`ServiceClient` is the synchronous client
+the CLI and tests use.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "encode_line",
+    "decode_line",
+    "error_response",
+    "ServiceClient",
+]
+
+PROTOCOL_VERSION = 1
+
+#: hard bound on one protocol line — a runaway client cannot balloon
+#: the daemon's connection buffers
+MAX_LINE_BYTES = 1 << 20
+
+
+def encode_line(obj: dict[str, Any]) -> bytes:
+    """One protocol message as a newline-terminated strict-JSON line."""
+    return (
+        json.dumps(obj, sort_keys=True, allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(raw: bytes) -> dict[str, Any]:
+    """Parse one protocol line; raises ``ValueError`` on any malformation."""
+    if len(raw) > MAX_LINE_BYTES:
+        raise ValueError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed JSON line: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return obj
+
+
+def error_response(message: str, **extra: Any) -> dict[str, Any]:
+    """The uniform error envelope."""
+    return {"ok": False, "error": message, **extra}
+
+
+class ServiceClient:
+    """Blocking control-socket client (CLI, tests, examples).
+
+    One connection per client; requests are serialized on it.  ``timeout``
+    bounds every socket operation — a wedged daemon surfaces as
+    ``socket.timeout``, never a hang.
+    """
+
+    def __init__(self, socket_path: str, timeout: float = 30.0) -> None:
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._buffer = b""
+
+    # -- plumbing ----------------------------------------------------------
+
+    def request(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Send one message and block for its response line."""
+        self._sock.sendall(encode_line(body))
+        return decode_line(self._read_line())
+
+    def _read_line(self) -> bytes:
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ValueError("response line too long")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- operations --------------------------------------------------------
+
+    def submit(
+        self,
+        file_sizes: list[float],
+        tenant: str = "default",
+        deadline_s: float | None = None,
+        wait: bool = False,
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {
+            "op": "submit",
+            "tenant": tenant,
+            "file_sizes": list(file_sizes),
+            "wait": bool(wait),
+        }
+        if deadline_s is not None:
+            body["deadline_s"] = float(deadline_s)
+        return self.request(body)
+
+    def wait(self, request_id: int) -> dict[str, Any]:
+        return self.request({"op": "wait", "request_id": int(request_id)})
+
+    def status(self) -> dict[str, Any]:
+        return self.request({"op": "status"})
+
+    def health(self) -> dict[str, Any]:
+        return self.request({"op": "health"})
+
+    def crash(self, loop: str = "worker-0") -> dict[str, Any]:
+        """Chaos op: panic one supervised loop (daemon must allow it)."""
+        return self.request({"op": "crash", "loop": loop})

@@ -1,0 +1,136 @@
+"""Per-request deadline budgets: the currency of the degradation ladder.
+
+Every request the daemon accepts carries a wall-clock budget in *service
+time* (the daemon's virtual clock).  The budget is threaded through the
+whole request lifecycle — queue wait, VC reservation retries, signalling
+delay, the transfer itself — and each stage asks the same two questions:
+
+* :meth:`DeadlineBudget.remaining` — how much runway is left;
+* :meth:`DeadlineBudget.can_afford` — does a planned step still fit.
+
+The daemon's defining robustness rule lives on top of these:
+when the remaining budget can no longer fit a VC setup *plus* the
+transfer at circuit rate, the request degrades to the routed-IP path
+instead of burning its deadline waiting on signalling
+(:func:`plan_path` encodes the ladder).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from collections.abc import Callable
+
+__all__ = ["DeadlineBudget", "PathChoice", "TransferPlan", "plan_path"]
+
+
+class DeadlineBudget:
+    """Remaining wall-clock allowance of one request.
+
+    ``deadline_s`` is the total budget from :meth:`start`; ``None`` means
+    unbounded (the request never expires).  ``clock`` supplies the
+    service's notion of *now* — the daemon passes its virtual clock, unit
+    tests pass a hand-cranked counter.
+    """
+
+    def __init__(
+        self, deadline_s: float | None, clock: Callable[[], float]
+    ) -> None:
+        if deadline_s is not None and (
+            not math.isfinite(deadline_s) or deadline_s <= 0
+        ):
+            raise ValueError("deadline must be positive and finite (or None)")
+        self.deadline_s = deadline_s
+        self.clock = clock
+        self.started_at = float(clock())
+
+    def elapsed(self) -> float:
+        """Seconds consumed since the budget started."""
+        return max(float(self.clock()) - self.started_at, 0.0)
+
+    def remaining(self) -> float:
+        """Runway left; ``inf`` for an unbounded budget, floored at 0."""
+        if self.deadline_s is None:
+            return math.inf
+        return max(self.deadline_s - self.elapsed(), 0.0)
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def can_afford(self, cost_s: float) -> bool:
+        """Does a step of ``cost_s`` seconds still fit the runway?"""
+        if cost_s < 0:
+            raise ValueError("cost must be non-negative")
+        return cost_s <= self.remaining()
+
+    def snapshot(self) -> dict[str, float | None]:
+        """JSON-safe status view (``None`` encodes the unbounded case)."""
+        return {
+            "deadline_s": self.deadline_s,
+            "elapsed_s": self.elapsed(),
+            "remaining_s": None if self.deadline_s is None else self.remaining(),
+        }
+
+
+class PathChoice(enum.Enum):
+    """Which data path a request is planned onto."""
+
+    #: budget fits VC setup + circuit-rate transfer: reserve and ride it
+    VC = "vc"
+    #: budget too tight for signalling: routed IP immediately (degraded)
+    IP_DEGRADED = "ip-degraded"
+    #: VC reservation failed after retries: routed IP as recovery
+    IP_FALLBACK = "ip-fallback"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TransferPlan:
+    """Outcome of :func:`plan_path` for one request."""
+
+    choice: PathChoice
+    #: estimated setup seconds the plan charges (0 on the IP path)
+    setup_estimate_s: float
+    #: estimated transfer seconds at the planned path's rate
+    transfer_estimate_s: float
+
+
+def plan_path(
+    budget: DeadlineBudget,
+    total_bytes: float,
+    vc_rate_bps: float,
+    ip_rate_bps: float,
+    setup_estimate_s: float,
+    safety_factor: float = 1.25,
+) -> TransferPlan:
+    """The degradation ladder's first rung: VC when it fits, IP when not.
+
+    A request takes the circuit only when the remaining budget covers the
+    estimated signalling delay *plus* the circuit-rate transfer inflated
+    by ``safety_factor`` (headroom for flap recovery).  Otherwise it
+    degrades to the routed path immediately — spending a tight budget
+    waiting on OSCARS is how deadlines die.  An unbounded budget always
+    prefers the circuit.
+    """
+    if total_bytes <= 0:
+        raise ValueError("total_bytes must be positive")
+    if vc_rate_bps <= 0 or ip_rate_bps <= 0:
+        raise ValueError("rates must be positive")
+    if setup_estimate_s < 0:
+        raise ValueError("setup estimate must be non-negative")
+    if safety_factor < 1.0:
+        raise ValueError("safety factor must be >= 1")
+    vc_transfer = total_bytes * 8.0 / vc_rate_bps
+    ip_transfer = total_bytes * 8.0 / ip_rate_bps
+    if budget.can_afford(setup_estimate_s + vc_transfer * safety_factor):
+        return TransferPlan(
+            choice=PathChoice.VC,
+            setup_estimate_s=setup_estimate_s,
+            transfer_estimate_s=vc_transfer,
+        )
+    return TransferPlan(
+        choice=PathChoice.IP_DEGRADED,
+        setup_estimate_s=0.0,
+        transfer_estimate_s=ip_transfer,
+    )

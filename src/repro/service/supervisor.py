@@ -1,0 +1,152 @@
+"""Loop supervision: panic-restart with backoff, so crashes stay local.
+
+The daemon's work and status loops are long-lived coroutines.  A bug (or
+an injected chaos panic) that escapes one of them must never take the
+daemon down — the :class:`Supervisor` catches the crash, records it,
+waits out an exponential backoff, and restarts the loop from its
+factory.  A loop that keeps dying is eventually declared **dead**
+(backoff retries exhausted) rather than restarted forever; health
+reporting surfaces dead loops so operators see a crash storm instead of
+a silent hot loop.
+
+``asyncio.CancelledError`` always passes through — cancellation is the
+shutdown path, not a crash.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import logging
+from collections.abc import Awaitable, Callable
+
+from ..faults.recovery import BackoffPolicy
+
+__all__ = ["LoopStatus", "Supervisor"]
+
+logger = logging.getLogger("repro.service")
+
+
+@dataclasses.dataclass
+class LoopStatus:
+    """Supervision record of one loop."""
+
+    name: str
+    alive: bool = True
+    #: True once supervision gave up on a crash storm (terminal)
+    dead: bool = False
+    #: total restarts over the loop's lifetime
+    restarts: int = 0
+    #: crashes since the loop last ran healthy (drives the backoff)
+    consecutive_crashes: int = 0
+    last_error: str | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class Supervisor:
+    """Restart crashed coroutines under exponential backoff.
+
+    Parameters
+    ----------
+    backoff:
+        Restart pacing; ``max_retries`` bounds *consecutive* crashes
+        before a loop is declared dead.  Delays are real seconds — this
+        is the daemon's own control plane, not simulated time.
+    healthy_after_s:
+        A loop iteration that survives this long (real seconds) resets
+        the consecutive-crash count, so a loop that recovers earns its
+        full retry budget back.
+    """
+
+    def __init__(
+        self,
+        backoff: BackoffPolicy | None = None,
+        healthy_after_s: float = 1.0,
+    ) -> None:
+        if healthy_after_s < 0:
+            raise ValueError("healthy_after_s must be non-negative")
+        self.backoff = backoff or BackoffPolicy(
+            base_s=0.05, max_backoff_s=2.0, max_retries=5, jitter=0.0
+        )
+        self.healthy_after_s = healthy_after_s
+        self.loops: dict[str, LoopStatus] = {}
+        self._tasks: dict[str, asyncio.Task] = {}
+        #: called after each crash as ``cb(name, exception)`` — the
+        #: daemon uses it to re-enqueue the request the loop was holding
+        self.on_crash: Callable[[str, BaseException], None] | None = None
+
+    def supervise(
+        self, name: str, factory: Callable[[], Awaitable[None]]
+    ) -> asyncio.Task:
+        """Run ``factory()`` under supervision; returns the wrapper task."""
+        if name in self._tasks and not self._tasks[name].done():
+            raise RuntimeError(f"loop {name!r} is already supervised")
+        self.loops[name] = LoopStatus(name=name)
+        task = asyncio.get_running_loop().create_task(
+            self._run(name, factory), name=f"supervised:{name}"
+        )
+        self._tasks[name] = task
+        return task
+
+    async def _run(
+        self, name: str, factory: Callable[[], Awaitable[None]]
+    ) -> None:
+        status = self.loops[name]
+        clock = asyncio.get_running_loop().time
+        while True:
+            started = clock()
+            try:
+                await factory()
+                status.alive = False  # loop returned cleanly: done, not dead
+                return
+            except asyncio.CancelledError:
+                status.alive = False
+                raise
+            except Exception as exc:
+                if clock() - started >= self.healthy_after_s:
+                    status.consecutive_crashes = 0
+                status.consecutive_crashes += 1
+                status.restarts += 1
+                status.last_error = f"{type(exc).__name__}: {exc}"
+                logger.warning(
+                    "loop %r crashed (%s); restart %d",
+                    name, status.last_error, status.restarts,
+                )
+                if self.on_crash is not None:
+                    self.on_crash(name, exc)
+                if status.consecutive_crashes > self.backoff.max_retries:
+                    status.alive = False
+                    status.dead = True
+                    logger.error(
+                        "loop %r declared dead after %d consecutive crashes",
+                        name, status.consecutive_crashes,
+                    )
+                    return
+                await asyncio.sleep(
+                    self.backoff.delay_s(status.consecutive_crashes - 1)
+                )
+
+    # -- status ------------------------------------------------------------
+
+    @property
+    def n_restarts(self) -> int:
+        return sum(s.restarts for s in self.loops.values())
+
+    def dead_loops(self) -> list[str]:
+        """Loops whose supervision gave up (crash storm exhausted backoff)."""
+        return [name for name, status in self.loops.items() if status.dead]
+
+    def status(self) -> dict[str, dict[str, object]]:
+        return {name: s.as_dict() for name, s in self.loops.items()}
+
+    async def stop(self) -> None:
+        """Cancel every supervised loop and wait them out (idempotent)."""
+        for task in self._tasks.values():
+            task.cancel()
+        for task in self._tasks.values():
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass

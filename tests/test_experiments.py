@@ -460,6 +460,32 @@ class TestCliRun:
         assert rc == 1
         assert "1 failed" in capsys.readouterr().out
 
+    def test_failed_cells_get_one_line_summaries(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "boom.toml"
+        path.write_text(
+            'name = "boom"\nscenario = "t-boom"\nseed = 5\n'
+            "[axes]\nx = [1, 2]\n"
+        )
+        rc = main(["run", str(path), "--no-cache"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        header = lines.index("1 quarantined cell(s):")
+        line = lines[header + 1]
+        # one line names the stage, scenario, coordinates, seed, and error
+        assert "boom" in line and "t-boom" in line
+        assert "x=2" in line and "seed=" in line and "cursed" in line
+
+    def test_clean_run_prints_no_summary(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = self._write_spec(tmp_path)
+        rc = main(["run", str(spec), "--no-cache"])
+        assert rc == 0
+        assert "quarantined" not in capsys.readouterr().out
+
 
 # -- registered here so the NaN-producing scenario exists for the Runner ----
 

@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults.injector import merge_intervals
 from repro.gridftp.reliability import (
     FaultModel,
     ReliableTransferService,
@@ -246,6 +247,79 @@ class TestExecuteWithOutages:
             svc.execute_with_outages(1e9, 1e9, [(5.0, 5.0)])
         with pytest.raises(ValueError):
             svc.execute_with_outages(0.0, 1e9, [])
+
+    def test_zero_length_window_rejected_even_among_valid_ones(self):
+        svc = ReliableTransferService(FaultModel(0.0))
+        with pytest.raises(ValueError, match="positive duration"):
+            svc.execute_with_outages(
+                1e9, 1e9, [(1.0, 2.0), (5.0, 5.0), (7.0, 9.0)]
+            )
+        with pytest.raises(ValueError, match="positive duration"):
+            svc.execute_with_outages(1e9, 1e9, [(6.0, 4.0)])  # inverted
+
+    def test_outage_starting_exactly_at_transfer_start(self):
+        svc = ReliableTransferService(
+            FaultModel(0.0),
+            RestartPolicy(marker_interval_bytes=100e6, reconnect_s=2.0),
+        )
+        # the path is already dark at t=0: the first attempt must move
+        # zero bytes, the transfer stalls to t_up, pays the reconnect,
+        # and then runs clean — it must NOT sail through the outage
+        r = svc.execute_with_outages(1e9, 1e9, [(0.0, 10.0)])
+        assert r.succeeded
+        assert r.n_faults == 1
+        assert r.attempts[0].bytes_moved == 0.0
+        assert r.attempts[0].wall_s == 0.0
+        assert r.total_wall_s == pytest.approx(10.0 + 2.0 + 8.0)
+        assert r.wire_bytes == pytest.approx(1e9)
+
+    def test_outage_starting_exactly_at_resume_point(self):
+        svc = ReliableTransferService(
+            FaultModel(0.0),
+            RestartPolicy(marker_interval_bytes=100e6, reconnect_s=2.0),
+        )
+        # first outage ends at t=6, reconnect lands the resume at t=8,
+        # and a second outage begins exactly there: the resumed attempt
+        # is interrupted immediately, not granted a free ride
+        r = svc.execute_with_outages(1e9, 1e9, [(3.0, 6.0), (8.0, 11.0)])
+        assert r.succeeded
+        assert r.n_faults == 2
+        assert r.attempts[1].bytes_moved == 0.0
+        # 3 dark-until-6 +2 reconnect = 8; dark-until-11 +2 = 13; then
+        # the 700 MB past the 300 MB marker run clean
+        assert r.total_wall_s == pytest.approx(11.0 + 2.0 + 0.7 * 8.0)
+
+    def test_overlapping_windows_behave_like_their_merge(self):
+        # producers (the chaos runner, the daemon) run flap schedules
+        # through merge_intervals before binding them; the executor must
+        # treat the raw overlapping schedule and its merge identically,
+        # so an unmerged schedule slipping through changes nothing
+        svc = ReliableTransferService(
+            FaultModel(0.0),
+            RestartPolicy(marker_interval_bytes=100e6, reconnect_s=2.0),
+        )
+        raw = [(3.0, 10.0), (5.0, 12.0), (12.0, 14.0), (25.0, 26.0)]
+        merged = merge_intervals(raw)
+        assert merged == [(3.0, 14.0), (25.0, 26.0)]
+        a = svc.execute_with_outages(1e9, 1e9, raw)
+        b = svc.execute_with_outages(1e9, 1e9, merged)
+        assert a.succeeded and b.succeeded
+        assert a.total_wall_s == pytest.approx(b.total_wall_s)
+        assert a.n_faults == b.n_faults == 1
+        assert a.wire_bytes == pytest.approx(b.wire_bytes)
+        # one coalesced outage: dark until 14, reconnect, clean finish
+        # (the 25 s window opens after the transfer already ended)
+        assert a.total_wall_s == pytest.approx(14.0 + 2.0 + 0.7 * 8.0)
+
+    def test_contained_window_is_absorbed_by_its_container(self):
+        svc = ReliableTransferService(
+            FaultModel(0.0),
+            RestartPolicy(marker_interval_bytes=100e6, reconnect_s=2.0),
+        )
+        inner = svc.execute_with_outages(1e9, 1e9, [(3.0, 10.0), (4.0, 5.0)])
+        plain = svc.execute_with_outages(1e9, 1e9, [(3.0, 10.0)])
+        assert inner.n_faults == plain.n_faults == 1
+        assert inner.total_wall_s == pytest.approx(plain.total_wall_s)
 
 
 class TestRngHygiene:

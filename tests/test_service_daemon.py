@@ -1,0 +1,194 @@
+"""The daemon as a real process: SIGTERM drain with a killed subprocess.
+
+``test_service.py`` exercises the daemon in-process; this file pins the
+*process* contracts with the CLI entry point running as an actual child:
+
+* the daemon serves through a fault storm (flaps, rejections,
+  signalling timeouts) and a deliberately-panicked work loop, and
+  ``/health`` stays ok (supervision restarts are not ill health);
+* SIGTERM drains gracefully — exit code 75, a machine-readable drain
+  report on stdout, and *every* accepted task settled (``n_lost == 0``);
+* work still in flight at SIGTERM is checkpointed to the journal, not
+  dropped.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.api import ServiceClient
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="Unix sockets and SIGTERM semantics"
+)
+
+
+def _spawn_daemon(tmp_path, *extra_args):
+    socket_path = str(tmp_path / "svc.sock")
+    env = dict(os.environ)
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src")
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--socket", socket_path,
+            "--seed", "3",
+            *extra_args,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while not os.path.exists(socket_path):
+        if child.poll() is not None:
+            raise AssertionError(
+                f"daemon died at startup: {child.communicate()[1]}"
+            )
+        if time.monotonic() > deadline:
+            child.kill()
+            raise AssertionError("daemon never opened its socket")
+        time.sleep(0.05)
+    return child, socket_path
+
+
+def _terminate(child) -> tuple[int, dict]:
+    """SIGTERM the daemon, return (exit code, parsed drain report)."""
+    child.send_signal(signal.SIGTERM)
+    out, err = child.communicate(timeout=60)
+    lines = [line for line in out.strip().splitlines() if line]
+    assert lines, f"no drain report on stdout; stderr:\n{err}"
+    report = json.loads(lines[-1])
+    assert report["event"] == "drain-report", report
+    return child.returncode, report
+
+
+class TestDaemonProcess:
+    def test_fault_storm_soak_survives_and_drains_clean(self, tmp_path):
+        child, socket_path = _spawn_daemon(
+            tmp_path,
+            "--time-scale", "3000",
+            "--flaps-per-hour", "20",
+            "--reject-prob", "0.3",
+            "--timeout-prob", "0.2",
+            "--chaos-ops",
+        )
+        try:
+            with ServiceClient(socket_path, timeout=60.0) as client:
+                # a transfer completes while circuits flap underneath it
+                first = client.submit([4e9, 2e9], tenant="ci", wait=True)
+                assert first["ok"] and first["state"] == "succeeded"
+
+                # panic a work loop mid-storm; supervision restarts it
+                assert client.crash()["ok"]
+                second = client.submit([8e9], tenant="ci", wait=True)
+                assert second["ok"] and second["state"] == "succeeded"
+
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    status = client.status()["status"]
+                    if status["health"]["n_restarts"] >= 1:
+                        break
+                    time.sleep(0.1)
+                assert status["health"]["n_restarts"] >= 1
+                assert status["health"]["ok"], status
+                assert not any(
+                    loop["dead"] for loop in status["loops"].values()
+                ), status
+        finally:
+            code, report = _terminate(child)
+
+        assert code == 75
+        metrics = report["metrics"]
+        assert metrics["n_accepted"] == 2
+        assert metrics["n_settled"] == 2
+        assert metrics["n_lost"] == 0
+        assert report["exit_code"] == 75
+        # restart survived into the final supervision records
+        assert any(
+            loop["restarts"] >= 1 for loop in report["loops"].values()
+        ), report
+        # the daemon removed its socket on the way out
+        assert not os.path.exists(socket_path)
+
+    def test_sigterm_checkpoints_in_flight_work(self, tmp_path):
+        # a glacial clock (1 virtual s per real s) guarantees the 8 GB
+        # transfers cannot finish inside the short drain grace window
+        child, socket_path = _spawn_daemon(
+            tmp_path,
+            "--time-scale", "1",
+            "--workers", "1",
+            "--drain-grace", "0.2",
+        )
+        try:
+            with ServiceClient(socket_path, timeout=30.0) as client:
+                active = client.submit([8e9], tenant="ci")
+                queued = client.submit([8e9], tenant="ci")
+                assert active["ok"] and queued["ok"]
+                time.sleep(0.3)  # let the worker pick up the first one
+        finally:
+            code, report = _terminate(child)
+
+        assert code == 75
+        metrics = report["metrics"]
+        assert metrics["n_accepted"] == 2
+        assert metrics["n_checkpointed"] == 2
+        assert metrics["n_lost"] == 0
+        checkpoint_path = report["checkpoint_path"]
+        assert checkpoint_path == str(tmp_path / "svc.sock.ckpt.jsonl")
+        lines = [
+            json.loads(line)
+            for line in open(checkpoint_path, encoding="utf-8")
+            .read().splitlines()
+        ]
+        assert lines[0]["kind"] == "service-checkpoint"
+        entries = sorted(lines[1:], key=lambda e: e["request_id"])
+        assert {e["request_id"] for e in entries} == {
+            active["request_id"], queued["request_id"]
+        }
+        states = {e["state"] for e in entries}
+        assert "active" in states and "queued" in states
+
+    def test_rejected_request_exits_75_via_cli(self, tmp_path):
+        # the `request` subcommand maps an admission rejection to the
+        # retryable exit code, mirroring the daemon's own drain contract
+        # glacial clock: the first request stays in flight (and holds
+        # the whole queue_limit=1 bound) while the CLI child starts up
+        child, socket_path = _spawn_daemon(
+            tmp_path,
+            "--time-scale", "1",
+            "--workers", "1",
+            "--queue-limit", "1",
+            "--drain-grace", "0.2",
+        )
+        env = dict(os.environ)
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "src")
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        try:
+            with ServiceClient(socket_path, timeout=30.0) as client:
+                assert client.submit([8e9], tenant="ci")["ok"]
+            proc = subprocess.run(
+                [
+                    sys.executable, "-m", "repro.cli", "request",
+                    "--socket", socket_path,
+                    "submit", "--sizes", "1e9",
+                ],
+                env=env, capture_output=True, text=True, timeout=30,
+            )
+            assert proc.returncode == 75, proc.stdout + proc.stderr
+            resp = json.loads(proc.stdout)
+            assert resp["status"] == "rejected"
+            assert resp["retry_after_s"] > 0
+        finally:
+            code, _ = _terminate(child)
+        assert code == 75

@@ -28,6 +28,56 @@ class TestTaskValidation:
         with pytest.raises(ValueError):
             TransferTask(0, 1, 2, (1.0,), 0.0, deadline_s=0.0)
 
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TransferTask(0, 1, 2, (1e9, -5.0), 0.0)
+
+    def test_non_finite_size_rejected(self):
+        with pytest.raises(ValueError):
+            TransferTask(0, 1, 2, (float("nan"),), 0.0)
+        with pytest.raises(ValueError):
+            TransferTask(0, 1, 2, (float("inf"),), 0.0)
+
+    def test_bad_submitted_at_rejected(self):
+        with pytest.raises(ValueError):
+            TransferTask(0, 1, 2, (1e9,), -1.0)
+        with pytest.raises(ValueError):
+            TransferTask(0, 1, 2, (1e9,), float("nan"))
+
+    def test_non_finite_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            TransferTask(0, 1, 2, (1e9,), 0.0, deadline_s=float("inf"))
+
+
+class TestSubmitValidation:
+    """`submit` refuses malformed requests before they reach the queue."""
+
+    def test_empty_file_list(self):
+        svc = ManagedTransferService(flat_rate)
+        with pytest.raises(ValueError, match="at least one file"):
+            svc.submit(1, 2, [])
+
+    @pytest.mark.parametrize("sizes", [[0.0], [-1e9], [1e9, 0.0], [float("nan")]])
+    def test_non_positive_sizes(self, sizes):
+        svc = ManagedTransferService(flat_rate)
+        with pytest.raises(ValueError):
+            svc.submit(1, 2, sizes)
+
+    def test_negative_submitted_at(self):
+        svc = ManagedTransferService(flat_rate)
+        with pytest.raises(ValueError):
+            svc.submit(1, 2, [1e9], submitted_at=-0.5)
+
+    def test_rejected_submission_leaves_no_trace(self):
+        svc = ManagedTransferService(flat_rate)
+        with pytest.raises(ValueError):
+            svc.submit(1, 2, [-1.0])
+        tid = svc.submit(1, 2, [1e9])
+        log = svc.run()
+        # the failed submit queued nothing; the service works normally
+        assert svc.task(tid).state is TaskState.SUCCEEDED
+        assert len(log) == 1
+
 
 class TestHappyPath:
     def test_single_task_completes(self):
