@@ -7,6 +7,7 @@ Examples::
     repro-gridftp sessions ncar.log --g 60
     repro-gridftp suitability ncar.log
     repro-gridftp summary ncar.log
+    repro-gridftp analyze slac-bnl --n 10000000 --chunk-size 250000
     repro-gridftp factors ncar.log
     repro-gridftp advise ncar.log --bytes 2e11 --stripes 2
     repro-gridftp collect ncar.log --loss 0.05 --out collected.log
@@ -47,6 +48,7 @@ from .core.variance import decompose_throughput_variance
 from .gridftp.logfmt import read_usage_log, write_usage_log
 from .gridftp.usagestats import simulate_collection
 from .workload.datasets import DATASETS, load
+from .workload.synth import STREAM_BLOCK_TRANSFERS, STREAMABLE_DATASETS
 
 __all__ = ["main"]
 
@@ -476,6 +478,58 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Chunked generate -> sessionize -> summarize in bounded memory."""
+    import resource
+    import time
+
+    from .core.streaming import StreamAnalysis
+    from .workload.synth import generate_stream
+
+    t0 = time.perf_counter()
+    analysis = StreamAnalysis(g=args.g)
+    for chunk in generate_stream(
+        args.dataset,
+        args.n,
+        args.chunk_size,
+        seed=args.seed,
+        block_transfers=args.block_transfers,
+    ):
+        analysis.update(chunk)
+    report = analysis.finalize()
+    wall = time.perf_counter() - t0
+
+    print(f"streamed {args.dataset}: {report.n_transfers:,} transfers in "
+          f"{report.n_chunks} chunks of <= {args.chunk_size:,} "
+          f"({report.total_bytes / 1e12:.2f} TB)")
+    print(f"sessions at g={report.g:.0f}s: {report.n_sessions:,} "
+          f"({report.n_single:,} single, {report.n_multi:,} multi) "
+          f"over {report.n_pairs} host pairs")
+    print(f"largest session: {report.max_transfers_in_session:,} transfers; "
+          f"{report.n_sessions_100_plus:,} sessions with >= 100")
+    print(
+        format_summary_block(
+            "streamed summaries (quartiles sketched)",
+            [
+                ("ses MB", report.session_size, 1e-6),
+                ("ses dur s", report.session_duration, 1.0),
+                ("tput Mbps", report.transfer_throughput, 1e-6),
+            ],
+        )
+    )
+    tput = report.n_transfers / wall if wall > 0 else 0.0
+    print(f"pipeline: {wall:.1f} s wall, {tput:,.0f} transfers/s")
+    print(f"peak streaming state: {_fmt_bytes(report.peak_state_nbytes)}")
+    # ru_maxrss is KiB on Linux (bytes on macOS; this repo's CI is Linux)
+    rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    print(f"peak RSS: {rss_mb:,.0f} MB")
+    if args.max_rss_mb is not None and rss_mb > args.max_rss_mb:
+        print(f"FAIL: peak RSS {rss_mb:,.0f} MB exceeds budget "
+              f"{args.max_rss_mb:,.0f} MB")
+        return 1
+    return 0
+
+
 def _cmd_collect(args: argparse.Namespace) -> int:
     log = read_usage_log(args.log)
     collected, collector = simulate_collection(log, loss_rate=args.loss)
@@ -530,6 +584,25 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--streams", type=int, default=8)
     a.add_argument("--quantile", type=float, default=0.75)
     a.set_defaults(func=_cmd_advise)
+
+    an = sub.add_parser(
+        "analyze",
+        help="stream-generate a workload and analyze it in bounded memory",
+    )
+    an.add_argument("dataset", choices=sorted(STREAMABLE_DATASETS))
+    an.add_argument("--n", type=int, default=1_000_000,
+                    help="total transfers to stream (default 1M)")
+    an.add_argument("--chunk-size", type=int, default=100_000,
+                    help="transfers per analysis chunk")
+    an.add_argument("--g", type=float, default=60.0,
+                    help="session gap parameter, seconds")
+    an.add_argument("--seed", type=int, default=None)
+    an.add_argument("--block-transfers", type=int,
+                    default=STREAM_BLOCK_TRANSFERS,
+                    help="transfers per generation block (advanced)")
+    an.add_argument("--max-rss-mb", type=float, default=None,
+                    help="fail (exit 1) if peak RSS exceeds this budget")
+    an.set_defaults(func=_cmd_analyze)
 
     c = sub.add_parser("collect", help="simulate usage-stats UDP collection")
     c.add_argument("log")

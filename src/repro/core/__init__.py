@@ -16,9 +16,17 @@ Submodules map one-to-one to the paper's analyses:
 * :mod:`~repro.core.rate_advisor` — circuit rate/duration estimation
 * :mod:`~repro.core.variance` — factor variance decomposition
 * :mod:`~repro.core.report` — paper-style text rendering
+* :mod:`~repro.core.streaming` — chunked sessionization + mergeable summaries
 """
 
-from .sessions import GapReportRow, SessionSet, group_sessions, session_gap_report
+from .sessions import (
+    GapReportRow,
+    SessionSet,
+    group_sessions,
+    group_sessions_reference,
+    session_gap_report,
+    sessionize_chunks,
+)
 from .stats import (
     BinnedMedians,
     BoxStats,
@@ -33,7 +41,15 @@ from .burstiness import link_burstiness, porcupine_elephant_overlap
 from .distfit import fit_lognormal, skew_report, tail_index
 from .interarrival import arrival_report, burstiness_index, interarrival_cv
 from .rate_advisor import CircuitAdvice, RateAdvisor
-from .throughput import path_report, throughput_summary
+from .streaming import (
+    QuantileSketch,
+    StreamAnalysis,
+    StreamingMoments,
+    StreamingSessionizer,
+    StreamReport,
+    StreamSummary,
+)
+from .throughput import PathStream, path_report, throughput_summary
 from .variance import decompose_throughput_variance, eta_squared
 from .vc_suitability import (
     HARDWARE_SETUP_DELAY_S,
@@ -47,7 +63,15 @@ __all__ = [
     "GapReportRow",
     "SessionSet",
     "group_sessions",
+    "group_sessions_reference",
+    "sessionize_chunks",
     "session_gap_report",
+    "QuantileSketch",
+    "StreamAnalysis",
+    "StreamingMoments",
+    "StreamingSessionizer",
+    "StreamReport",
+    "StreamSummary",
     "BinnedMedians",
     "BoxStats",
     "SixNumberSummary",
@@ -56,6 +80,7 @@ __all__ = [
     "coefficient_of_variation",
     "pearson_correlation",
     "six_number_summary",
+    "PathStream",
     "path_report",
     "throughput_summary",
     "CircuitAdvice",

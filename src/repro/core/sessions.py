@@ -23,6 +23,8 @@ from .stats import SixNumberSummary, six_number_summary
 __all__ = [
     "SessionSet",
     "group_sessions",
+    "group_sessions_reference",
+    "sessionize_chunks",
     "session_gap_report",
     "GapReportRow",
 ]
@@ -122,14 +124,17 @@ def _group_one_pair(start: np.ndarray, end: np.ndarray, g: float) -> np.ndarray:
     return np.cumsum(breaks).astype(np.int64)
 
 
-def group_sessions(log: TransferLog, g: float) -> SessionSet:
-    """Group ``log`` into sessions with gap parameter ``g`` (seconds).
+def _empty_session_set(g: float, slog: TransferLog) -> SessionSet:
+    z = np.zeros(0)
+    zi = np.zeros(0, dtype=np.int64)
+    return SessionSet(
+        g=g, start=z, duration=z.copy(), total_size=z.copy(),
+        n_transfers=zi, local_host=zi.copy(), remote_host=zi.copy(),
+        transfer_session=zi.copy(), source=slog,
+    )
 
-    Transfers between *different* host pairs never share a session.  The
-    log must carry remote-host information; grouping an anonymized log
-    raises ``ValueError`` — exactly the limitation that prevented session
-    analysis of the NERSC datasets in the paper (Section V).
-    """
+
+def _validate_groupable(log: TransferLog, g: float) -> None:
     if g < 0:
         raise ValueError(f"gap parameter g must be >= 0, got {g}")
     if len(log) and log.is_anonymized:
@@ -140,16 +145,123 @@ def group_sessions(log: TransferLog, g: float) -> SessionSet:
     if len(log) and np.any(log.remote_host == ANONYMIZED_HOST):
         raise ValueError("log mixes anonymized and identified remote hosts")
 
+
+def group_sessions(log: TransferLog, g: float) -> SessionSet:
+    """Group ``log`` into sessions with gap parameter ``g`` (seconds).
+
+    Transfers between *different* host pairs never share a session.  The
+    log must carry remote-host information; grouping an anonymized log
+    raises ``ValueError`` — exactly the limitation that prevented session
+    analysis of the NERSC datasets in the paper (Section V).
+
+    This is now a thin wrapper that pushes the whole sorted log through
+    the streaming kernel as a single chunk: one lexsort by (pair, start)
+    plus a segmented scan, instead of the per-pair Python loop of
+    :func:`group_sessions_reference` (kept as the bit-exact oracle — the
+    two produce identical session ids, durations and totals).
+    """
+    _validate_groupable(log, g)
+    slog = log.sorted_by_start()
+    if len(slog) == 0:
+        return _empty_session_set(g, slog)
+    return sessionize_chunks([slog], g, source=slog)
+
+
+def sessionize_chunks(
+    chunks, g: float, source: TransferLog | None = None
+) -> SessionSet:
+    """Collect a chunked stream into the same :class:`SessionSet` the
+    one-shot grouper returns.
+
+    ``chunks`` is an iterable of time-ordered :class:`TransferLog` chunks
+    (the streaming chunk contract; see :mod:`repro.core.streaming`).
+    The result is byte-identical to ``group_sessions`` on the
+    concatenated log, for *any* chunk split.  ``source`` short-circuits
+    re-concatenating the chunks when the caller already holds the full
+    sorted log; without it the chunks are kept and concatenated, so use
+    :class:`~repro.core.streaming.StreamAnalysis` instead when bounded
+    memory matters (a SessionSet is inherently O(sessions + transfers)).
+    """
+    from .streaming import StreamingSessionizer
+
+    szr = StreamingSessionizer(g)
+    kept: list[TransferLog] | None = [] if source is None else None
+    cl_start, cl_dur, cl_total, cl_count = [], [], [], []
+    cl_local, cl_remote, cl_pk, cl_seq = [], [], [], []
+    t_pk, t_seq = [], []
+    for chunk in chunks:
+        upd = szr.update(chunk)
+        if len(upd.closed):
+            c = upd.closed
+            cl_start.append(c.start)
+            cl_dur.append(c.duration)
+            cl_total.append(c.total_size)
+            cl_count.append(c.n_transfers)
+            cl_local.append(c.local_host)
+            cl_remote.append(c.remote_host)
+            cl_pk.append(c.pair_key)
+            cl_seq.append(c.seq)
+        t_pk.append(upd.transfer_pair_key)
+        t_seq.append(upd.transfer_seq)
+        if kept is not None and len(chunk):
+            kept.append(chunk)
+    final = szr.finalize()
+    if len(final):
+        cl_start.append(final.start)
+        cl_dur.append(final.duration)
+        cl_total.append(final.total_size)
+        cl_count.append(final.n_transfers)
+        cl_local.append(final.local_host)
+        cl_remote.append(final.remote_host)
+        cl_pk.append(final.pair_key)
+        cl_seq.append(final.seq)
+
+    if kept is not None:
+        source = TransferLog.concatenate(kept)
+    assert source is not None
+    if not cl_pk:
+        return _empty_session_set(g, source)
+
+    pk_all = np.concatenate(cl_pk)
+    seq_all = np.concatenate(cl_seq)
+    # one-shot ids are ordered by (ascending pair key, time within pair)
+    order = np.lexsort((seq_all, pk_all))
+
+    # map each transfer's (pair, seq) label to its final session id via
+    # a dense composite key (ids are lexsorted, so keys are ascending)
+    upk, pk_rank = np.unique(pk_all, return_inverse=True)
+    span = int(seq_all.max()) + 1
+    ses_key_sorted = (pk_rank * span + seq_all)[order]
+    t_pk_all = np.concatenate(t_pk) if t_pk else np.zeros(0, dtype=np.int64)
+    t_seq_all = np.concatenate(t_seq) if t_seq else np.zeros(0, dtype=np.int64)
+    t_rank = np.searchsorted(upk, t_pk_all)
+    transfer_session = np.searchsorted(ses_key_sorted, t_rank * span + t_seq_all)
+
+    return SessionSet(
+        g=float(g),
+        start=np.concatenate(cl_start)[order],
+        duration=np.concatenate(cl_dur)[order],
+        total_size=np.concatenate(cl_total)[order],
+        n_transfers=np.concatenate(cl_count)[order],
+        local_host=np.concatenate(cl_local)[order],
+        remote_host=np.concatenate(cl_remote)[order],
+        transfer_session=transfer_session,
+        source=source,
+    )
+
+
+def group_sessions_reference(log: TransferLog, g: float) -> SessionSet:
+    """The original per-pair-loop grouper, kept as the bit-exact oracle.
+
+    O(unique pairs) Python iterations with a full-log scan each — correct
+    and simple, but quadratic-ish on many-pair logs.  Tests pin
+    :func:`group_sessions` (the streaming fast path) against this.
+    """
+    _validate_groupable(log, g)
     slog = log.sorted_by_start()
     n = len(slog)
     if n == 0:
-        z = np.zeros(0)
-        zi = np.zeros(0, dtype=np.int64)
-        return SessionSet(
-            g=g, start=z, duration=z.copy(), total_size=z.copy(),
-            n_transfers=zi, local_host=zi.copy(), remote_host=zi.copy(),
-            transfer_session=zi.copy(), source=slog,
-        )
+        return _empty_session_set(g, slog)
 
     # Partition the sorted log by host pair; group each pair independently,
     # then assign globally unique session ids.

@@ -26,6 +26,7 @@ __all__ = [
     "split_by_quartile",
     "BinnedMedians",
     "binned_medians",
+    "binned_medians_reference",
     "pearson_correlation",
     "interquartile_range",
     "box_stats",
@@ -188,10 +189,53 @@ def binned_medians(
     ``x == x_max`` fall in the last bin; samples outside [x_min, x_max] are
     ignored.
 
-    Implementation: a single ``np.argsort`` over bin ids followed by
-    ``np.percentile`` per contiguous group.  For the 1 M-row SLAC--BNL
-    dataset this is ~100x faster than a per-bin boolean-mask loop.
+    Implementation: one ``np.lexsort`` by (bin id, value) and the
+    per-group median read off by index arithmetic — no Python loop over
+    bins.  Bit-equal to per-group ``np.median`` (the even-count case is
+    the same mean of the two middle elements); with NaNs in ``y`` it
+    falls back to :func:`binned_medians_reference`, which propagates
+    them the way ``np.median`` does.
     """
+    ids, y, x_min, empty = _bin_ids(x, y, bin_width, x_min, x_max)
+    if empty is not None:
+        return empty
+    if np.isnan(y).any():
+        return _medians_by_group_loop(ids, y, x_min, bin_width)
+    order = np.lexsort((y, ids))
+    ids_sorted = ids[order]
+    y_sorted = y[order]
+    uniq, starts, counts = np.unique(ids_sorted, return_index=True, return_counts=True)
+    mid = starts + counts // 2
+    odd = (counts % 2).astype(bool)
+    # the even case indexes mid-1; for odd groups that may underflow into
+    # the previous group (or to -1), but np.where discards those lanes
+    medians = np.where(
+        odd, y_sorted[mid], 0.5 * (y_sorted[mid - 1] + y_sorted[mid])
+    )
+    return BinnedMedians(
+        bin_left=x_min + uniq.astype(np.float64) * bin_width,
+        median=medians,
+        count=counts.astype(np.int64),
+    )
+
+
+def binned_medians_reference(
+    x: Sequence[float] | np.ndarray,
+    y: Sequence[float] | np.ndarray,
+    bin_width: float,
+    x_min: float = 0.0,
+    x_max: float | None = None,
+) -> BinnedMedians:
+    """Per-group ``np.median`` loop: the oracle :func:`binned_medians`
+    is pinned against."""
+    ids, y, x_min, empty = _bin_ids(x, y, bin_width, x_min, x_max)
+    if empty is not None:
+        return empty
+    return _medians_by_group_loop(ids, y, x_min, bin_width)
+
+
+def _bin_ids(x, y, bin_width, x_min, x_max):
+    """Shared binning preamble: in-range filter + clamped integer bin ids."""
     if bin_width <= 0:
         raise ValueError("bin_width must be positive")
     x = np.asarray(x, dtype=np.float64)
@@ -204,13 +248,17 @@ def binned_medians(
     x = x[in_range]
     y = y[in_range]
     if x.size == 0:
-        empty = np.zeros(0)
-        return BinnedMedians(empty, empty.copy(), np.zeros(0, dtype=np.int64))
+        z = np.zeros(0)
+        return None, None, x_min, BinnedMedians(z, z.copy(), np.zeros(0, dtype=np.int64))
     ids = np.floor((x - x_min) / bin_width).astype(np.int64)
     # the final bin is closed on the right: x == x_max belongs to it, and a
     # boundary-aligned x_max does not open an empty extra bin
     last_bin = max(int(math.ceil((x_max - x_min) / bin_width)) - 1, 0)
     ids[ids > last_bin] = last_bin
+    return ids, y, x_min, None
+
+
+def _medians_by_group_loop(ids, y, x_min, bin_width):
     order = np.argsort(ids, kind="stable")
     ids_sorted = ids[order]
     y_sorted = y[order]

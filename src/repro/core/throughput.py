@@ -35,6 +35,7 @@ __all__ = [
     "categorized_throughput",
     "path_report",
     "PathReport",
+    "PathStream",
     "MBPS",
     "GBPS",
 ]
@@ -120,7 +121,11 @@ class PathReport:
 
 
 def path_report(log: TransferLog) -> PathReport:
-    """Build a :class:`PathReport` for one path's transfer log."""
+    """Build a :class:`PathReport` for one path's transfer log.
+
+    One-shot (exact quantiles); :class:`PathStream` is the chunked twin
+    for logs that do not fit in memory.
+    """
     tput = transfer_throughput_bps(log)
     return PathReport(
         n_transfers=len(log),
@@ -129,3 +134,54 @@ def path_report(log: TransferLog) -> PathReport:
         size=six_number_summary(log.size),
         max_throughput_gbps=float(tput.max()) * GBPS if tput.size else 0.0,
     )
+
+
+class PathStream:
+    """Streaming twin of :func:`path_report` for chunked logs.
+
+    Feed time-ordered chunks with :meth:`update`; :meth:`report` returns
+    the same :class:`PathReport` shape with n/min/max/mean/std exact and
+    the quartiles from a bounded-memory sketch (pinned tolerance; see
+    :class:`repro.core.streaming.StreamSummary`).  Mergeable across
+    partial streams with :meth:`merge`.
+    """
+
+    __slots__ = ("_throughput", "_duration", "_size", "_n")
+
+    def __init__(self, block: int = 4096, sketch_k: int = 2048) -> None:
+        from .streaming import StreamSummary
+
+        self._throughput = StreamSummary(block=block, sketch_k=sketch_k)
+        self._duration = StreamSummary(block=block, sketch_k=sketch_k)
+        self._size = StreamSummary(block=block, sketch_k=sketch_k)
+        self._n = 0
+
+    @property
+    def nbytes(self) -> int:
+        return self._throughput.nbytes + self._duration.nbytes + self._size.nbytes
+
+    def update(self, chunk: TransferLog) -> None:
+        self._n += len(chunk)
+        self._throughput.update(transfer_throughput_bps(chunk))
+        self._duration.update(chunk.duration)
+        self._size.update(chunk.size)
+
+    def merge(self, other: "PathStream") -> None:
+        self._n += other._n
+        self._throughput.merge(other._throughput)
+        self._duration.merge(other._duration)
+        self._size.merge(other._size)
+
+    def report(self) -> PathReport:
+        peak = (
+            self._throughput.moments.maximum * GBPS
+            if self._throughput.count
+            else 0.0
+        )
+        return PathReport(
+            n_transfers=self._n,
+            throughput=self._throughput.summary(),
+            duration=self._duration.summary(),
+            size=self._size.summary(),
+            max_throughput_gbps=peak,
+        )

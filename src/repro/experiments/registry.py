@@ -259,6 +259,45 @@ def _scenario_service_soak(params: Mapping[str, Any], seed: int) -> dict[str, An
     return run_service_soak(dict(params), seed)
 
 
+@register_scenario("stream_analyze")
+def _scenario_stream_analyze(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Chunked generate -> sessionize -> summarize in bounded memory.
+
+    The scale-out twin of ``synth``: the workload is produced as
+    time-ordered chunks (:func:`~repro.workload.synth.generate_stream`)
+    and folded through :class:`~repro.core.streaming.StreamAnalysis`, so
+    the cell's working set stays O(chunk), independent of
+    ``n_transfers``.  The result carries the full session census, the
+    streamed six-number summaries, the peak accumulator footprint, and
+    the pipeline's transfers/s.
+    """
+    import time as _time
+
+    from ..core.streaming import StreamAnalysis
+    from ..workload.synth import STREAM_BLOCK_TRANSFERS, generate_stream
+
+    n = int(params.get("n_transfers", 100_000))
+    chunk_size = int(params.get("chunk_size", 50_000))
+    t0 = _time.perf_counter()
+    analysis = StreamAnalysis(g=float(params.get("g", 60.0)))
+    for chunk in generate_stream(
+        str(params.get("dataset", "slac-bnl")),
+        n,
+        chunk_size,
+        seed=seed,
+        block_transfers=int(params.get("block_transfers", STREAM_BLOCK_TRANSFERS)),
+    ):
+        analysis.update(chunk)
+    report = analysis.finalize()
+    wall = _time.perf_counter() - t0
+    return {
+        **report.as_dict(),
+        "chunk_size": chunk_size,
+        "wall_s": wall,
+        "transfers_per_s": n / wall if wall > 0 else 0.0,
+    }
+
+
 @register_scenario("synth")
 def _scenario_synth(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
     """Generate a calibrated synthetic workload; report its shape."""

@@ -26,6 +26,7 @@ __all__ = [
     "TransferType",
     "TransferRecord",
     "TransferLog",
+    "TransferLogBuilder",
     "ANONYMIZED_HOST",
 ]
 
@@ -195,10 +196,18 @@ class TransferLog:
             }
         )
 
+    #: short alias used by the streaming pipeline
+    concat = concatenate
+
     # -- container protocol --------------------------------------------------
 
     def __len__(self) -> int:
         return int(self._cols["start"].shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the column arrays (the log's memory footprint)."""
+        return int(sum(col.nbytes for col in self._cols.values()))
 
     def __iter__(self) -> Iterator[TransferRecord]:
         for i in range(len(self)):
@@ -299,6 +308,17 @@ class TransferLog:
         order = np.argsort(self._cols["start"], kind="stable")
         return self.select(order)
 
+    def shift_time(self, offset: float) -> "TransferLog":
+        """Return a copy with every start time shifted by ``offset`` seconds.
+
+        Durations (and therefore end times relative to starts) are
+        unchanged; the streaming generator uses this to lay independently
+        generated blocks out on a common timeline.
+        """
+        cols = dict(self._cols)
+        cols["start"] = self._cols["start"] + float(offset)
+        return TransferLog(cols)
+
     def to_structured(self) -> np.ndarray:
         """Export as a NumPy structured array (one compound dtype row per transfer)."""
         dtype = np.dtype([(name, spec[0]) for name, spec in _SCHEMA.items()])
@@ -341,3 +361,89 @@ class TransferLog:
             self._cols["remote_host"] == remote_host
         )
         return self.select(mask)
+
+
+class TransferLogBuilder:
+    """Incremental columnar accumulator for building logs chunk by chunk.
+
+    The streaming data plane appends generated blocks and pops fixed-size
+    chunks off the front, so its working set stays O(chunk + block) no
+    matter how many transfers flow through.  Appends go into preallocated
+    per-column arrays that double on overflow (amortized O(1) per row);
+    :meth:`split_off` shifts the remainder down in place.
+
+    Not thread-safe; one builder per stream.
+    """
+
+    __slots__ = ("_cols", "_n", "_capacity")
+
+    def __init__(self, capacity: int = 0) -> None:
+        self._capacity = max(int(capacity), 0)
+        self._n = 0
+        self._cols: dict[str, np.ndarray] = {
+            name: np.empty(self._capacity, dtype=spec[0])
+            for name, spec in _SCHEMA.items()
+        }
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held by the column buffers (capacity, not fill)."""
+        return int(sum(col.nbytes for col in self._cols.values()))
+
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= self._capacity:
+            return
+        new_cap = max(self._capacity * 2, need, 1024)
+        for name, col in self._cols.items():
+            grown = np.empty(new_cap, dtype=col.dtype)
+            grown[: self._n] = col[: self._n]
+            self._cols[name] = grown
+        self._capacity = new_cap
+
+    def append_record(self, record: TransferRecord) -> None:
+        """Append one :class:`TransferRecord` (the scalar boundary type)."""
+        self._reserve(1)
+        for name in _SCHEMA:
+            self._cols[name][self._n] = getattr(record, name)
+        self._n += 1
+
+    def append_log(self, log: TransferLog) -> None:
+        """Append every row of ``log`` (columnar, no per-row objects)."""
+        k = len(log)
+        if k == 0:
+            return
+        self._reserve(k)
+        for name in _SCHEMA:
+            self._cols[name][self._n : self._n + k] = log.column(name)
+        self._n += k
+
+    def append_columns(self, columns: Mapping[str, Any]) -> None:
+        """Append a columnar batch; missing columns take schema defaults."""
+        self.append_log(TransferLog(columns))
+
+    def split_off(self, k: int) -> TransferLog:
+        """Remove and return the first ``min(k, len(self))`` rows as a log.
+
+        The remaining rows shift to the front of the buffers, so repeated
+        ``append_log``/``split_off`` cycles never grow beyond the largest
+        transient fill.
+        """
+        if k <= 0:
+            return TransferLog()
+        k = min(int(k), self._n)
+        out = TransferLog({name: col[:k].copy() for name, col in self._cols.items()})
+        rest = self._n - k
+        for col in self._cols.values():
+            col[:rest] = col[k : self._n]
+        self._n = rest
+        return out
+
+    def build(self) -> TransferLog:
+        """A :class:`TransferLog` of everything appended so far (a copy)."""
+        return TransferLog(
+            {name: col[: self._n].copy() for name, col in self._cols.items()}
+        )

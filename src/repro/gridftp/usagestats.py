@@ -152,13 +152,58 @@ class UsageStatsSender:
         return payload
 
     def emit_log(self, log: TransferLog) -> list[bytes]:
-        """Packets for every row of ``log`` (empty when disabled)."""
-        out = []
-        for i in range(len(log)):
-            p = self.packet_for(log.record(i))
-            if p is not None:
-                out.append(p)
-        return out
+        """Packets for every row of ``log`` (empty when disabled).
+
+        Columnar bulk path: byte-identical to calling :meth:`packet_for`
+        row by row (same wire layout, same sequence numbers), without
+        materializing a :class:`TransferRecord` per row.
+        """
+        if not self.enabled:
+            return []
+        payloads = _pack_rows(
+            log,
+            local_host=[self.host_id] * len(log),
+            seq=[(self._seq + i) % 2**32 for i in range(len(log))],
+        )
+        self._seq = (self._seq + len(log)) % 2**32
+        return payloads
+
+
+def _pack_rows(log: TransferLog, local_host, seq) -> list[bytes]:
+    """Encode every row of ``log`` columnarly; the bulk twin of
+    :func:`encode_packet`.
+
+    ``local_host`` and ``seq`` are per-row sequences (the sender
+    substitutes its own host id, exactly as :meth:`UsageStatsSender.packet_for`
+    does via ``dataclasses.replace``).  One ``tolist()`` per column up
+    front; the loop packs plain Python scalars.
+    """
+    flags = np.where(
+        log.transfer_type == int(TransferType.STOR), _FLAG_STOR, 0
+    ).tolist()
+    rows = zip(
+        flags,
+        log.start.tolist(),
+        log.duration.tolist(),
+        log.size.tolist(),
+        log.streams.tolist(),
+        log.stripes.tolist(),
+        log.column("tcp_buffer").tolist(),
+        log.column("block_size").tolist(),
+        local_host,
+        seq,
+    )
+    pack = _WIRE.pack
+    crc32 = zlib.crc32
+    pack_crc = struct.Struct("!I").pack
+    out = []
+    for fl, start, dur, size, streams, stripes, buf, blk, host, sq in rows:
+        body = pack(
+            _MAGIC, PACKET_VERSION, fl, start, dur, size,
+            streams, stripes, buf, blk, host, sq, 0,
+        )[:-4]
+        out.append(body + pack_crc(crc32(body) & 0xFFFFFFFF))
+    return out
 
 
 class UsageStatsCollector:
@@ -222,13 +267,26 @@ def simulate_collection(
         if not 0.0 <= rate < 1.0:
             raise ValueError("rates must be in [0, 1)")
     rng = ensure_rng(rng)
-    senders: dict[int, UsageStatsSender] = {}
     collector = UsageStatsCollector()
-    for i in range(len(log)):
-        rec = log.record(i)
-        sender = senders.setdefault(rec.local_host, UsageStatsSender(rec.local_host))
-        payload = sender.packet_for(rec)
-        assert payload is not None
+    # per-host sequence numbers (one virtual sender per local host),
+    # computed columnarly: row i's seq is the count of earlier rows with
+    # the same local_host — exactly what per-row senders would assign
+    hosts = log.local_host
+    n = len(log)
+    order = np.argsort(hosts, kind="stable")
+    sorted_hosts = hosts[order]
+    head = np.empty(n, dtype=bool)
+    if n:
+        head[0] = True
+        head[1:] = sorted_hosts[1:] != sorted_hosts[:-1]
+    group_first = np.flatnonzero(head)
+    group_len = np.diff(np.append(group_first, n))
+    seqs = np.empty(n, dtype=np.int64)
+    seqs[order] = np.arange(n) - np.repeat(group_first, group_len)
+    payloads = _pack_rows(log, hosts.tolist(), seqs.tolist())
+    # channel draws stay per-row and in row order, so a seeded rng
+    # reproduces the exact fault pattern of the old per-record loop
+    for payload in payloads:
         if rng.random() < loss_rate:
             continue  # dropped in flight
         if rng.random() < corrupt_rate:

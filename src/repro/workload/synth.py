@@ -30,8 +30,9 @@ import dataclasses
 
 import numpy as np
 
+from ..core.rng import derive_seed
 from ..core.stripes import epoch_of_year
-from ..gridftp.records import TransferLog, TransferType
+from ..gridftp.records import TransferLog, TransferLogBuilder, TransferType
 from .distributions import LogNormal, TruncatedLogNormal, split_total
 
 __all__ = [
@@ -42,7 +43,11 @@ __all__ = [
     "nersc_anl_tests",
     "AnlTestSet",
     "generate",
+    "generate_stream",
+    "stream_block_counts",
     "GENERATORS",
+    "STREAMABLE_DATASETS",
+    "STREAM_BLOCK_TRANSFERS",
     "NCAR_NICS_N_TRANSFERS",
     "SLAC_BNL_N_TRANSFERS",
 ]
@@ -679,3 +684,94 @@ def generate(dataset: str, seed: int | None = None, **kwargs) -> TransferLog:
         kwargs["seed"] = int(seed)
     out = fn(**kwargs)
     return out.log if isinstance(out, AnlTestSet) else out
+
+
+# -- chunked streaming generation --------------------------------------------
+
+#: datasets whose generator accepts ``n_transfers`` and therefore scales
+#: to arbitrary stream lengths (``nersc-anl-tests`` sizes by batches)
+STREAMABLE_DATASETS = ("ncar-nics", "slac-bnl", "nersc-ornl-32gb")
+_STREAM_DEFAULT_SEEDS = {"ncar-nics": 2009, "slac-bnl": 2012, "nersc-ornl-32gb": 2010}
+#: transfers generated per internal block; bounds generation memory
+STREAM_BLOCK_TRANSFERS = 250_000
+#: integer namespace separating stream-block seeds from sweep-cell seeds
+_STREAM_NAMESPACE = 0x57AB
+#: a tail smaller than this merges into the previous block (ncar-nics
+#: needs >= 500 transfers to build its session-class structure)
+_STREAM_MIN_BLOCK = 1_000
+#: seconds between consecutive generation blocks on the synthetic
+#: calendar — larger than any realistic gap parameter g, so sessions
+#: never straddle a *generation block*.  Sessions routinely straddle
+#: *chunks*, because chunking re-slices the stream independently.
+STREAM_BLOCK_GAP_S = 7_200.0
+
+
+def stream_block_counts(
+    n_transfers: int, block_transfers: int = STREAM_BLOCK_TRANSFERS
+) -> list[int]:
+    """Deterministic per-block transfer budgets for :func:`generate_stream`.
+
+    Depends only on ``(n_transfers, block_transfers)`` — never on the
+    consumer's ``chunk_size`` — so the generated stream is identical no
+    matter how it is re-chunked.
+    """
+    if n_transfers < 1:
+        raise ValueError("n_transfers must be >= 1")
+    if block_transfers < _STREAM_MIN_BLOCK:
+        raise ValueError(f"block_transfers must be >= {_STREAM_MIN_BLOCK}")
+    full, rem = divmod(n_transfers, block_transfers)
+    blocks = [block_transfers] * full
+    if rem:
+        if blocks and rem < _STREAM_MIN_BLOCK:
+            blocks[-1] += rem
+        else:
+            blocks.append(rem)
+    return blocks
+
+
+def generate_stream(
+    dataset: str,
+    n_transfers: int,
+    chunk_size: int,
+    seed: int | None = None,
+    block_transfers: int = STREAM_BLOCK_TRANSFERS,
+):
+    """Yield a calibrated workload as time-ordered :class:`TransferLog` chunks.
+
+    The scale-out entry point: memory stays O(``block_transfers`` +
+    ``chunk_size``) regardless of ``n_transfers``, which is how the
+    100M-transfer regime becomes reachable at all.  Internally the
+    stream is built from fixed generation blocks, each produced by the
+    dataset's one-shot generator under an independent
+    :func:`~repro.core.rng.derive_seed`-derived seed and shifted
+    end-to-end on the calendar (:data:`STREAM_BLOCK_GAP_S` apart).  The
+    concatenation of the yielded chunks is therefore a deterministic
+    function of ``(dataset, n_transfers, seed, block_transfers)`` alone:
+    ``chunk_size`` only re-slices it.  Every chunk is internally sorted
+    by start and starts no earlier than its predecessor's last start —
+    the chunk contract :mod:`repro.core.streaming` consumes.
+    """
+    if dataset not in STREAMABLE_DATASETS:
+        raise ValueError(
+            f"dataset {dataset!r} is not streamable; "
+            f"available: {sorted(STREAMABLE_DATASETS)}"
+        )
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    fn = GENERATORS[dataset]
+    base_seed = _STREAM_DEFAULT_SEEDS[dataset] if seed is None else int(seed)
+    builder = TransferLogBuilder()
+    cursor: float | None = None
+    for b, budget in enumerate(stream_block_counts(n_transfers, block_transfers)):
+        block = fn(seed=derive_seed(base_seed, _STREAM_NAMESPACE, b),
+                   n_transfers=budget)
+        if cursor is not None:
+            block = block.shift_time(
+                cursor + STREAM_BLOCK_GAP_S - float(block.start[0])
+            )
+        cursor = float(np.max(block.end))
+        builder.append_log(block)
+        while len(builder) >= chunk_size:
+            yield builder.split_off(chunk_size)
+    if len(builder):
+        yield builder.split_off(len(builder))

@@ -131,3 +131,44 @@ class TestCliExtensions:
         assert main(["arrivals", str(path)]) == 0
         out = capsys.readouterr().out
         assert "burstiness" in out and "sessions" in out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_streams_a_census(self, capsys):
+        assert main(["analyze", "slac-bnl", "--n", "20000",
+                     "--chunk-size", "5000", "--block-transfers", "10000",
+                     "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sessions" in out
+        assert "transfers/s" in out
+        assert "peak streaming state" in out
+        assert "tput Mbps" in out
+
+    def test_analyze_rss_budget_pass(self, capsys):
+        assert main(["analyze", "slac-bnl", "--n", "5000",
+                     "--chunk-size", "2500", "--block-transfers", "5000",
+                     "--seed", "1", "--max-rss-mb", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "peak RSS" in out and "FAIL" not in out
+
+    def test_analyze_rss_budget_fail(self, capsys):
+        # an impossible budget must fail loudly with a nonzero exit
+        assert main(["analyze", "slac-bnl", "--n", "5000",
+                     "--chunk-size", "2500", "--block-transfers", "5000",
+                     "--seed", "1", "--max-rss-mb", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_analyze_census_matches_one_shot(self, capsys):
+        from repro.core.sessions import group_sessions
+        from repro.gridftp.records import TransferLog
+        from repro.workload.synth import generate_stream
+
+        assert main(["analyze", "ncar-nics", "--n", "4000",
+                     "--chunk-size", "1000", "--block-transfers", "2000",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        chunks = list(generate_stream("ncar-nics", 4000, 1000, seed=7,
+                                      block_transfers=2000))
+        ses = group_sessions(TransferLog.concatenate(chunks), 60.0)
+        assert f"sessions at g=60s: {len(ses):,}" in out

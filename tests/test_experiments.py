@@ -391,6 +391,7 @@ class TestRegistry:
             "mechanistic",
             "snmp",
             "managed_service",
+            "stream_analyze",
             "synth",
         ):
             assert expected in names
@@ -881,3 +882,30 @@ class TestCliCache:
         rc = main(["cache", "--cache-dir", str(cache_dir), "stats"])
         assert rc == 0
         assert "pending checkpoints: 0" in capsys.readouterr().out
+
+
+class TestStreamAnalyzeScenario:
+    def test_result_shape_and_census(self):
+        fn = get_scenario("stream_analyze")
+        result = fn(
+            {"dataset": "slac-bnl", "n_transfers": 20_000,
+             "chunk_size": 5_000, "block_transfers": 10_000},
+            seed=4,
+        )
+        assert result["n_transfers"] == 20_000
+        assert result["n_sessions"] == result["n_single"] + result["n_multi"]
+        assert result["transfers_per_s"] > 0
+        assert result["chunk_size"] == 5_000
+        import json
+
+        json.dumps(result)  # cacheable
+
+    def test_chunk_size_does_not_change_census(self):
+        fn = get_scenario("stream_analyze")
+        base = {"dataset": "slac-bnl", "n_transfers": 12_000,
+                "block_transfers": 6_000}
+        a = fn({**base, "chunk_size": 4_000}, seed=2)
+        b = fn({**base, "chunk_size": 1_111}, seed=2)
+        for k in ("n_sessions", "n_single", "n_multi", "n_pairs",
+                  "total_bytes", "max_transfers_in_session"):
+            assert a[k] == b[k], k

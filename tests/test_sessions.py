@@ -214,3 +214,52 @@ class TestGroupingProperties:
         ends = starts + s.duration[order]
         for k in range(len(s) - 1):
             assert starts[k + 1] - ends[k] > g
+
+
+class TestVectorizedMatchesReference:
+    """The vectorized group_sessions against the per-pair loop oracle."""
+
+    def _assert_identical(self, a, b):
+        for f in ("start", "duration", "total_size", "n_transfers",
+                  "local_host", "remote_host", "transfer_session"):
+            va, vb = getattr(a, f), getattr(b, f)
+            assert va.dtype == vb.dtype, f
+            assert np.array_equal(va, vb), f
+
+    def test_single_pair(self):
+        from repro.core.sessions import group_sessions_reference
+
+        log = log_from([(0, 5), (10, 5), (100, 5), (101, 2), (500, 1)])
+        for g in (0.0, 10.0, 60.0, 1000.0):
+            self._assert_identical(
+                group_sessions(log, g), group_sessions_reference(log, g)
+            )
+
+    def test_many_pairs_interleaved(self):
+        from repro.core.sessions import group_sessions_reference
+
+        rng = np.random.default_rng(42)
+        n = 3_000
+        log = TransferLog(
+            {
+                "start": np.sort(rng.uniform(0, 5_000, n)),
+                "duration": rng.uniform(0, 120, n),
+                "size": rng.uniform(1, 1e9, n),
+                "local_host": rng.integers(0, 20, n),
+                "remote_host": rng.integers(30, 50, n),
+            }
+        )
+        for g in (0.0, 5.0, 60.0):
+            self._assert_identical(
+                group_sessions(log, g), group_sessions_reference(log, g)
+            )
+
+    @given(transfer_stream(), st.floats(min_value=0, max_value=300))
+    @settings(max_examples=40)
+    def test_property_oracle_agreement(self, rows, g):
+        from repro.core.sessions import group_sessions_reference
+
+        log = log_from(rows)
+        self._assert_identical(
+            group_sessions(log, g), group_sessions_reference(log, g)
+        )
