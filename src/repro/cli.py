@@ -193,6 +193,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_dir=checkpoint_dir,
     )
     if args.dry_run:
+        from .experiments.runner import plan_dag_summary
+
         plans = runner.dry_run(spec)
         total = sum(p.n_cells for p in plans)
         hits = sum(p.n_hits for p in plans)
@@ -206,6 +208,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"(fingerprint {plan.fingerprint[:12]})")
         print(f"plan: {total} cell(s) total, {hits} cached, "
               f"{total - hits} to execute")
+        print(plan_dag_summary(plans, jobs=args.jobs).format())
         return 0
     try:
         if isinstance(spec, ExperimentSpec):
@@ -230,30 +233,47 @@ def _print_error_summary(campaign) -> int:
     The grid summary only *counts* failures (and pipeline stages bury
     them entirely); operators triaging a long campaign need the
     scenario, the cell identity, and the exception without replaying
-    the run.  Returns the number of lines printed.
+    the run.  A stage every cell of which was *cancelled* (its needed
+    upstream quarantined) coalesces to a single line — the culprit is
+    upstream, and repeating the same reason per cell would drown it.
+    Returns the number of lines printed.
     """
     stages = (
         list(campaign.stages.items())
         if hasattr(campaign, "stages")
         else [(campaign.spec.name, campaign)]
     )
-    failed = [
-        (stage_name, stage.spec.scenario, cell)
-        for stage_name, stage in stages
-        for cell in stage.cells
-        if not cell.ok
-    ]
-    if not failed:
+    failed = []
+    cancelled_stages = []
+    for stage_name, stage in stages:
+        bad = [c for c in stage.cells if not c.ok]
+        if bad and len(bad) == len(stage.cells) and all(
+            c.error is not None and c.error.startswith("cancelled: ")
+            for c in bad
+        ):
+            cancelled_stages.append((stage_name, stage, bad[0].error))
+            continue
+        failed.extend((stage_name, stage.spec.scenario, c) for c in bad)
+    if not failed and not cancelled_stages:
         return 0
-    print(f"\n{len(failed)} quarantined cell(s):")
-    for stage_name, scenario, cell in failed:
-        coords = (
-            " ".join(f"{k}={v}" for k, v in sorted(cell.coords.items()))
-            or "-"
-        )
-        print(f"  {stage_name} [{scenario}] cell {cell.index} ({coords}) "
-              f"seed={cell.seed}: {cell.error}")
-    return len(failed)
+    lines = 0
+    if failed:
+        print(f"\n{len(failed)} quarantined cell(s):")
+        for stage_name, scenario, cell in failed:
+            coords = (
+                " ".join(f"{k}={v}" for k, v in sorted(cell.coords.items()))
+                or "-"
+            )
+            print(f"  {stage_name} [{scenario}] cell {cell.index} ({coords}) "
+                  f"seed={cell.seed}: {cell.error}")
+            lines += 1
+    if cancelled_stages:
+        print(f"\n{len(cancelled_stages)} cancelled stage(s):")
+        for stage_name, stage, reason in cancelled_stages:
+            print(f"  {stage_name} [{stage.spec.scenario}] "
+                  f"{stage.n_cells} cell(s) {reason}")
+            lines += 1
+    return lines
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -653,7 +673,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rn.add_argument("spec", help="path to the campaign spec or pipeline file")
     rn.add_argument("--jobs", type=int, default=1,
-                    help="worker processes (1 = serial in-process)")
+                    help="worker processes (1 = serial in-process); for "
+                         "pipelines the pool is pipeline-wide — cells from "
+                         "every runnable stage share it")
     rn.add_argument("--no-cache", action="store_true",
                     help="disable the content-addressed result cache")
     rn.add_argument("--cache-dir", default=".repro-cache",
@@ -666,7 +688,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="disable the crash-safe campaign checkpoint journal")
     rn.add_argument("--dry-run", action="store_true",
                     help="expand the spec/pipeline, report per-stage cell "
-                         "counts and the cache-hit census, execute nothing")
+                         "counts, the cache-hit census, and the stage DAG's "
+                         "critical path / predicted schedule; execute nothing")
     rn.set_defaults(func=_cmd_run)
 
     sv = sub.add_parser(

@@ -38,15 +38,33 @@ that run the fluid simulator embed their
 engine instrumentation flows into campaign reports for free.
 
 Multi-stage pipelines ride the same machinery.  :meth:`Runner.run_pipeline`
-executes a :class:`~repro.experiments.spec.PipelineSpec` stage by stage
-in topological order: each stage's ``needs`` resolve to the upstream
-stages' (or external specs') :class:`~repro.experiments.artifacts.ArtifactSet`
-objects, whose digests fold into the stage's cell keys and checkpoint
-fingerprint — so a warm re-run short-circuits entire stages through the
-cache, an upstream edit re-keys (and therefore re-runs) exactly the
-stages downstream of it, and a kill mid-stage resumes from that stage's
-own journal.  :meth:`Runner.dry_run` walks the same plan without
-executing anything.
+executes a :class:`~repro.experiments.spec.PipelineSpec`: each stage's
+``needs`` resolve to the upstream stages' (or external specs')
+:class:`~repro.experiments.artifacts.ArtifactSet` objects, whose digests
+fold into the stage's cell keys and checkpoint fingerprint — so a warm
+re-run short-circuits entire stages through the cache, an upstream edit
+re-keys (and therefore re-runs) exactly the stages downstream of it, and
+a kill mid-stage resumes from that stage's own journal.
+
+Under ``jobs > 1`` the pipeline runs on a **ready-set DAG scheduler**:
+one worker pool serves the whole pipeline, and a stage becomes runnable
+the moment the artifact digests of everything it ``needs`` settle — so
+the two middle stages of a diamond execute their cells side by side in
+shared batches instead of serializing stage by stage.  Scheduling order
+never leaks into results: cell keys, fingerprints, and artifacts are
+pure functions of the specs and upstream digests, so any legal
+interleaving produces byte-identical artifacts to the ``jobs=1`` serial
+stage loop (which is preserved verbatim as the ``jobs == 1`` path).
+Per-stage checkpoints journal exactly as before; a drain signal flushes
+every open stage's journal and exits resumable.  A stage that settles
+with quarantined cells *cancels* its artifact-consuming dependents
+(transitively) — their cells settle with a one-line ``cancelled:``
+reason instead of the scheduler raising mid-flight, and stages that
+never needed the broken grid still run to completion.
+
+:meth:`Runner.dry_run` walks the same plan without executing anything;
+:func:`plan_dag_summary` reduces a dry-run plan to the stage DAG's
+critical path, width, and a predicted serial-vs-parallel cell schedule.
 """
 
 from __future__ import annotations
@@ -75,6 +93,8 @@ __all__ = [
     "CampaignInterrupted",
     "StagePlan",
     "PipelineResult",
+    "PlanSummary",
+    "plan_dag_summary",
     "Runner",
 ]
 
@@ -269,14 +289,111 @@ class StagePlan:
     def n_cells(self) -> int:
         return len(self.keys)
 
+    @property
+    def n_to_execute(self) -> int:
+        return self.n_cells - self.n_hits
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanSummary:
+    """The stage DAG's shape and predicted schedule, from a dry-run plan.
+
+    Pure plan arithmetic — nothing executes.  ``depth`` assigns each
+    stage its longest-path level (roots at 0); ``width`` is the largest
+    set of stages sharing a level, i.e. how many stages the ready-set
+    scheduler can have runnable at once.  The critical path maximizes
+    *cells still to execute* along a dependency chain, so a fully
+    cached branch never masquerades as the bottleneck.
+    ``parallel_cells`` is the classic makespan lower bound
+    ``max(critical_cells, ceil(serial_cells / jobs))`` under unit cell
+    cost — what a perfect shared-pool schedule cannot beat.
+    """
+
+    #: stage name -> longest-path depth (roots at 0)
+    depths: dict[str, int]
+    #: max number of stages sharing one depth level
+    width: int
+    #: stage names along the heaviest to-execute chain, root first
+    critical_path: tuple[str, ...]
+    #: cells still to execute, summed over every stage (serial schedule)
+    serial_cells: int
+    #: cells still to execute along the critical path
+    critical_cells: int
+    #: makespan lower bound in cells for the given worker count
+    parallel_cells: int
+    #: worker count the parallel bound was computed for
+    jobs: int
+
+    @property
+    def depth(self) -> int:
+        return max(self.depths.values(), default=-1) + 1
+
+    def format(self) -> str:
+        path = " -> ".join(self.critical_path) if self.critical_path else "(empty)"
+        lines = [
+            f"stage DAG: depth {self.depth}, width {self.width} "
+            f"(max concurrently-runnable stages)",
+            f"critical path: {path}  ({self.critical_cells} cell(s) to execute)",
+            f"schedule: serial {self.serial_cells} cell(s); "
+            f"parallel >= {self.parallel_cells} cell-round(s) "
+            f"at {self.jobs} job(s)",
+        ]
+        return "\n".join(lines)
+
+
+def plan_dag_summary(plans: list[StagePlan], jobs: int = 1) -> PlanSummary:
+    """Reduce a :meth:`Runner.dry_run` plan to its DAG schedule summary."""
+    by_name = {p.name: p for p in plans}
+    depths: dict[str, int] = {}
+    best_chain: dict[str, tuple[int, tuple[str, ...]]] = {}
+
+    def visit(name: str) -> tuple[int, tuple[int, tuple[str, ...]]]:
+        if name in depths:
+            return depths[name], best_chain[name]
+        plan = by_name[name]
+        depth = 0
+        chain_cells, chain = plan.n_to_execute, (name,)
+        for need in plan.needs:
+            nd, (nc, npath) = visit(need)
+            depth = max(depth, nd + 1)
+            if nc + plan.n_to_execute > chain_cells:
+                chain_cells = nc + plan.n_to_execute
+                chain = npath + (name,)
+        depths[name] = depth
+        best_chain[name] = (chain_cells, chain)
+        return depth, best_chain[name]
+
+    for plan in plans:
+        visit(plan.name)
+    level_sizes: dict[int, int] = {}
+    for depth in depths.values():
+        level_sizes[depth] = level_sizes.get(depth, 0) + 1
+    serial = sum(p.n_to_execute for p in plans)
+    critical_cells, critical_path = max(
+        best_chain.values(), default=(0, ())
+    )
+    jobs = max(int(jobs), 1)
+    parallel = max(critical_cells, -(-serial // jobs))
+    return PlanSummary(
+        depths=depths,
+        width=max(level_sizes.values(), default=0),
+        critical_path=critical_path,
+        serial_cells=serial,
+        critical_cells=critical_cells,
+        parallel_cells=parallel,
+        jobs=jobs,
+    )
+
 
 @dataclasses.dataclass(frozen=True)
 class PipelineResult:
-    """Every stage of one pipeline run, in execution order.
+    """Every stage of one pipeline run, in plan order.
 
     ``stages`` maps each stage's resolution key — a stage name, or an
     external spec reference as written in ``needs`` — to its
-    :class:`CampaignResult`; insertion order is execution order.
+    :class:`CampaignResult`; insertion order is the deterministic plan
+    order (externals first, then topological stage order), regardless
+    of how the DAG scheduler interleaved execution.
     """
 
     pipeline: PipelineSpec
@@ -449,6 +566,54 @@ class _RunContext:
     fingerprint: str | None = None
 
 
+@dataclasses.dataclass
+class _Task:
+    """One dispatchable cell bound to its stage's context.
+
+    The parallel executors work on tasks, not bare cells, so a single
+    worker-pool batch can mix cells from several pipeline stages: each
+    task carries its stage's context, its settle target, and its
+    checkpoint journal.  ``token`` is unique across the whole run — the
+    worker stamps execution start under it in the shared map, so equal
+    cell indices from sibling stages can never collide.
+    """
+
+    ctx: _RunContext
+    cell: Cell
+    key: str | None
+    settled: dict[int, CellResult]
+    ckpt: CampaignCheckpoint | None
+    token: int
+    #: resolution key of the owning stage (None for flat campaigns)
+    stage: str | None = None
+
+
+@dataclasses.dataclass
+class _StageRun:
+    """Mutable per-stage state inside the DAG scheduler."""
+
+    key: str
+    spec: ExperimentSpec
+    needs: tuple[str, ...]
+    external: bool
+    #: set once the stage's needs settled and its cells were resolved
+    ctx: _RunContext | None = None
+    ckpt: CampaignCheckpoint | None = None
+    cells: list[Cell] = dataclasses.field(default_factory=list)
+    settled: dict[int, CellResult] = dataclasses.field(default_factory=dict)
+    #: resolved cells not yet dispatched, in grid order
+    pending: list[tuple[Cell, str | None]] = dataclasses.field(default_factory=list)
+    t0: float = 0.0
+    opened: bool = False
+    #: final result; also set (with all-cancelled cells) on cancellation
+    campaign: CampaignResult | None = None
+    cancelled: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.campaign is not None
+
+
 class Runner:
     """Execute campaigns: serial or process-parallel, cached, resumable.
 
@@ -456,6 +621,9 @@ class Runner:
     ----------
     jobs:
         Worker processes; ``1`` (default) runs serially in-process.
+        For pipelines the pool is *pipeline-wide*: cells from every
+        runnable stage share it, so sibling stages of a diamond run
+        side by side.
     cache:
         A :class:`ResultCache` to consult before and fill after each
         cell; ``None`` disables caching.
@@ -494,6 +662,14 @@ class Runner:
         self.cell_timeout_s = cell_timeout_s
         self.chunk_size = chunk_size
         self.checkpoint_dir = checkpoint_dir
+        #: optional scheduling-order hook for the DAG scheduler: called
+        #: with the candidate list of ``(stage_key, cell_index)`` pairs
+        #: (plan order) before each batch is cut; returns the pairs in
+        #: the order to dispatch.  Exists so tests can force arbitrary
+        #: legal interleavings and pin that results never depend on one.
+        self.schedule_hook = None
+        #: monotonically increasing task token source (uniqueness only)
+        self._next_token = 0
 
     def run(
         self,
@@ -515,6 +691,38 @@ class Runner:
         resume.
         """
         t0 = time.perf_counter()
+        ctx, cells, ckpt, settled, pending = self._prepare(spec, force, inputs)
+        if pending:
+            with _SignalDrain() as drain:
+                if self.jobs == 1:
+                    self._run_serial(ctx, pending, settled, ckpt, drain)
+                else:
+                    self._run_parallel(ctx, pending, settled, ckpt, drain)
+                if drain.triggered:
+                    if ckpt is not None:
+                        ckpt.flush()
+                    raise self._interrupted(spec, drain.signum, cells, settled, ckpt)
+        return self._finish(ctx, cells, ckpt, settled, t0)
+
+    def _prepare(
+        self,
+        spec: ExperimentSpec,
+        force: bool,
+        inputs: dict[str, ArtifactSet] | None,
+    ) -> tuple[
+        _RunContext,
+        list[Cell],
+        CampaignCheckpoint | None,
+        dict[int, CellResult],
+        list[tuple[Cell, str | None]],
+    ]:
+        """Resolve one campaign up to (but not into) execution.
+
+        Validates the scenario signature, folds upstream digests into
+        the context, loads/restores the checkpoint journal, satisfies
+        cache hits, and returns the still-pending cells.  Shared by
+        :meth:`run` and the DAG scheduler's stage-open step.
+        """
         get_scenario(spec.scenario)  # fail fast on unknown scenarios
         if scenario_needs_artifacts(spec.scenario):
             if inputs is None:
@@ -588,29 +796,35 @@ class Runner:
                 )
             else:
                 pending.append((cell, key))
+        return ctx, cells, ckpt, settled, pending
 
-        if pending:
-            with _SignalDrain() as drain:
-                if self.jobs == 1:
-                    self._run_serial(ctx, pending, settled, ckpt, drain)
-                else:
-                    self._run_parallel(ctx, pending, settled, ckpt, drain)
-                if drain.triggered:
-                    if ckpt is not None:
-                        ckpt.flush()
-                    raise CampaignInterrupted(
-                        spec,
-                        drain.signum,
-                        n_cells=len(cells),
-                        n_settled=len(settled),
-                        n_executed=sum(
-                            1 for c in settled.values() if c.ok and not c.cached
-                        ),
-                        n_cached=sum(1 for c in settled.values() if c.cached),
-                        n_failed=sum(1 for c in settled.values() if not c.ok),
-                        checkpoint_path=ckpt.path if ckpt is not None else None,
-                    )
+    @staticmethod
+    def _interrupted(
+        spec: ExperimentSpec,
+        signum: int,
+        cells: list[Cell],
+        settled: dict[int, CellResult],
+        ckpt: CampaignCheckpoint | None,
+    ) -> CampaignInterrupted:
+        return CampaignInterrupted(
+            spec,
+            signum,
+            n_cells=len(cells),
+            n_settled=len(settled),
+            n_executed=sum(1 for c in settled.values() if c.ok and not c.cached),
+            n_cached=sum(1 for c in settled.values() if c.cached),
+            n_failed=sum(1 for c in settled.values() if not c.ok),
+            checkpoint_path=ckpt.path if ckpt is not None else None,
+        )
 
+    def _finish(
+        self,
+        ctx: _RunContext,
+        cells: list[Cell],
+        ckpt: CampaignCheckpoint | None,
+        settled: dict[int, CellResult],
+        t0: float,
+    ) -> CampaignResult:
         missing = [c.index for c in cells if c.index not in settled]
         if missing:  # invariant: every non-drained path settles its cell
             raise RuntimeError(
@@ -622,10 +836,10 @@ class Runner:
             ckpt.complete()
         ordered = tuple(settled[c.index] for c in cells)
         return CampaignResult(
-            spec=spec,
+            spec=ctx.spec,
             cells=ordered,
             wall_s=time.perf_counter() - t0,
-            fingerprint=fingerprint,
+            fingerprint=ctx.fingerprint,
         )
 
     def _key_for(self, ctx: _RunContext, cell: Cell) -> str | None:
@@ -730,6 +944,32 @@ class Runner:
                 ).strip()
             self._settle(ctx, cell, key, settled, result, wall, error, ckpt)
 
+    def _task(
+        self,
+        ctx: _RunContext,
+        cell: Cell,
+        key: str | None,
+        settled: dict[int, CellResult],
+        ckpt: CampaignCheckpoint | None,
+        stage: str | None = None,
+    ) -> _Task:
+        """Bind one cell to its stage context under a fresh token.
+
+        Tokens are never reused — a resubmitted cell gets a new task, so
+        a stale execution-start stamp from a broken first attempt can
+        never be mistaken for the retry's start.
+        """
+        self._next_token += 1
+        return _Task(
+            ctx=ctx,
+            cell=cell,
+            key=key,
+            settled=settled,
+            ckpt=ckpt,
+            token=self._next_token,
+            stage=stage,
+        )
+
     def _run_parallel(
         self,
         ctx: _RunContext,
@@ -747,49 +987,27 @@ class Runner:
             manager = multiprocessing.Manager()
             start_times = manager.dict()
         queue = list(pending)
-        pool_retries: dict[int, int] = {}
+        pool_retries: dict[tuple[str | None, int], int] = {}
         pool = self._new_pool()
         try:
             while queue:
                 if drain.triggered:
                     return
                 batch, queue = queue[:batch_size], queue[batch_size:]
+                tasks = [
+                    self._task(ctx, cell, key, settled, ckpt)
+                    for cell, key in batch
+                ]
                 if ckpt is not None:
-                    ckpt.begin_batch([cell.index for cell, _ in batch])
+                    ckpt.begin_batch([t.cell.index for t in tasks])
                 hung, broken, unfinished = self._drain_batch(
-                    pool, ctx, batch, settled, ckpt, drain, start_times
+                    pool, tasks, drain, start_times
                 )
                 if drain.triggered:
                     # unfinished cells stay journaled for resume
                     return
-                # cells the batch could not execute (pool broke under
-                # them, or every worker slot was wedged) go back on the
-                # queue for the recycled pool — capped, so a cell that
-                # keeps killing its workers is quarantined, not retried
-                # forever
-                requeue: list[tuple[Cell, str | None]] = []
-                for cell, key in unfinished:
-                    if broken:
-                        pool_retries[cell.index] = (
-                            pool_retries.get(cell.index, 0) + 1
-                        )
-                    if pool_retries.get(cell.index, 0) > _MAX_POOL_RETRIES:
-                        self._settle(
-                            ctx,
-                            cell,
-                            key,
-                            settled,
-                            None,
-                            0.0,
-                            "BrokenProcessPool: worker pool broke "
-                            f"{pool_retries[cell.index]} times with this "
-                            "cell in flight (does the scenario kill or "
-                            "exit its worker process?)",
-                            ckpt,
-                        )
-                    else:
-                        requeue.append((cell, key))
-                queue = requeue + queue
+                requeue = self._requeue(unfinished, broken, pool_retries)
+                queue = [(t.cell, t.key) for t in requeue] + queue
                 if (hung or broken) and queue:
                     # Future.cancel() is a no-op once running: a hung
                     # cell would silently hold its pool slot for the
@@ -801,55 +1019,89 @@ class Runner:
             if manager is not None:
                 manager.shutdown()
 
+    def _requeue(
+        self,
+        unfinished: list[_Task],
+        broken: bool,
+        pool_retries: dict[tuple[str | None, int], int],
+    ) -> list[_Task]:
+        """Decide each unexecuted task's fate: retry or quarantine.
+
+        Cells the batch could not execute (pool broke under them, or
+        every worker slot was wedged) go back for the recycled pool —
+        capped per cell, so one that keeps killing its workers is
+        quarantined instead of looping forever.  Retries are counted
+        per ``(stage, index)``, which stays stable across the fresh
+        tokens each resubmission mints.
+        """
+        retry: list[_Task] = []
+        for task in unfinished:
+            rid = (task.stage, task.cell.index)
+            if broken:
+                pool_retries[rid] = pool_retries.get(rid, 0) + 1
+            if pool_retries.get(rid, 0) > _MAX_POOL_RETRIES:
+                self._settle(
+                    task.ctx,
+                    task.cell,
+                    task.key,
+                    task.settled,
+                    None,
+                    0.0,
+                    "BrokenProcessPool: worker pool broke "
+                    f"{pool_retries[rid]} times with this "
+                    "cell in flight (does the scenario kill or "
+                    "exit its worker process?)",
+                    task.ckpt,
+                )
+            else:
+                retry.append(task)
+        return retry
+
     def _drain_batch(
         self,
         pool: concurrent.futures.ProcessPoolExecutor,
-        ctx: _RunContext,
-        batch: list[tuple[Cell, str | None]],
-        settled: dict[int, CellResult],
-        ckpt: CampaignCheckpoint | None,
+        tasks: list[_Task],
         drain: _SignalDrain,
         start_times: Any,
     ) -> tuple[
         list[concurrent.futures.Future],
         bool,
-        list[tuple[Cell, str | None]],
+        list[_Task],
     ]:
-        """Submit one batch and settle every future.
+        """Submit one batch of tasks and settle every future.
 
-        Returns ``(hung, broken, unfinished)``: futures abandoned past
-        their budget with the worker still running; whether the pool
-        itself broke; and cells this batch could not execute — the pool
-        broke before/under them, or every worker slot was wedged past
-        budget so a queued cell could never start.  The caller resubmits
-        unfinished cells on a recycled pool (every cell is eventually
+        Tasks may come from several pipeline stages — each settles into
+        its own stage's result map and checkpoint journal.  Returns
+        ``(hung, broken, unfinished)``: futures abandoned past their
+        budget with the worker still running; whether the pool itself
+        broke; and tasks this batch could not execute — the pool broke
+        before/under them, or every worker slot was wedged past budget
+        so a queued cell could never start.  The caller resubmits
+        unfinished tasks on a recycled pool (every cell is eventually
         settled — ``run()`` relies on that to build the ordered result).
         A drain signal mid-batch cancels not-yet-started futures (they
         stay unfinished, for resume) and waits out the running ones.
         """
-        futmap: dict[concurrent.futures.Future, tuple[Cell, str | None, float]] = {}
-        unfinished: list[tuple[Cell, str | None]] = []
+        futmap: dict[concurrent.futures.Future, tuple[_Task, float]] = {}
+        unfinished: list[_Task] = []
         try:
-            for cell, key in batch:
+            for task in tasks:
                 fut = pool.submit(
                     _execute_cell,
-                    ctx.spec.scenario,
-                    cell.params,
-                    cell.seed,
+                    task.ctx.spec.scenario,
+                    task.cell.params,
+                    task.cell.seed,
                     start_times,
-                    cell.index,
-                    ctx.artifacts,
+                    task.token,
+                    task.ctx.artifacts,
                 )
-                futmap[fut] = (cell, key, time.perf_counter())
+                futmap[fut] = (task, time.perf_counter())
         except BrokenProcessPool:
             # the pool died mid-submission: salvage futures that still
             # settled, hand everything else back for resubmission
-            submitted = {cell.index for cell, _, _ in futmap.values()}
-            unfinished.extend(
-                (cell, key) for cell, key in batch
-                if cell.index not in submitted
-            )
-            self._salvage(ctx, futmap, settled, ckpt, unfinished)
+            submitted = {task.token for task, _ in futmap.values()}
+            unfinished.extend(t for t in tasks if t.token not in submitted)
+            self._salvage(futmap, unfinished)
             return [], True, unfinished
 
         pending_futs = set(futmap)
@@ -868,7 +1120,7 @@ class Runner:
                 return_when=concurrent.futures.FIRST_COMPLETED,
             )
             for fut in done:
-                cell, key, submitted = futmap[fut]
+                task, submitted = futmap[fut]
                 try:
                     result, wall = fut.result()
                     error = None
@@ -885,37 +1137,40 @@ class Runner:
                     # pool): resubmit on the recycled pool rather than
                     # quarantining it outright; the caller's retry cap
                     # catches the actual worker-killer
-                    unfinished.append((cell, key))
+                    unfinished.append(task)
                     continue
                 except Exception as exc:
                     result, wall = None, time.perf_counter() - submitted
                     error = "".join(
                         traceback.format_exception_only(type(exc), exc)
                     ).strip()
-                self._settle(ctx, cell, key, settled, result, wall, error, ckpt)
+                self._settle(
+                    task.ctx, task.cell, task.key, task.settled,
+                    result, wall, error, task.ckpt,
+                )
             if self.cell_timeout_s is not None and pending_futs:
                 now = time.monotonic()
                 for fut in list(pending_futs):
-                    cell, key, _ = futmap[fut]
+                    task, _ = futmap[fut]
                     begun = None
                     if start_times is not None:
                         try:
-                            begun = start_times.get(cell.index)
+                            begun = start_times.get(task.token)
                         except Exception:  # pragma: no cover - dead manager
                             begun = None
                     if begun is not None and now - begun > self.cell_timeout_s:
                         pending_futs.discard(fut)
                         hung.append(fut)
                         self._settle(
-                            ctx,
-                            cell,
-                            key,
-                            settled,
+                            task.ctx,
+                            task.cell,
+                            task.key,
+                            task.settled,
                             None,
                             self.cell_timeout_s,
                             f"TimeoutError: cell exceeded "
                             f"{self.cell_timeout_s:.1f} s budget",
-                            ckpt,
+                            task.ckpt,
                         )
                 if pending_futs and sum(
                     1 for f in hung if f.running()
@@ -929,26 +1184,23 @@ class Runner:
                     # pool marks call-queue-buffered futures RUNNING
                     # even though no worker will ever pick them up.
                     for fut in list(pending_futs):
-                        cell, key, _ = futmap[fut]
+                        task, _ = futmap[fut]
                         begun = None
                         if start_times is not None:
                             try:
-                                begun = start_times.get(cell.index)
+                                begun = start_times.get(task.token)
                             except Exception:  # pragma: no cover
                                 begun = None
                         if begun is None:
                             fut.cancel()  # best effort; pool dies anyway
                             pending_futs.discard(fut)
-                            unfinished.append((cell, key))
+                            unfinished.append(task)
         return [f for f in hung if f.running()], broken, unfinished
 
     def _salvage(
         self,
-        ctx: _RunContext,
-        futmap: dict[concurrent.futures.Future, tuple[Cell, str | None, float]],
-        settled: dict[int, CellResult],
-        ckpt: CampaignCheckpoint | None,
-        unfinished: list[tuple[Cell, str | None]],
+        futmap: dict[concurrent.futures.Future, tuple[_Task, float]],
+        unfinished: list[_Task],
     ) -> None:
         """After a pool break, settle what finished; queue the rest.
 
@@ -957,9 +1209,9 @@ class Runner:
         anything cancelled, failed-by-the-break, or still nominally
         pending is appended to ``unfinished`` for resubmission.
         """
-        for fut, (cell, key, submitted) in futmap.items():
+        for fut, (task, submitted) in futmap.items():
             if not fut.done():
-                unfinished.append((cell, key))
+                unfinished.append(task)
                 continue
             try:
                 result, wall = fut.result(timeout=0)
@@ -969,21 +1221,24 @@ class Runner:
                 concurrent.futures.TimeoutError,
                 BrokenProcessPool,
             ):
-                unfinished.append((cell, key))
+                unfinished.append(task)
                 continue
             except Exception as exc:
                 result, wall = None, time.perf_counter() - submitted
                 error = "".join(
                     traceback.format_exception_only(type(exc), exc)
                 ).strip()
-            self._settle(ctx, cell, key, settled, result, wall, error, ckpt)
+            self._settle(
+                task.ctx, task.cell, task.key, task.settled,
+                result, wall, error, task.ckpt,
+            )
 
     # -- pipelines ---------------------------------------------------------
 
     def run_pipeline(
         self, pipeline: PipelineSpec, force: bool = False
     ) -> PipelineResult:
-        """Execute every stage of ``pipeline`` in topological order.
+        """Execute every stage of ``pipeline``, respecting the stage DAG.
 
         External spec references in ``needs`` are loaded and folded in
         as implicit stages ahead of the pipeline's own — their cells are
@@ -993,39 +1248,297 @@ class Runner:
         through the cache independently; a stage whose upstream is
         unchanged and whose own cells are cached executes nothing.
 
-        Raises ``RuntimeError`` when a stage that downstream stages
-        ``need`` settles with quarantined cells — an analysis must never
-        silently read a partial grid.  A SIGINT/SIGTERM surfaces as
-        :class:`CampaignInterrupted` from the in-flight stage; re-running
-        the pipeline resumes there (earlier stages come back as hits).
+        With ``jobs == 1`` stages run one after another in topological
+        order.  With ``jobs > 1`` the ready-set DAG scheduler dispatches
+        cells from *every* runnable stage into one shared worker pool —
+        sibling stages execute side by side, and a stage opens the
+        moment the artifact digests it needs settle.  Both paths produce
+        byte-identical cell keys, fingerprints, and artifacts.
+
+        A stage that settles with quarantined cells *cancels* its
+        artifact-consuming dependents (transitively): their cells settle
+        with a ``cancelled: needed stage ...`` reason instead of the
+        pipeline raising — an analysis never silently reads a partial
+        grid, and unrelated branches still run to completion.  Stages
+        whose ``needs`` only order execution are not cancelled.  A
+        SIGINT/SIGTERM surfaces as :class:`CampaignInterrupted` from an
+        in-flight stage; re-running the pipeline resumes there (earlier
+        stages come back as hits).
         """
         t0 = time.perf_counter()
         plan = self._pipeline_plan(pipeline)
+        if self.jobs == 1:
+            stages = self._run_pipeline_serial(pipeline, plan, force)
+        else:
+            stages = self._run_pipeline_dag(pipeline, plan, force)
+        return PipelineResult(
+            pipeline=pipeline,
+            stages=stages,
+            wall_s=time.perf_counter() - t0,
+        )
+
+    @staticmethod
+    def _cancelled_campaign(
+        spec: ExperimentSpec, blocker: str, reason: str
+    ) -> CampaignResult:
+        """Settle every cell of a stage as cancelled, executing nothing.
+
+        Cancelled cells carry ``key=None`` and the campaign no
+        fingerprint: the stage's inputs never materialized, so it has no
+        provenance identity — nothing lands in cache or checkpoint, and
+        a re-run after fixing the upstream executes it from scratch.
+        """
+        error = f"cancelled: needed stage '{blocker}' {reason}"
+        cells = tuple(
+            CellResult(
+                index=c.index,
+                coords=c.coords,
+                params=c.params,
+                seed=c.seed,
+                result=None,
+                wall_s=0.0,
+                error=error,
+                key=None,
+            )
+            for c in spec.cells()
+        )
+        return CampaignResult(
+            spec=spec, cells=cells, wall_s=0.0, fingerprint=None
+        )
+
+    def _run_pipeline_serial(
+        self,
+        pipeline: PipelineSpec,
+        plan: list[tuple[str, ExperimentSpec, tuple[str, ...], bool]],
+        force: bool,
+    ) -> dict[str, CampaignResult]:
+        """The ``jobs == 1`` path: one stage after another, plan order."""
         campaigns: dict[str, CampaignResult] = {}
         sets: dict[str, ArtifactSet] = {}
-        for key, spec, needs, external in plan:
+        #: stage key -> why consumers of it must cancel
+        failed: dict[str, str] = {}
+        for key, spec, needs, _external in plan:
             # needs on a plain scenario only order the stage; the sets
             # (and the digest folding) are for artifact consumers
+            consumes = scenario_needs_artifacts(spec.scenario)
+            blocker = (
+                next((n for n in needs if n in failed), None)
+                if consumes
+                else None
+            )
+            if blocker is not None:
+                campaigns[key] = self._cancelled_campaign(
+                    spec, blocker, failed[blocker]
+                )
+                failed[key] = "was cancelled"
+                continue
             inputs = (
                 {need: sets[need] for need in needs}
-                if needs and scenario_needs_artifacts(spec.scenario)
+                if needs and consumes
                 else None
             )
             campaign = self.run(spec, force=force, inputs=inputs)
             campaigns[key] = campaign
-            if self._is_needed(pipeline, key):
-                try:
-                    sets[key] = campaign.artifact_set(name=key)
-                except RuntimeError as exc:
-                    raise RuntimeError(
-                        f"pipeline '{pipeline.name}': stage '{key}' must "
-                        f"feed downstream stages but {exc}"
-                    ) from None
-        return PipelineResult(
-            pipeline=pipeline,
-            stages=campaigns,
-            wall_s=time.perf_counter() - t0,
+            if campaign.n_failed:
+                failed[key] = (
+                    f"settled with {campaign.n_failed} quarantined cell(s)"
+                )
+            elif self._is_needed(pipeline, key):
+                sets[key] = campaign.artifact_set(name=key)
+        return campaigns
+
+    def _run_pipeline_dag(
+        self,
+        pipeline: PipelineSpec,
+        plan: list[tuple[str, ExperimentSpec, tuple[str, ...], bool]],
+        force: bool,
+    ) -> dict[str, CampaignResult]:
+        """The ``jobs > 1`` path: ready-set scheduling, one shared pool.
+
+        Every iteration opens whatever stages became runnable (their
+        needs' digests settled), gathers pending cells from *all* open
+        stages in plan order, cuts one mixed batch, and drains it on the
+        pipeline-wide pool.  Stage completion, cancellation, and the
+        requeue/recycle machinery all happen between batches, so the
+        scheduler state is single-threaded and easy to reason about.
+        """
+        runs: dict[str, _StageRun] = {}
+        for key, spec, needs, external in plan:
+            runs[key] = _StageRun(
+                key=key, spec=spec, needs=needs, external=external
+            )
+        sets: dict[str, ArtifactSet] = {}
+        failed: dict[str, str] = {}
+        batch_size = self.jobs * self.chunk_size
+        manager = None
+        start_times = None
+        if self.cell_timeout_s is not None:
+            manager = multiprocessing.Manager()
+            start_times = manager.dict()
+        pool_retries: dict[tuple[str | None, int], int] = {}
+        pool = self._new_pool()
+        try:
+            with _SignalDrain() as drain:
+                while not all(r.finished for r in runs.values()):
+                    self._open_ready_stages(pipeline, runs, sets, failed, force)
+                    if all(r.finished for r in runs.values()):
+                        break
+                    if drain.triggered:
+                        raise self._drain_pipeline(runs, drain)
+                    # candidate cells from every open stage, plan order;
+                    # the hook (tests) may permute them — any legal
+                    # interleaving must produce identical results
+                    by_id: dict[
+                        tuple[str, int], tuple[_StageRun, Cell, str | None]
+                    ] = {}
+                    order: list[tuple[str, int]] = []
+                    for run in runs.values():
+                        if run.opened and not run.finished:
+                            for cell, key in run.pending:
+                                order.append((run.key, cell.index))
+                                by_id[(run.key, cell.index)] = (run, cell, key)
+                    if self.schedule_hook is not None:
+                        order = [tuple(p) for p in self.schedule_hook(list(order))]
+                    if not order:
+                        raise RuntimeError(
+                            "internal error: DAG scheduler stalled with "
+                            "unfinished stages and no dispatchable cells"
+                        )
+                    tasks: list[_Task] = []
+                    taken: dict[str, set[int]] = {}
+                    for stage_key, index in order[:batch_size]:
+                        run, cell, key = by_id[(stage_key, index)]
+                        taken.setdefault(stage_key, set()).add(index)
+                        tasks.append(
+                            self._task(
+                                run.ctx, cell, key, run.settled, run.ckpt,
+                                stage=run.key,
+                            )
+                        )
+                    for stage_key, indices in taken.items():
+                        run = runs[stage_key]
+                        run.pending = [
+                            (c, k) for c, k in run.pending
+                            if c.index not in indices
+                        ]
+                        if run.ckpt is not None:
+                            run.ckpt.begin_batch(sorted(indices))
+                    hung, broken, unfinished = self._drain_batch(
+                        pool, tasks, drain, start_times
+                    )
+                    if drain.triggered:
+                        raise self._drain_pipeline(runs, drain)
+                    for task in self._requeue(unfinished, broken, pool_retries):
+                        runs[task.stage].pending.insert(
+                            0, (task.cell, task.key)
+                        )
+                    for run in runs.values():
+                        if (
+                            run.opened
+                            and not run.finished
+                            and not run.pending
+                            and len(run.settled) == len(run.cells)
+                        ):
+                            self._finalize_stage(pipeline, run, sets, failed)
+                    if (hung or broken) and not all(
+                        r.finished for r in runs.values()
+                    ):
+                        self._kill_pool(pool)
+                        pool = self._new_pool()
+        finally:
+            self._kill_pool(pool)
+            if manager is not None:
+                manager.shutdown()
+        return {key: run.campaign for key, run in runs.items()}
+
+    def _open_ready_stages(
+        self,
+        pipeline: PipelineSpec,
+        runs: dict[str, _StageRun],
+        sets: dict[str, ArtifactSet],
+        failed: dict[str, str],
+        force: bool,
+    ) -> None:
+        """Open every stage whose needs settled; cancel the doomed ones.
+
+        Runs to a fixpoint: opening a fully-cached stage finalizes it
+        immediately, which may unblock (or doom) further stages in the
+        same pass.  A consumer cancels as soon as *any* needed stage is
+        in ``failed`` — it never waits for its other needs, so a broken
+        grid propagates promptly instead of starving dependents.
+        """
+        progressed = True
+        while progressed:
+            progressed = False
+            for run in runs.values():
+                if run.finished or run.opened:
+                    continue
+                consumes = scenario_needs_artifacts(run.spec.scenario)
+                blocker = (
+                    next((n for n in run.needs if n in failed), None)
+                    if consumes
+                    else None
+                )
+                if blocker is not None:
+                    run.campaign = self._cancelled_campaign(
+                        run.spec, blocker, failed[blocker]
+                    )
+                    run.cancelled = True
+                    failed[run.key] = "was cancelled"
+                    progressed = True
+                    continue
+                if any(not runs[n].finished for n in run.needs):
+                    continue
+                inputs = (
+                    {n: sets[n] for n in run.needs}
+                    if run.needs and consumes
+                    else None
+                )
+                run.t0 = time.perf_counter()
+                run.ctx, run.cells, run.ckpt, run.settled, run.pending = (
+                    self._prepare(run.spec, force, inputs)
+                )
+                run.opened = True
+                progressed = True
+                if not run.pending:
+                    self._finalize_stage(pipeline, run, sets, failed)
+
+    def _finalize_stage(
+        self,
+        pipeline: PipelineSpec,
+        run: _StageRun,
+        sets: dict[str, ArtifactSet],
+        failed: dict[str, str],
+    ) -> None:
+        """Seal a fully-settled stage and publish its artifacts/verdict."""
+        run.campaign = self._finish(
+            run.ctx, run.cells, run.ckpt, run.settled, run.t0
         )
+        if run.campaign.n_failed:
+            failed[run.key] = (
+                f"settled with {run.campaign.n_failed} quarantined cell(s)"
+            )
+        elif self._is_needed(pipeline, run.key):
+            sets[run.key] = run.campaign.artifact_set(name=run.key)
+
+    def _drain_pipeline(
+        self, runs: dict[str, _StageRun], drain: _SignalDrain
+    ) -> CampaignInterrupted:
+        """Flush every open journal; report the first in-flight stage."""
+        for run in runs.values():
+            if run.opened and not run.finished and run.ckpt is not None:
+                run.ckpt.flush()
+        for run in runs.values():
+            if run.opened and not run.finished:
+                return self._interrupted(
+                    run.spec, drain.signum, run.cells, run.settled, run.ckpt
+                )
+        for run in runs.values():  # pragma: no cover - drain before open
+            if not run.finished:
+                return self._interrupted(
+                    run.spec, drain.signum, run.spec.cells(), {}, None
+                )
+        raise AssertionError("drain with every stage finished")
 
     def dry_run(
         self, target: ExperimentSpec | PipelineSpec

@@ -27,6 +27,39 @@ is a subset of the connected-component closure of ``_dirty_flows`` and
 the flows incident to ``_dirty_links``.  :meth:`recompute` restores the
 invariant to the empty set and reports exactly the flows it re-solved.
 
+**Level-frontier bound** (``level_frontier=True``, the default): the
+connected component is still an over-estimate — on a busy backbone one
+shared link joins everything into a single component, yet most flows
+froze long before the perturbation can matter.  Progressive filling is
+a water level rising from zero; flow *f* freezes at level
+``t_f = rate_f / weight_f`` (at its demand or on a saturating link),
+and every freeze event below a level ``t*`` is oblivious to a
+perturbation that provably cannot alter link consumption below ``t*``.
+Each mutation therefore records an **entry level** — a safe lower
+bound on where its effect can first bite:
+
+* ``remove_flow(f)``: ``t_f`` — every link of *f* saturates at or
+  above *f*'s own freeze level, so dynamics below it are untouched;
+* ``add_flow(f)``: ``min_k cap_k / (W_k + w_f)`` over *f*'s links
+  (total consumption at level *t* is at most ``t * W``), sharpened to
+  ``headroom_k / w_f`` on links the last solve left unsaturated;
+* capacity decrease: ``new_cap / W_k``; capacity increase: the link's
+  recorded saturation level (``inf`` if it never saturated — the
+  frontier is then *empty* and no re-solve happens at all);
+* ``update_flow``: demand-only edits bound at
+  ``min(t_f, d_new / w)``; path or weight edits fall back to 0.
+
+:meth:`recompute` takes ``t* = min`` entry over the pending mutations,
+walks the dirty closure **restricted to flows with freeze level >=
+t*`` (with a relative slack of 1e-6 — over-inclusion only costs work,
+under-inclusion would be a correctness bug), and re-solves that
+*frontier* against residual capacities ``cap_k - sum(rates of frozen
+non-frontier flows on k)``.  Max-min uniqueness with the complement
+held fixed makes the restricted solve equal the global solution
+restricted to the frontier.  ``level_frontier=False`` keeps the plain
+connected-component closure as an escape hatch (and as the baseline
+the benches compare against).
+
 The reference oracle stays :func:`~repro.net.flows.max_min_fair`; the
 equivalence is pinned by randomized incremental-vs-oracle property
 tests (``tests/test_allocator.py``).  The vectorized kernel performs
@@ -46,6 +79,10 @@ import numpy as np
 __all__ = ["MaxMinAllocator"]
 
 _EPS = 1e-9  # freeze tolerance, identical to the oracle's
+#: relative slack on level comparisons when building the frontier —
+#: generous on purpose: including a flow that could not move is wasted
+#: work, excluding one that can move is a wrong answer.
+_LEVEL_SLACK = 1e-6
 
 
 @dataclasses.dataclass(slots=True)
@@ -68,12 +105,25 @@ class MaxMinAllocator:
         :class:`~repro.sim.probe.SimProbe`); must expose
         ``on_alloc_pass(n_flows_touched)``.  Duck-typed so the network
         layer does not import the simulation layer.
+    level_frontier:
+        When True (default), bound each recompute to the level
+        frontier of the pending mutations instead of the whole
+        connected component (see module docstring).  False restores
+        the component closure.
+    measure_component:
+        When True, every recompute *also* walks the full connected
+        component and reports its size to the probe as
+        ``on_alloc_pass(n_touched, component_size)`` — the
+        effectiveness measurement for benches and pins.  Off by
+        default because computing the component defeats the bound.
     """
 
     def __init__(
         self,
         capacities: Mapping[tuple[str, str], float] | None = None,
         probe=None,
+        level_frontier: bool = True,
+        measure_component: bool = False,
     ) -> None:
         self._cap: dict[tuple[str, str], float] = {}
         self._link_flows: dict[tuple[str, str], set[int]] = {}
@@ -82,6 +132,21 @@ class MaxMinAllocator:
         self._dirty_flows: set[int] = set()
         self._dirty_links: set[tuple[str, str]] = set()
         self.probe = probe
+        self.level_frontier = bool(level_frontier)
+        self.measure_component = bool(measure_component)
+        #: freeze level (rate / weight) of each flow as of its last solve
+        self._levels: dict[int, float] = {}
+        #: link -> saturation level from its last solve (inf = unsaturated)
+        self._link_sat: dict[tuple[str, str], float] = {}
+        #: link -> remaining headroom from its last solve
+        self._link_headroom: dict[tuple[str, str], float] = {}
+        #: min entry level over mutations since the last recompute
+        self._entry: float = math.inf
+        #: link -> weight added since that link's last solve; the
+        #: headroom sharpening must divide by the *cumulative* pending
+        #: weight, or two adds on one link would each claim the whole
+        #: headroom for themselves
+        self._link_pending_w: dict[tuple[str, str], float] = {}
         if capacities:
             for key, cap in capacities.items():
                 self.update_capacity(key, cap)
@@ -117,6 +182,15 @@ class MaxMinAllocator:
 
     # -- mutation ----------------------------------------------------------
 
+    def _note_entry(self, level: float) -> None:
+        """Fold one mutation's entry-level bound into the pending minimum."""
+        if level < self._entry:
+            self._entry = max(level, 0.0)
+
+    def _link_weight(self, key: tuple[str, str]) -> float:
+        """Total weight of the flows currently routed over ``key``."""
+        return sum(self._flows[fid].weight for fid in self._link_flows.get(key, ()))
+
     def update_capacity(self, key: tuple[str, str], capacity_bps: float) -> None:
         """Set (or create) link ``key``'s capacity; dirties flows on it."""
         if capacity_bps < 0:
@@ -127,6 +201,21 @@ class MaxMinAllocator:
         self._cap[key] = float(capacity_bps)
         if old is not None and self._link_flows.get(key):
             self._dirty_links.add(key)
+            if capacity_bps < old:
+                # consumption at level t is at most t * W, so the link
+                # cannot saturate before new_cap / W
+                weight = self._link_weight(key)
+                self._note_entry(capacity_bps / weight if weight > 0 else math.inf)
+            else:
+                # extra headroom only matters at and above the level the
+                # link used to saturate; an unsaturated link (inf) never
+                # constrained anyone and the frontier may end up empty
+                self._note_entry(self._link_sat.get(key, 0.0))
+        if old is not None:
+            # the last solve's records were taken against the old
+            # capacity; later mutations must not sharpen against them
+            self._link_sat.pop(key, None)
+            self._link_headroom.pop(key, None)
 
     def add_flow(
         self,
@@ -147,6 +236,21 @@ class MaxMinAllocator:
             if key not in self._cap:
                 raise KeyError(f"flow {flow_id} uses unknown link {key}")
         self._flows[flow_id] = _FlowEntry(links, float(demand_bps), float(weight))
+        # entry bound BEFORE the new flow joins the incidence: on each of
+        # its links, total consumption at level t is at most t * (W + w),
+        # so the newcomer cannot tip link k before cap_k / (W_k + w); a
+        # link the last solve left unsaturated sharpens to headroom over
+        # the cumulative weight added since that solve.
+        entry = math.inf
+        for key in links:
+            bound = self._cap[key] / (self._link_weight(key) + weight)
+            pending = self._link_pending_w.get(key, 0.0) + weight
+            self._link_pending_w[key] = pending
+            headroom = self._link_headroom.get(key)
+            if headroom is not None and math.isinf(self._link_sat.get(key, math.inf)):
+                bound = max(bound, headroom / pending)
+            entry = min(entry, bound)
+        self._note_entry(entry)
         for key in links:
             self._link_flows.setdefault(key, set()).add(flow_id)
         self._rates[flow_id] = 0.0
@@ -157,6 +261,9 @@ class MaxMinAllocator:
         entry = self._flows.pop(flow_id, None)
         if entry is None:
             raise KeyError(f"unknown flow {flow_id}")
+        # every link of the flow saturates at or above the flow's own
+        # freeze level, so dynamics below it cannot notice the absence
+        self._note_entry(self._levels.pop(flow_id, 0.0))
         for key in entry.links:
             peers = self._link_flows.get(key)
             if peers is not None:
@@ -179,6 +286,19 @@ class MaxMinAllocator:
         entry = self._flows.get(flow_id)
         if entry is None:
             raise KeyError(f"unknown flow {flow_id}")
+        if links is None and weight is None and demand_bps is not None:
+            # demand-only edit: the flow's consumption curve is w*t up to
+            # min(old freeze level, new demand level) either way
+            self._note_entry(
+                min(
+                    self._levels.get(flow_id, 0.0),
+                    float(demand_bps) / entry.weight,
+                )
+            )
+        else:
+            # path or weight edits shift consumption from level zero;
+            # no cheap bound, fall back to the component closure
+            self._note_entry(0.0)
         if links is not None:
             new_links = tuple(links)
             for key in new_links:
@@ -226,27 +346,78 @@ class MaxMinAllocator:
                         frontier.append(peer)
         return sorted(component)
 
+    def _frontier(self, cutoff: float) -> list[int]:
+        """Dirty closure restricted to flows that can still move.
+
+        A flow whose recorded freeze level sits below ``cutoff`` (with
+        relative slack) kept its rate by the entry-level argument; it
+        neither joins the frontier nor conducts change to its peers.
+        Explicitly dirtied flows and flows without a recorded level
+        (never solved) are always included.
+        """
+        cut = cutoff * (1.0 - _LEVEL_SLACK)
+
+        def movable(fid: int) -> bool:
+            level = self._levels.get(fid)
+            return level is None or level >= cut
+
+        seeds: set[int] = {fid for fid in self._dirty_flows if fid in self._flows}
+        for key in self._dirty_links:
+            for fid in self._link_flows.get(key, ()):
+                if movable(fid):
+                    seeds.add(fid)
+        frontier: set[int] = set()
+        stack = list(seeds)
+        while stack:
+            fid = stack.pop()
+            if fid in frontier:
+                continue
+            frontier.add(fid)
+            for key in self._flows[fid].links:
+                for peer in self._link_flows.get(key, ()):
+                    if peer not in frontier and movable(peer):
+                        stack.append(peer)
+        return sorted(frontier)
+
     def recompute(self) -> dict[int, float]:
-        """Re-solve the dirty component; returns ``{flow_id: rate}`` for it.
+        """Re-solve the dirty frontier; returns ``{flow_id: rate}`` for it.
 
         Flows outside the returned set kept their previous (still
-        optimal) rates.  A no-op returning ``{}`` when nothing is dirty.
+        optimal) rates.  A no-op returning ``{}`` when nothing is dirty
+        — including when every pending mutation's entry level proves
+        the perturbation cannot move any frozen flow.
         """
         if not self.dirty:
             return {}
-        component = self._component()
+        component_size: int | None = None
+        if self.measure_component and self.probe is not None:
+            component_size = len(self._component())
+        if self.level_frontier:
+            fids = self._frontier(self._entry)
+        else:
+            fids = self._component()
         self._dirty_flows.clear()
         self._dirty_links.clear()
-        if not component:
+        self._entry = math.inf
+        if not fids:
+            if self.probe is not None:
+                if component_size is not None:
+                    self.probe.on_alloc_pass(0, component_size)
+                else:
+                    self.probe.on_alloc_pass(0)
             return {}
-        changed = self._solve(component)
+        changed = self._solve(fids)
         if self.probe is not None:
-            self.probe.on_alloc_pass(len(component))
+            if component_size is not None:
+                self.probe.on_alloc_pass(len(fids), component_size)
+            else:
+                self.probe.on_alloc_pass(len(fids))
         return changed
 
     def full_recompute(self) -> dict[int, float]:
         """Mark every flow dirty and recompute (consistency escape hatch)."""
         self._dirty_flows |= self._flows.keys()
+        self._note_entry(0.0)
         return self.recompute()
 
     def _solve(self, fids: list[int]) -> dict[int, float]:
@@ -269,11 +440,24 @@ class MaxMinAllocator:
                 flat[pos] = idx
                 pos += 1
         n_links = len(link_ids)
+        solving = set(fids)
         caps0 = np.empty(n_links)
         for key, idx in link_ids.items():
-            caps0[idx] = self._cap[key]
+            cap = self._cap[key]
+            # frontier mode: frozen non-frontier flows keep their rates;
+            # they show up here as pre-committed capacity, subtracted in
+            # sorted-id order so reruns are bit-for-bit reproducible.
+            # (Component mode never hits this: the closure is link-tight.)
+            for peer in sorted(self._link_flows.get(key, ())):
+                if peer not in solving:
+                    cap -= self._rates[peer]
+            caps0[idx] = max(cap, 0.0)
         remaining = caps0.copy()
         thresh = _EPS * np.maximum(caps0, 1.0)
+        # relative demand slack, mirroring the oracle: at bps scale one
+        # ulp dwarfs an absolute 1e-9, and a flow stranded one rounding
+        # error below its demand must still freeze
+        d_slack = _EPS * np.maximum(np.where(np.isfinite(d), d, 1.0), 1.0)
 
         rate = np.zeros(n)
         active = counts > 0
@@ -308,7 +492,7 @@ class MaxMinAllocator:
             np.maximum(remaining, 0.0, out=remaining)  # numerical dust
 
             # freeze flows at demand, or on a saturated link
-            at_demand = rate[idx] >= d[idx] - _EPS
+            at_demand = rate[idx] >= d[idx] - d_slack[idx]
             saturated = (
                 np.minimum.reduceat((remaining - thresh)[flat_act], offsets) <= 0.0
             )
@@ -321,4 +505,22 @@ class MaxMinAllocator:
 
         changed = {fid: float(rate[i]) for i, fid in enumerate(fids)}
         self._rates.update(changed)
+
+        # refresh the level records the frontier bound reasons from
+        for i, fid in enumerate(fids):
+            self._levels[fid] = float(rate[i]) / w[i] if w[i] > 0 else math.inf
+        for key, idx in link_ids.items():
+            head = float(remaining[idx])
+            if head <= float(thresh[idx]):
+                # a link saturates exactly when its last active flows
+                # freeze, so its saturation level is the max freeze
+                # level over its flows (0.0 default errs conservative)
+                self._link_sat[key] = max(
+                    (self._levels.get(g, 0.0) for g in self._link_flows.get(key, ())),
+                    default=0.0,
+                )
+            else:
+                self._link_sat[key] = math.inf
+            self._link_headroom[key] = head
+            self._link_pending_w.pop(key, None)
         return changed

@@ -104,11 +104,15 @@ def max_min_fair(
             if remaining[key] < 0.0:  # numerical dust from the subtraction above
                 remaining[key] = 0.0
 
-        # Freeze flows at demand, or on a saturated link.
+        # Freeze flows at demand, or on a saturated link.  Both slacks are
+        # *relative*: demands sit at ~1e9 bps, where one ulp is ~5e-7 —
+        # an absolute 1e-9 would let a flow land one rounding error short
+        # of its demand and never freeze.
         eps = 1e-9
         still_active = []
         for f in active:
-            at_demand = rate[f.flow_id] >= f.demand_bps - eps
+            d_slack = eps * max(f.demand_bps, 1.0) if math.isfinite(f.demand_bps) else eps
+            at_demand = rate[f.flow_id] >= f.demand_bps - d_slack
             saturated = any(
                 remaining[key] <= eps * max(capacities[key], 1.0) for key in f.links
             )

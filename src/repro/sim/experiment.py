@@ -160,6 +160,8 @@ class FluidSimulator:
         restart_policy: RestartPolicy | None = None,
         allocator: str = "incremental",
         probe: SimProbe | None = None,
+        level_frontier: bool = True,
+        measure_component: bool = False,
     ) -> None:
         if allocator not in ("incremental", "oracle"):
             raise ValueError(f"unknown allocator strategy {allocator!r}")
@@ -170,6 +172,8 @@ class FluidSimulator:
         self.ssthresh_bytes = ssthresh_bytes
         self.restart_policy = restart_policy
         self.allocator = allocator
+        self.level_frontier = level_frontier
+        self.measure_component = measure_component
         self.probe = probe if probe is not None else SimProbe()
         self.snmp = SnmpCollector(snmp_t0, snmp_bin_seconds)
         self._flows: dict[int, _Flow] = {}
@@ -562,8 +566,18 @@ class FluidSimulator:
             key: self._link_capacity_now(key, raw)
             for key, raw in self._raw_caps.items()
         }
-        self._be_alloc = MaxMinAllocator(now_caps, probe=self.probe)
-        self._vc_alloc = MaxMinAllocator(pseudo, probe=self.probe)
+        self._be_alloc = MaxMinAllocator(
+            now_caps,
+            probe=self.probe,
+            level_frontier=self.level_frontier,
+            measure_component=self.measure_component,
+        )
+        self._vc_alloc = MaxMinAllocator(
+            pseudo,
+            probe=self.probe,
+            level_frontier=self.level_frontier,
+            measure_component=self.measure_component,
+        )
 
     def _admit(self, flow: _Flow) -> None:
         """Enter an activated flow into its allocator pass."""

@@ -266,3 +266,150 @@ def test_matches_oracle_bitwise_on_chain():
     got = alloc.recompute()
     want = max_min_fair(specs, dict(caps))
     assert got == want  # exact, including every last bit
+
+
+# -- level-frontier bound ----------------------------------------------------
+
+
+def _clustered(rng, n_clusters=6, flows_per=8):
+    """Disjoint chain clusters bridged by one shared backbone link.
+
+    Every flow crosses the backbone, so the whole population is ONE
+    connected component — the worst case for component-closure dirty
+    sets, and exactly where the level-frontier bound has to earn its
+    keep.
+    """
+    caps = {("b0", "b1"): 1e10}
+    for c in range(n_clusters):
+        for i in range(3):
+            caps[(f"c{c}n{i}", f"c{c}n{i + 1}")] = float(
+                rng.uniform(1e9, 5e9)
+            )
+    alloc = MaxMinAllocator(caps, level_frontier=True)
+    fid = 0
+    for c in range(n_clusters):
+        for _ in range(flows_per):
+            start = int(rng.integers(0, 3))
+            length = int(rng.integers(1, 4 - start))
+            links = [("b0", "b1")] + [
+                (f"c{c}n{i}", f"c{c}n{i + 1}")
+                for i in range(start, start + length)
+            ]
+            alloc.add_flow(
+                fid,
+                links,
+                demand_bps=float(rng.choice([math.inf, rng.uniform(1e8, 4e9)])),
+                weight=float(rng.choice([1.0, 2.0, 4.0])),
+            )
+            fid += 1
+    alloc.recompute()
+    return alloc
+
+
+class TestLevelFrontier:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_perturbations_match_oracle(self, seed):
+        """Frontier-bounded re-solves track the oracle through churn."""
+        rng = np.random.default_rng(200 + seed)
+        alloc = _clustered(rng)
+        for _ in range(15):
+            fids = sorted(alloc._flows)
+            op = rng.random()
+            if op < 0.3:
+                alloc.remove_flow(int(rng.choice(fids)))
+            elif op < 0.6:
+                new = max(fids) + 1
+                c = int(rng.integers(0, 6))
+                alloc.add_flow(
+                    new,
+                    [("b0", "b1"), (f"c{c}n0", f"c{c}n1")],
+                    demand_bps=float(rng.uniform(1e8, 4e9)),
+                    weight=2.0,
+                )
+            elif op < 0.8:
+                alloc.update_flow(
+                    int(rng.choice(fids)),
+                    demand_bps=float(rng.uniform(1e8, 4e9)),
+                )
+            else:
+                c = int(rng.integers(0, 6))
+                alloc.update_capacity(
+                    (f"c{c}n0", f"c{c}n1"), float(rng.uniform(1e9, 5e9))
+                )
+            assert_matches_oracle(alloc)
+
+    def test_clean_build_is_bit_exact_vs_oracle(self):
+        """A from-scratch solve replays the oracle's exact arithmetic."""
+        rng = np.random.default_rng(42)
+        caps = {(f"n{i}", f"n{i + 1}"): float(rng.uniform(5.0, 25.0))
+                for i in range(8)}
+        links = list(caps)
+        alloc = MaxMinAllocator(caps, level_frontier=True)
+        specs = []
+        for fid in range(20):
+            k = int(rng.integers(1, 4))
+            start = int(rng.integers(0, len(links) - k))
+            flow_links = tuple(links[start:start + k])
+            demand = float(rng.choice([math.inf, rng.uniform(0.5, 20.0)]))
+            weight = float(rng.choice([1.0, 2.0, 4.0]))
+            alloc.add_flow(fid, flow_links, demand_bps=demand, weight=weight)
+            specs.append(FlowSpec(flow_id=fid, links=flow_links,
+                                  demand_bps=demand, weight=weight))
+        assert alloc.recompute() == max_min_fair(specs, dict(caps))
+
+    def test_frontier_off_matches_frontier_on(self):
+        rng = np.random.default_rng(7)
+        caps = {(f"n{i}", f"n{i + 1}"): float(rng.uniform(5.0, 25.0))
+                for i in range(6)}
+        on = MaxMinAllocator(dict(caps), level_frontier=True)
+        off = MaxMinAllocator(dict(caps), level_frontier=False)
+        links = list(caps)
+        for alloc in (on, off):
+            r = np.random.default_rng(7)  # identical sequences
+            random_sequence(alloc, r, n_ops=40, links=links)
+            alloc.recompute()
+        assert on.rates() == pytest.approx(off.rates(), rel=1e-6, abs=1e-3)
+
+    def test_single_flow_perturbation_touches_less_than_component(self):
+        """The frontier is strictly smaller than the connected component.
+
+        One shared backbone link makes all 48 flows one component; a
+        demand tweak on one low-level flow must re-solve only flows at
+        or above its level, not the whole population.
+        """
+        rng = np.random.default_rng(3)
+        probe = SimProbe()
+        alloc = _clustered(rng)
+        alloc.probe = probe
+        alloc.measure_component = True
+        # perturb one finite-demand flow's demand slightly downward —
+        # only levels >= its own can move
+        victim = next(
+            fid for fid in sorted(alloc._flows)
+            if math.isfinite(alloc._flows[fid].demand_bps)
+        )
+        alloc.update_flow(
+            victim, demand_bps=alloc._flows[victim].demand_bps * 0.9
+        )
+        alloc.recompute()
+        assert probe.n_measured_passes == 1
+        assert probe.n_component_flows == len(alloc._flows)
+        assert 0 < probe.n_flows_touched < probe.n_component_flows
+        assert probe.frontier_fraction < 1.0
+        assert_matches_oracle(alloc)
+
+    def test_capacity_increase_of_unsaturated_link_is_free(self):
+        """Raising headroom nobody uses re-solves zero flows."""
+        caps = {("a", "b"): 10.0, ("b", "c"): 100.0}
+        probe = SimProbe()
+        alloc = MaxMinAllocator(caps, probe=probe)
+        alloc.add_flow(1, [("a", "b"), ("b", "c")])
+        alloc.add_flow(2, [("a", "b")])
+        alloc.recompute()
+        before = probe.n_flows_touched
+        # (b,c) carried 5.0 of 100.0: recorded unsaturated, so growing
+        # it cannot move any freeze level
+        alloc.update_capacity(("b", "c"), 200.0)
+        alloc.recompute()
+        assert probe.n_flows_touched == before
+        assert_matches_oracle(alloc)

@@ -364,7 +364,7 @@ class TestRunPipeline:
         with pytest.raises(ValueError, match="declares no needs"):
             Runner().run_pipeline(pipe)
 
-    def test_quarantined_upstream_blocks_needing_stage(self, tmp_path):
+    def test_quarantined_upstream_cancels_needing_stage(self, tmp_path):
         pipe = PipelineSpec(
             name="p",
             stages=(
@@ -379,8 +379,102 @@ class TestRunPipeline:
                 ),
             ),
         )
-        with pytest.raises(RuntimeError, match="stage 'bad'"):
-            Runner(cache=ResultCache(tmp_path)).run_pipeline(pipe)
+        res = Runner(cache=ResultCache(tmp_path)).run_pipeline(pipe)
+        # the broken stage quarantines; its consumer settles cancelled
+        # (one-line reason, no execution) instead of the pipeline raising
+        assert res.stage("bad").n_failed == 1
+        cancelled = res.stage("sum")
+        assert cancelled.n_failed == cancelled.n_cells == 1
+        assert cancelled.n_executed == 0
+        cell = cancelled.cells[0]
+        assert cell.error == (
+            "cancelled: needed stage 'bad' settled with 1 quarantined cell(s)"
+        )
+        assert cell.key is None and cancelled.fingerprint is None
+
+    def test_cancellation_propagates_transitively(self, tmp_path):
+        # bad -> sum -> s2: the grand-consumer reports the cancelled
+        # middle stage, not the original culprit, so the chain is legible
+        pipe = PipelineSpec(
+            name="p",
+            stages=(
+                StageSpec(
+                    name="bad",
+                    spec=ExperimentSpec(name="p/bad", scenario="pp-bad"),
+                ),
+                StageSpec(
+                    name="sum",
+                    spec=ExperimentSpec(name="p/sum", scenario="pp-sum"),
+                    needs=("bad",),
+                ),
+                StageSpec(
+                    name="deep",
+                    spec=ExperimentSpec(
+                        name="p/deep", scenario="pp-s2", axes={"x": (1,)}
+                    ),
+                    needs=("sum",),
+                ),
+            ),
+        )
+        res = Runner(cache=ResultCache(tmp_path)).run_pipeline(pipe)
+        assert res.stage("deep").cells[0].error == (
+            "cancelled: needed stage 'sum' was cancelled"
+        )
+
+    def test_ordering_only_dependent_still_runs(self, tmp_path):
+        # pp-val takes no artifacts: its needs only order execution, so
+        # a broken upstream must not cancel it
+        pipe = PipelineSpec(
+            name="p",
+            stages=(
+                StageSpec(
+                    name="bad",
+                    spec=ExperimentSpec(name="p/bad", scenario="pp-bad"),
+                ),
+                StageSpec(
+                    name="after",
+                    spec=ExperimentSpec(
+                        name="p/after", scenario="pp-val", axes={"x": (1, 2)}
+                    ),
+                    needs=("bad",),
+                ),
+            ),
+        )
+        res = Runner(cache=ResultCache(tmp_path)).run_pipeline(pipe)
+        assert res.stage("after").n_failed == 0
+        assert res.stage("after").n_executed == 2
+
+    def test_cancellation_matches_between_serial_and_dag(self, tmp_path):
+        pipe = PipelineSpec(
+            name="p",
+            stages=(
+                StageSpec(
+                    name="bad",
+                    spec=ExperimentSpec(name="p/bad", scenario="pp-bad"),
+                ),
+                StageSpec(
+                    name="ok",
+                    spec=ExperimentSpec(
+                        name="p/ok", scenario="pp-val", axes={"x": (1, 2)}
+                    ),
+                ),
+                StageSpec(
+                    name="sum",
+                    spec=ExperimentSpec(name="p/sum", scenario="pp-sum"),
+                    needs=("bad", "ok"),
+                ),
+            ),
+        )
+        serial = Runner(cache=ResultCache(tmp_path / "a")).run_pipeline(pipe)
+        dag = Runner(jobs=2, cache=ResultCache(tmp_path / "b")).run_pipeline(
+            pipe
+        )
+        for name in ("bad", "ok", "sum"):
+            s, d = serial.stage(name), dag.stage(name)
+            assert [c.error for c in s.cells] == [c.error for c in d.cells]
+            assert [c.key for c in s.cells] == [c.key for c in d.cells]
+        # the unrelated branch completed in both modes
+        assert serial.stage("ok").n_failed == dag.stage("ok").n_failed == 0
 
     def test_pipeline_works_without_a_cache(self):
         # keys still compute (JSON-safe params), digests still fold
