@@ -1,0 +1,149 @@
+"""Ext-U: the open-loop load-test harness, pinned.
+
+Three claims the harness makes, each gated:
+
+* **determinism** — the discrete-event twin replays one seed into
+  byte-identical censuses *and* latency quantiles, and cranks events
+  fast enough to sweep arrival rates interactively (a requests/s floor
+  on the harness itself);
+* **overload visibility** — because the driver is open-loop, pushing
+  the offered rate far past capacity shows up as explicit shed and a
+  grown latency tail, instead of the arrival process quietly slowing
+  down the way a closed-loop driver would;
+* **live throughput** — a real in-process daemon under a Poisson storm
+  sustains a settled-requests/s floor with finite, monotone
+  p50/p95/p99 wall latencies.
+"""
+
+import math
+import time
+
+from repro.service.loadtest import run_loadtest, run_loadtest_sim
+
+#: harness floor, offered requests/s through the sim twin — the
+#: discrete-event core measures ~50-100k; a stray real sleep or an
+#: accidental O(n^2) event loop drops orders of magnitude below
+MIN_SIM_REQUESTS_PER_S = 2_000
+
+#: settled requests/s a live daemon must sustain under the open-loop
+#: storm at time_scale=3000 (measured ~60-130 on CI-class machines)
+MIN_LIVE_SETTLED_PER_S = 10
+
+_SIM_PARAMS = {
+    "arrivals": "poisson",
+    "n_requests": 400,
+    "rate_per_s": 1.0,        # ~4x service capacity: overloaded
+    "queue_limit": 12,
+    "tenant_quota": 6,
+    "workers": 4,
+    "invalid_frac": 0.05,
+}
+
+
+def test_ext_sim_twin_is_deterministic_and_fast(benchmark):
+    """Same seed -> identical censuses and quantiles; harness rps floor."""
+    first = run_loadtest_sim(_SIM_PARAMS, seed=11)
+    report = benchmark.pedantic(
+        lambda: run_loadtest_sim(_SIM_PARAMS, seed=11),
+        rounds=1, iterations=1,
+    )
+    wall = benchmark.stats["mean"]
+    rps = report.n_offered / wall
+
+    print()
+    print("Ext-U: deterministic twin, Poisson x 400 at 4x capacity")
+    print(f"  census: {report.n_accepted} accepted / {report.n_shed} shed "
+          f"/ {report.n_invalid} invalid; paths {report.paths}")
+    print(f"  virtual p50/p95/p99 = {report.latency_p50_s:.0f}/"
+          f"{report.latency_p95_s:.0f}/{report.latency_p99_s:.0f} s")
+    print(f"  wall {wall * 1e3:.1f} ms -> {rps:,.0f} offered req/s "
+          f"(floor {MIN_SIM_REQUESTS_PER_S:,})")
+
+    report.validate()
+    assert report.census() == first.census()
+    for a, b in (
+        (report.latency_p50_s, first.latency_p50_s),
+        (report.latency_p95_s, first.latency_p95_s),
+        (report.latency_p99_s, first.latency_p99_s),
+        (report.retry_after_max_s, first.retry_after_max_s),
+    ):
+        assert a == b  # bit-identical, not approximately equal
+    assert rps > MIN_SIM_REQUESTS_PER_S
+
+
+def test_ext_open_loop_makes_overload_visible(benchmark):
+    """4x-capacity arrivals shed hard and stretch the tail; 0.1x do not."""
+    calm = dict(_SIM_PARAMS, rate_per_s=0.01, invalid_frac=0.0,
+                tight_deadline_frac=0.0)
+
+    def both():
+        return run_loadtest_sim(calm, seed=11), run_loadtest_sim(
+            _SIM_PARAMS, seed=11
+        )
+
+    calm_report, hot_report = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+
+    print()
+    print("Ext-U: open-loop overload visibility (same seed, two rates)")
+    print(f"  calm 0.01 req/s: shed {calm_report.shed_fraction:.0%}, "
+          f"p99 {calm_report.latency_p99_s:.0f} virtual s")
+    print(f"  hot  1.00 req/s: shed {hot_report.shed_fraction:.0%}, "
+          f"p99 {hot_report.latency_p99_s:.0f} virtual s")
+    print(f"  bound held: outstanding <= {hot_report.outstanding_bound} at "
+          f"all {hot_report.n_outstanding_samples} observations")
+
+    calm_report.validate()
+    hot_report.validate()
+    assert calm_report.n_shed == 0
+    # the open loop keeps offering: overload must surface as shed...
+    assert hot_report.shed_fraction > 0.25
+    # ...and as queue wait in the latency tail, against a held bound
+    assert hot_report.latency_p99_s > 2 * calm_report.latency_p99_s
+    assert hot_report.outstanding_max <= hot_report.outstanding_bound
+
+
+def test_ext_live_daemon_sustains_the_settled_rps_floor(benchmark):
+    """A real daemon under the open-loop storm: settled req/s, sane SLOs."""
+    params = {
+        "arrivals": "poisson",
+        "n_requests": 40,
+        "rate_per_s": 0.08,
+        "queue_limit": 10,
+        "tenant_quota": 6,
+        "workers": 4,
+        "time_scale": 3000.0,
+        "invalid_frac": 0.05,
+    }
+
+    def run():
+        t0 = time.perf_counter()
+        report = run_loadtest(params, seed=7)
+        return report, time.perf_counter() - t0
+
+    report, wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    settled_rps = report.n_settled / wall
+
+    print()
+    print("Ext-U: live daemon, open-loop Poisson x 40 at time_scale=3000")
+    print(f"  census: {report.n_accepted} accepted / {report.n_shed} shed "
+          f"/ {report.n_invalid} invalid; paths {report.paths}")
+    print(f"  wall p50/p95/p99 = {report.latency_p50_s * 1e3:.0f}/"
+          f"{report.latency_p95_s * 1e3:.0f}/"
+          f"{report.latency_p99_s * 1e3:.0f} ms")
+    print(f"  wall {wall:.2f} s -> {settled_rps:.0f} settled req/s "
+          f"(floor {MIN_LIVE_SETTLED_PER_S})")
+    if report.retry_after_max_s is not None:
+        print(f"  max retry-after hint {report.retry_after_max_s:.2f} wall s")
+
+    report.validate()
+    assert report.n_offered == 40
+    assert settled_rps > MIN_LIVE_SETTLED_PER_S
+    for q in (report.latency_p50_s, report.latency_p95_s,
+              report.latency_p99_s):
+        assert q is not None and math.isfinite(q)
+    assert report.latency_p50_s <= report.latency_p95_s <= report.latency_p99_s
+    if report.retry_after_max_s is not None:
+        # the clock-domain fix: hints are wall seconds even at 3000x
+        assert report.retry_after_max_s < 30.0

@@ -23,6 +23,9 @@ Examples::
     repro-gridftp serve --socket /tmp/svc.sock --flaps-per-hour 12
     repro-gridftp request --socket /tmp/svc.sock submit --sizes 4e9 --wait
     repro-gridftp request --socket /tmp/svc.sock status
+    repro-gridftp loadtest --arrivals poisson --n 100 --rate 0.1
+    repro-gridftp loadtest --socket /tmp/svc.sock --n 50 --max-p99 2.0
+    repro-gridftp loadtest --mode sim --arrivals diurnal --n 2000
 
 A `run` campaign killed by SIGINT/SIGTERM drains in-flight cells,
 flushes its checkpoint journal, and exits with code 75 (EX_TEMPFAIL);
@@ -335,6 +338,48 @@ def _cmd_request(args: argparse.Namespace) -> int:
         return 0
     # an admission rejection is retryable, everything else is an error
     return EXIT_RESUMABLE if resp.get("status") == "rejected" else 1
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service.loadtest import run_loadtest, run_loadtest_sim
+
+    params = {
+        "arrivals": args.arrivals,
+        "n_requests": args.n,
+        "rate_per_s": args.rate,
+        "n_tenants": args.tenants,
+        "invalid_frac": args.invalid_frac,
+        "time_scale": args.time_scale,
+        "workers": args.workers,
+        "queue_limit": args.queue_limit,
+        "tenant_quota": args.tenant_quota,
+        "reject_prob": args.reject_prob,
+        "setup_timeout_prob": args.timeout_prob,
+        "flaps_per_hour": args.flaps_per_hour,
+        "tight_deadline_frac": args.deadline_frac,
+    }
+    if args.mode == "sim":
+        report = run_loadtest_sim(params, args.seed)
+    else:
+        report = run_loadtest(params, args.seed, socket_path=args.socket)
+    try:
+        report.validate()
+    except AssertionError as exc:
+        print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    if args.max_p99 is not None and report.latency_p99_s is not None:
+        if report.latency_p99_s > args.max_p99:
+            print(
+                f"FAIL: p99 latency {report.latency_p99_s:.3f} s exceeds "
+                f"the --max-p99 SLO of {args.max_p99:.3f} s",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
 
 
 def _parse_age(text: str) -> float:
@@ -746,6 +791,42 @@ def build_parser() -> argparse.ArgumentParser:
     rqsub.add_parser("health", help="liveness verdict")
     rqsub.add_parser("crash", help="chaos op: panic one work loop")
     rq.set_defaults(func=_cmd_request)
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="open-loop load test of the transfer daemon (latency SLOs)",
+    )
+    lt.add_argument("--socket", default=None,
+                    help="drive an already-running daemon at this socket "
+                         "(default: boot one in-process and drain it after)")
+    lt.add_argument("--mode", choices=["live", "sim"], default="live",
+                    help="live = real daemon; sim = deterministic "
+                         "discrete-event twin (bit-identical per seed)")
+    lt.add_argument("--arrivals", choices=["poisson", "onoff", "diurnal"],
+                    default="poisson")
+    lt.add_argument("--n", type=int, default=100,
+                    help="number of submissions to offer")
+    lt.add_argument("--rate", type=float, default=0.1,
+                    help="arrival rate, requests per *virtual* second")
+    lt.add_argument("--tenants", type=int, default=3)
+    lt.add_argument("--invalid-frac", type=float, default=0.0,
+                    help="fraction of submissions made deliberately invalid")
+    lt.add_argument("--deadline-frac", type=float, default=0.25,
+                    help="fraction of submissions with a tight deadline")
+    lt.add_argument("--time-scale", type=float, default=3000.0,
+                    help="virtual seconds per real second (embedded daemon "
+                         "and schedule pacing; match a --socket daemon's)")
+    lt.add_argument("--workers", type=int, default=4)
+    lt.add_argument("--queue-limit", type=int, default=16)
+    lt.add_argument("--tenant-quota", type=int, default=8)
+    lt.add_argument("--reject-prob", type=float, default=0.0)
+    lt.add_argument("--timeout-prob", type=float, default=0.0)
+    lt.add_argument("--flaps-per-hour", type=float, default=0.0)
+    lt.add_argument("--max-p99", type=float, default=None,
+                    help="fail (exit 1) if p99 latency exceeds this SLO, "
+                         "seconds in the report's latency domain")
+    lt.add_argument("--seed", type=int, default=0)
+    lt.set_defaults(func=_cmd_loadtest)
 
     ca = sub.add_parser(
         "cache", help="maintain the content-addressed campaign result cache"

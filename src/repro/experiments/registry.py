@@ -259,6 +259,37 @@ def _scenario_service_soak(params: Mapping[str, Any], seed: int) -> dict[str, An
     return run_service_soak(dict(params), seed)
 
 
+@register_scenario("service_loadtest")
+def _scenario_service_loadtest(
+    params: Mapping[str, Any], seed: int
+) -> dict[str, Any]:
+    """Open-loop load test of the transfer daemon, with latency SLOs.
+
+    Submissions fire on a seeded arrival schedule (Poisson, bursty
+    on/off, or the paper's Fig. 6 diurnal shape) *regardless of response
+    latency*, so overload shows up as shed fraction and latency-tail
+    growth instead of silently slowing the arrivals the way a
+    closed-loop storm does.  ``mode="live"`` (default) boots a real
+    in-process daemon and measures wall-clock latency; ``mode="sim"``
+    runs the deterministic discrete-event twin, whose censuses and
+    latency quantiles are bit-identical across same-seed runs.  The
+    report validates its own service contracts before being returned
+    (submission ledger, settle census, admission bound, monotone
+    quantiles).
+    """
+    from ..service.loadtest import run_loadtest, run_loadtest_sim
+
+    mode = str(params.get("mode", "live"))
+    if mode == "sim":
+        report = run_loadtest_sim(params, seed)
+    elif mode == "live":
+        report = run_loadtest(params, seed)
+    else:
+        raise ValueError(f"unknown loadtest mode {mode!r}")
+    report.validate()
+    return report.as_dict()
+
+
 @register_scenario("stream_analyze")
 def _scenario_stream_analyze(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
     """Chunked generate -> sessionize -> summarize in bounded memory.

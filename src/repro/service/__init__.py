@@ -17,11 +17,13 @@ stack misbehaves underneath it.  The pieces:
 * :mod:`~repro.service.daemon` — the daemon itself (serve, drain,
   checkpoint, exit 75);
 * :mod:`~repro.service.soak` — the ``service_soak`` fault-storm
-  scenario.
+  scenario (closed-loop correctness);
+* :mod:`~repro.service.loadtest` — the ``service_loadtest`` open-loop
+  harness: arrival generators, latency SLOs, the deterministic twin.
 """
 
 from .admission import AdmissionController, AdmissionDecision
-from .api import ServiceClient, decode_line, encode_line
+from .api import AsyncServiceClient, ServiceClient, decode_line, encode_line
 from .budget import DeadlineBudget, PathChoice, TransferPlan, plan_path
 from .daemon import (
     EXIT_DRAINED,
@@ -32,12 +34,25 @@ from .daemon import (
     run_daemon,
 )
 from .health import HealthMonitor, ServiceMetrics
+from .loadtest import (
+    LatencyRecorder,
+    LoadTestReport,
+    RequestMix,
+    run_loadtest,
+    run_loadtest_sim,
+)
 from .supervisor import LoopStatus, Supervisor
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "ServiceClient",
+    "AsyncServiceClient",
+    "LatencyRecorder",
+    "LoadTestReport",
+    "RequestMix",
+    "run_loadtest",
+    "run_loadtest_sim",
     "encode_line",
     "decode_line",
     "DeadlineBudget",

@@ -11,6 +11,14 @@ answers with an explicit decision:
   times, so well-behaved clients back off proportionally to the overload
   instead of hammering the socket.
 
+Everything here is in **wall seconds** — clients sleep their
+``retry_after_s`` on real clocks, so the daemon converts its virtual
+execution times through ``time_scale`` *before* calling
+:meth:`AdmissionController.note_service_s`.  Feeding virtual seconds in
+would tell a client to back off ``time_scale`` times too long (at the
+soak's ``time_scale=3000``, a 60-virtual-second service would read as a
+one-minute-plus *real* backoff — fifty virtual hours).
+
 Rejection reasons are counted per cause (queue-full, tenant-quota,
 draining) — the shed census the status endpoint reports.
 """
@@ -144,7 +152,15 @@ class AdmissionController:
             self._usage[tenant] = count - 1
 
     def note_service_s(self, wall_s: float, alpha: float = 0.3) -> None:
-        """Fold one observed service time into the retry-after EWMA."""
+        """Fold one observed service time into the retry-after EWMA.
+
+        ``wall_s`` is *wall* seconds of execution (pick-up to settle),
+        in the same clock domain clients sleep ``retry_after_s`` in —
+        never the virtual-clock elapsed time, and never including queue
+        wait (queue wait already shows up in the backlog factor of
+        :meth:`retry_after_s`; folding it in here too would compound
+        every rejection's backoff under backlog).
+        """
         if wall_s < 0:
             raise ValueError("service time must be non-negative")
         if self._ewma_service_s is None:

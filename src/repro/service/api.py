@@ -22,6 +22,7 @@ the CLI and tests use.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 from typing import Any
@@ -33,6 +34,7 @@ __all__ = [
     "decode_line",
     "error_response",
     "ServiceClient",
+    "AsyncServiceClient",
 ]
 
 PROTOCOL_VERSION = 1
@@ -140,3 +142,60 @@ class ServiceClient:
     def crash(self, loop: str = "worker-0") -> dict[str, Any]:
         """Chaos op: panic one supervised loop (daemon must allow it)."""
         return self.request({"op": "crash", "loop": loop})
+
+
+class AsyncServiceClient:
+    """Asyncio control-socket client — the open-loop driver's workhorse.
+
+    One stream connection per client, one in-flight request at a time on
+    it.  The load-test harness opens one of these per submission so
+    hundreds of requests can be in flight concurrently on a single event
+    loop without a thread per blocked :class:`ServiceClient`.  Build it
+    with :meth:`connect` (``__init__`` takes an already-open pair).
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, socket_path: str) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_unix_connection(
+            socket_path, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def request(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Send one message and await its response line."""
+        self._writer.write(encode_line(body))
+        await self._writer.drain()
+        raw = await self._reader.readline()
+        if not raw:
+            raise ConnectionError("daemon closed the connection")
+        return decode_line(raw.rstrip(b"\n"))
+
+    async def submit(
+        self,
+        file_sizes: list[float],
+        tenant: str = "default",
+        deadline_s: float | None = None,
+        wait: bool = False,
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {
+            "op": "submit",
+            "tenant": tenant,
+            "file_sizes": list(file_sizes),
+            "wait": bool(wait),
+        }
+        if deadline_s is not None:
+            body["deadline_s"] = float(deadline_s)
+        return await self.request(body)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -177,6 +177,10 @@ class ServiceRequest:
     #: where admission currently counts this request
     admission_stage: str = "queued"  # "queued" | "in_flight" | "done"
     crash_requeues: int = 0
+    #: virtual time a worker last picked this request up (None while
+    #: still queued) — the service-time EWMA measures from here, not
+    #: from submit, so queue wait never inflates retry-after hints
+    exec_started_vt: float | None = None
 
     def response(self) -> dict[str, Any]:
         """The settle/status body returned to clients."""
@@ -454,7 +458,12 @@ class TransferDaemon:
         self.metrics.n_submitted += 1
         tenant = msg.get("tenant", "default")
         if not isinstance(tenant, str) or not tenant:
-            return error_response("tenant must be a non-empty string")
+            # refused before admission — still a submission, so it must
+            # land in the invalid census for the ledger to balance
+            self.metrics.n_invalid += 1
+            return error_response(
+                "invalid submission: tenant must be a non-empty string"
+            )
         decision = self.admission.try_admit(tenant)
         if not decision.admitted:
             self.metrics.n_shed += 1
@@ -483,7 +492,10 @@ class TransferDaemon:
             budget = DeadlineBudget(deadline, self.vnow)
         except (TypeError, ValueError) as exc:
             # invalid submission: hand the admission slot straight back
+            # and count it, so n_submitted == n_accepted + n_shed +
+            # n_invalid always balances
             self.admission.on_settle(tenant, started=False)
+            self.metrics.n_invalid += 1
             return error_response(f"invalid submission: {exc}")
         req = ServiceRequest(
             request_id=rid,
@@ -542,6 +554,7 @@ class TransferDaemon:
             self.admission.on_start(req.tenant)
             req.admission_stage = "in_flight"
             req.state = "active"
+            req.exec_started_vt = self.vnow()
             try:
                 await self._execute(req)
             except asyncio.CancelledError:
@@ -742,7 +755,16 @@ class TransferDaemon:
         elif req.admission_stage == "in_flight":
             self.admission.on_settle(req.tenant, started=True)
         req.admission_stage = "done"
-        self.admission.note_service_s(req.budget.elapsed())
+        if req.exec_started_vt is not None:
+            # clock-domain boundary: the budget runs in *virtual* seconds
+            # but retry-after hints are slept in *wall* seconds by
+            # clients, so convert through time_scale here; and measure
+            # from execution start, not submit, so backlog queue wait
+            # does not compound the backoff
+            exec_virtual_s = max(self.vnow() - req.exec_started_vt, 0.0)
+            self.admission.note_service_s(
+                exec_virtual_s / self.config.time_scale
+            )
         req.settled.set()
 
 

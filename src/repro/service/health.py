@@ -39,6 +39,9 @@ class ServiceMetrics:
     #: explicit admission rejections (the controller's shed census has
     #: the per-reason split)
     n_shed: int = 0
+    #: submissions refused at validation (bad file sizes/deadline) —
+    #: admitted for a moment, never accepted, never executed
+    n_invalid: int = 0
     #: requests that planned or fell back onto the routed-IP path
     n_degraded: int = 0
     n_completed: int = 0

@@ -9,9 +9,18 @@ configured number of arrivals the daemon drains and the scenario pins
 the service-level contracts:
 
 * every accepted request settled (``n_lost == 0``);
-* overload was shed with explicit rejections, not queue growth;
+* the full submission ledger balances: every submission lands in
+  exactly one of accepted / shed / invalid (a few deliberately
+  malformed submissions ride the storm to prove it);
+* overload was shed with explicit rejections, not queue growth —
+  ``outstanding <= queue_limit`` at *every* sampled observation;
 * deadline-starved requests degraded to the routed-IP path;
 * crashed loops restarted under supervision and health recovered.
+
+The storm here is **closed-loop** (each submit is awaited before the
+next gap is slept), which is right for a correctness soak but hides
+queueing collapse under overload; :mod:`repro.service.loadtest` is the
+open-loop harness that measures latency SLOs.
 
 Registered in the experiments registry, so it runs under the campaign
 runner, caches like any other cell, and can sit in a sweep over storm
@@ -65,6 +74,7 @@ async def _storm(
     n_tenants = int(params.get("n_tenants", 3))
     mean_gap_s = float(params.get("mean_interarrival_s", 0.02))
     n_crashes = int(params.get("n_crashes", 2))
+    n_invalid = int(params.get("n_invalid_submissions", 2))
     file_size = float(params.get("file_size_bytes", 4e9))
     tight_deadline_frac = float(params.get("tight_deadline_frac", 0.25))
     # a deadline that cannot fit batch signalling forces the IP rung
@@ -80,11 +90,30 @@ async def _storm(
 
     accepted_ids: list[int] = []
     n_rejected = 0
+    n_invalid_refused = 0
     crash_at = set(
         rng.choice(n_requests, size=min(n_crashes, n_requests), replace=False)
         .tolist()
     ) if n_crashes else set()
+    invalid_at = set(
+        rng.choice(n_requests, size=min(n_invalid, n_requests), replace=False)
+        .tolist()
+    ) if n_invalid else set()
 
+    # sample the admission bound throughout the storm, not just once:
+    # every observation must respect outstanding <= queue_limit
+    outstanding_samples: list[int] = []
+    storm_over = asyncio.Event()
+
+    async def _sample_outstanding() -> None:
+        while not storm_over.is_set():
+            outstanding_samples.append(daemon.admission.outstanding)
+            try:
+                await asyncio.wait_for(storm_over.wait(), timeout=0.005)
+            except asyncio.TimeoutError:
+                pass
+
+    sampler = asyncio.create_task(_sample_outstanding())
     client = await loop.run_in_executor(None, _client)
     try:
         for i in range(n_requests):
@@ -95,20 +124,30 @@ async def _storm(
                 else None
             )
             tenant = f"tenant-{int(rng.integers(0, n_tenants))}"
+            # an invalid submission carries a negative file size — the
+            # daemon must refuse it at validation, not execute it
+            sizes = [file_size] * n_files
+            if i in invalid_at:
+                sizes[0] = -file_size
             resp = await loop.run_in_executor(
                 None,
-                lambda t=tenant, n=n_files, d=deadline: client.submit(
-                    [file_size] * n, tenant=t, deadline_s=d
+                lambda t=tenant, s=sizes, d=deadline: client.submit(
+                    s, tenant=t, deadline_s=d
                 ),
             )
             if resp.get("ok"):
                 accepted_ids.append(resp["request_id"])
-            else:
+            elif resp.get("status") == "rejected":
                 n_rejected += 1
                 assert resp.get("reason") in (
                     "queue-full", "tenant-quota", "draining"
                 ), resp
                 assert resp.get("retry_after_s", 0) > 0, resp
+            else:
+                assert str(resp.get("error", "")).startswith(
+                    "invalid submission"
+                ), resp
+                n_invalid_refused += 1
             if i in crash_at:
                 await loop.run_in_executor(None, client.crash)
             await asyncio.sleep(rng.exponential(mean_gap_s))
@@ -118,6 +157,8 @@ async def _storm(
         mid_status = (await loop.run_in_executor(None, client.status))["status"]
     finally:
         await loop.run_in_executor(None, client.close)
+        storm_over.set()
+        await sampler
 
     daemon.request_drain()
     exit_code = await serve
@@ -125,9 +166,12 @@ async def _storm(
     m = daemon.metrics
     return {
         "n_requests": n_requests,
+        "n_submitted": m.n_submitted,
         "n_accepted": m.n_accepted,
         "n_rejected_client_side": n_rejected,
+        "n_invalid_client_side": n_invalid_refused,
         "n_shed": m.n_shed,
+        "n_invalid": m.n_invalid,
         "shed": dict(daemon.admission.shed),
         "n_completed": m.n_completed,
         "n_failed": m.n_failed,
@@ -143,6 +187,8 @@ async def _storm(
         "recovery": daemon.stats.as_dict(),
         "exit_code": exit_code,
         "max_outstanding_bound": config.queue_limit,
+        "outstanding_max": max(outstanding_samples, default=0),
+        "n_outstanding_samples": len(outstanding_samples),
     }
 
 
@@ -158,6 +204,21 @@ def run_service_soak(params: dict[str, Any], seed: int) -> dict[str, Any]:
         raise AssertionError(f"lost {result['n_lost']} accepted request(s)")
     if result["n_shed"] != result["n_rejected_client_side"]:
         raise AssertionError("shed census disagrees with client rejections")
-    if result["n_accepted"] + result["n_shed"] != result["n_requests"]:
+    if result["n_invalid"] != result["n_invalid_client_side"]:
+        raise AssertionError("invalid census disagrees with client refusals")
+    # the full submission ledger: every submission lands in exactly one
+    # of accepted / shed / invalid — nothing vanishes between censuses
+    if result["n_submitted"] != result["n_requests"]:
+        raise AssertionError("daemon saw a different submission count")
+    if (
+        result["n_accepted"] + result["n_shed"] + result["n_invalid"]
+        != result["n_submitted"]
+    ):
         raise AssertionError("admission must decide every submission")
+    # the admission bound, pinned at every observation of the storm
+    if result["outstanding_max"] > result["max_outstanding_bound"]:
+        raise AssertionError(
+            f"outstanding reached {result['outstanding_max']}, above the "
+            f"queue limit {result['max_outstanding_bound']}"
+        )
     return result

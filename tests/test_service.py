@@ -585,15 +585,28 @@ class TestDaemonIntegration:
                                                 "tenant": ""}),
                     await call(client.request, {"op": "nonsense"}),
                 ]
+                status = (await call(client.status))["status"]
             finally:
                 await call(client.close)
-            return bad
+            return bad, status
 
-        bad, _, daemon = _run_with_daemon(config, scenario)
+        (bad, status), _, daemon = _run_with_daemon(config, scenario)
         assert all(not resp["ok"] for resp in bad)
         assert daemon.admission.outstanding == 0
         assert daemon.admission.usage() == {}
         assert daemon.metrics.n_accepted == 0
+        # refused submissions land in their own census, visible on
+        # /status — the ledger accounts for every submission seen
+        # (the "nonsense" op is not a submission and counts nowhere)
+        assert daemon.metrics.n_submitted == 6
+        assert daemon.metrics.n_invalid == 6
+        assert status["metrics"]["n_invalid"] == 6
+        assert (
+            daemon.metrics.n_accepted
+            + daemon.admission.n_shed
+            + daemon.metrics.n_invalid
+            == daemon.metrics.n_submitted
+        )
 
     def test_malformed_lines_get_error_responses(self, tmp_path):
         config = _config(tmp_path)
@@ -926,6 +939,103 @@ class TestCrashRequeue:
 
 
 # ---------------------------------------------------------------------------
+# retry-after lives in wall seconds (the clock-domain regression)
+
+
+class TestRetryAfterClockDomain:
+    def _settled_request(self, tmp_path, queue_wait_real_s, exec_real_s):
+        """Settle one request whose queue wait and execution phases are
+        simulated by shifting the daemon's epoch — deterministic, no
+        real sleeping — and return the admission controller after."""
+        config = _config(tmp_path, time_scale=3000.0)
+        daemon = TransferDaemon(config)
+
+        async def scenario():
+            from repro.gridftp.transfer_service import TransferTask
+            from repro.service.daemon import ServiceRequest
+
+            loop = asyncio.get_running_loop()
+            daemon._t0 = loop.time()
+            req = ServiceRequest(
+                request_id=1,
+                tenant="t",
+                task=TransferTask(
+                    task_id=1, src_host=0, dst_host=1, file_sizes=(1e9,),
+                    submitted_at=0.0,
+                ),
+                budget=DeadlineBudget(None, daemon.vnow),
+                settled=asyncio.Event(),
+            )
+            daemon.admission.try_admit("t")
+            # queue wait passes: shift the epoch back instead of sleeping
+            daemon._t0 -= queue_wait_real_s
+            daemon.admission.on_start("t")
+            req.admission_stage = "in_flight"
+            req.state = "active"
+            req.exec_started_vt = daemon.vnow()
+            # execution passes
+            daemon._t0 -= exec_real_s
+            daemon._settle(req, "succeeded")
+            assert req.settled.is_set()
+
+        asyncio.run(scenario())
+        return daemon.admission
+
+    def test_hint_is_wall_seconds_under_a_scaled_clock(self, tmp_path):
+        # 0.05 real s of execution is 150 *virtual* seconds at
+        # time_scale=3000.  The pre-fix code fed budget.elapsed()
+        # (virtual seconds since submit) straight into the EWMA, so the
+        # hint a client would sleep on its wall clock came out hundreds
+        # of seconds instead of ~1.
+        admission = self._settled_request(
+            tmp_path, queue_wait_real_s=0.2, exec_real_s=0.05
+        )
+        assert admission._ewma_service_s is not None
+        assert admission._ewma_service_s < 0.1  # wall, not virtual
+        assert admission.retry_after_s() < 2.0
+
+    def test_ewma_measures_execution_not_queue_wait(self, tmp_path):
+        # queue wait (0.2 real s) dwarfs execution (0.05 real s): the
+        # EWMA must see only the execution phase.  Measuring from submit
+        # would read ~0.25 and compound every backlogged rejection.
+        admission = self._settled_request(
+            tmp_path, queue_wait_real_s=0.2, exec_real_s=0.05
+        )
+        assert abs(admission._ewma_service_s - 0.05) < 0.02
+
+    def test_rejection_hint_over_the_socket_stays_wall_small(self, tmp_path):
+        # end to end: settle a slow request under time_scale=3000, then
+        # overflow the queue and read the hint a real client receives
+        config = _config(
+            tmp_path, workers=1, queue_limit=2, tenant_quota=2
+        )
+
+        async def scenario(daemon, call):
+            client = await call(ServiceClient, config.socket_path)
+            try:
+                first = await call(
+                    client.submit, [4e9], tenant="t", wait=True
+                )
+                assert first["ok"] and first["state"] == "succeeded"
+                a = await call(client.submit, [8e9, 8e9], tenant="t")
+                b = await call(client.submit, [8e9, 8e9], tenant="t")
+                assert a["ok"] and b["ok"]
+                rej = await call(client.submit, [4e9], tenant="t")
+            finally:
+                await call(client.close)
+            return rej
+
+        rej, exit_code, daemon = _run_with_daemon(config, scenario)
+        assert exit_code == EXIT_DRAINED
+        assert rej["status"] == "rejected"
+        assert rej["reason"] == "queue-full"
+        # the settled request ran for tens of *virtual* seconds (batch
+        # signalling alone is up to 61); its wall footprint was tens of
+        # milliseconds.  The hint must be in the client's clock domain.
+        assert 0 < rej["retry_after_s"] < 5.0
+
+
+# ---------------------------------------------------------------------------
 # the soak scenario
 
 
@@ -945,10 +1055,19 @@ class TestServiceSoak:
         json.dumps(result)  # cacheable
         assert result["exit_code"] == EXIT_DRAINED
         assert result["n_lost"] == 0
-        assert result["n_accepted"] + result["n_shed"] == 16
+        # the full ledger: every submission is accepted, shed, or invalid
+        assert result["n_submitted"] == 16
+        assert (
+            result["n_accepted"] + result["n_shed"] + result["n_invalid"]
+            == 16
+        )
+        assert result["n_invalid"] == result["n_invalid_client_side"] == 2
         assert result["loop_restarts"] >= 1
         assert result["dead_loops"] == []
         assert result["mid_outstanding"] <= result["max_outstanding_bound"]
+        # the bound held at *every* sampled observation of the storm
+        assert result["n_outstanding_samples"] > 0
+        assert result["outstanding_max"] <= result["max_outstanding_bound"]
 
     def test_soak_is_registered_as_a_scenario(self):
         from repro.experiments.registry import get_scenario
