@@ -289,23 +289,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stream=sys.stderr,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
-    config = DaemonConfig(
-        socket_path=args.socket,
-        workers=args.workers,
-        time_scale=args.time_scale,
-        queue_limit=args.queue_limit,
-        tenant_quota=args.tenant_quota,
-        vc_rate_bps=args.vc_rate_bps,
-        ip_rate_bps=args.ip_rate_bps,
-        default_deadline_s=args.default_deadline,
-        reject_prob=args.reject_prob,
-        setup_timeout_prob=args.timeout_prob,
-        flaps_per_hour=args.flaps_per_hour,
-        flap_duration_s=args.flap_duration,
-        drain_grace_s=args.drain_grace,
-        chaos_ops=args.chaos_ops,
-        seed=args.seed,
-    )
+    try:
+        config = DaemonConfig(
+            socket_path=args.socket,
+            workers=args.workers,
+            time_scale=args.time_scale,
+            queue_limit=args.queue_limit,
+            tenant_quota=args.tenant_quota,
+            vc_rate_bps=args.vc_rate_bps,
+            ip_rate_bps=args.ip_rate_bps,
+            default_deadline_s=args.default_deadline,
+            reject_prob=args.reject_prob,
+            setup_timeout_prob=args.timeout_prob,
+            flaps_per_hour=args.flaps_per_hour,
+            flap_duration_s=args.flap_duration,
+            drain_grace_s=args.drain_grace,
+            chaos_ops=args.chaos_ops,
+            seed=args.seed,
+            scheduler=args.scheduler,
+        )
+    except ValueError as exc:  # e.g. an unknown --scheduler name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return run_daemon(config)
 
 
@@ -359,11 +364,16 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         "setup_timeout_prob": args.timeout_prob,
         "flaps_per_hour": args.flaps_per_hour,
         "tight_deadline_frac": args.deadline_frac,
+        "scheduler": args.scheduler,
     }
-    if args.mode == "sim":
-        report = run_loadtest_sim(params, args.seed)
-    else:
-        report = run_loadtest(params, args.seed, socket_path=args.socket)
+    try:
+        if args.mode == "sim":
+            report = run_loadtest_sim(params, args.seed)
+        else:
+            report = run_loadtest(params, args.seed, socket_path=args.socket)
+    except ValueError as exc:  # e.g. an unknown --scheduler name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         report.validate()
     except AssertionError as exc:
@@ -765,6 +775,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="real seconds SIGTERM waits before checkpointing")
     sv.add_argument("--chaos-ops", action="store_true",
                     help="honour the 'crash' chaos op (tests/soaks only)")
+    sv.add_argument("--scheduler", default="fcfs", metavar="NAME",
+                    help="scheduling policy: fcfs | predictive | global "
+                         "(unknown names fail fast with the valid set)")
     sv.add_argument("--seed", type=int, default=0)
     sv.add_argument("--verbose", action="store_true")
     sv.set_defaults(func=_cmd_serve)
@@ -825,6 +838,8 @@ def build_parser() -> argparse.ArgumentParser:
     lt.add_argument("--max-p99", type=float, default=None,
                     help="fail (exit 1) if p99 latency exceeds this SLO, "
                          "seconds in the report's latency domain")
+    lt.add_argument("--scheduler", default="fcfs", metavar="NAME",
+                    help="scheduling policy: fcfs | predictive | global")
     lt.add_argument("--seed", type=int, default=0)
     lt.set_defaults(func=_cmd_loadtest)
 

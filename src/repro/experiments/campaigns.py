@@ -38,7 +38,7 @@ import dataclasses
 import math
 import os
 from collections.abc import Mapping, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -56,6 +56,9 @@ from ..vc.oscars import OscarsIDC, ReservationRejected, ReservationRequest
 from ..vc.policy import FallbackMode, FallbackPolicy
 from .runner import Runner
 from .spec import ExperimentSpec, PipelineSpec, StageSpec
+
+if TYPE_CHECKING:
+    from ..sched.base import TransferScheduler
 
 __all__ = [
     "ChaosConfig",
@@ -207,17 +210,45 @@ class ChaosReport:
     max_flows_touched: int = 0
 
 
+def _campaign_scheduler(
+    vc_rate_bps: float,
+    fallback: FallbackPolicy,
+    scheduler: str | None,
+) -> "TransferScheduler":
+    """Resolve a campaign's ``scheduler`` name to a fresh policy object.
+
+    Campaigns take the scheduler *by name* (never by instance) so each
+    run — chaos and its clean twin alike — starts from a cold policy:
+    a learning scheduler must not carry one campaign's transfer log
+    into the next and silently break seed-determinism.
+    """
+    from ..sched.base import SchedulerConfig, make_scheduler
+
+    return make_scheduler(
+        scheduler or "fcfs",
+        SchedulerConfig(vc_rate_bps=vc_rate_bps),
+        fallback=fallback,
+    )
+
+
 def _run_campaign(
     config: ChaosConfig,
     injector: FaultInjector | None,
     seed: int,
+    scheduler: "TransferScheduler | None" = None,
 ) -> tuple[dict[int, float], list[str], list[int], RecoveryStats, FluidSimulator]:
     """One full session: reserve (with retry), fall back, flap, transfer.
 
-    Returns per-job end-to-end wall seconds (submit to last byte), the
-    per-job service modes, per-job injected flap counts, the recovery
-    counters, and the simulator (for its flap/rollback bookkeeping).
+    Every per-transfer decision — requested circuit bandwidth,
+    reservation window, VC-vs-IP fallback — routes through
+    ``scheduler`` (default: the first-come baseline, which reproduces
+    the historical campaign bit for bit).  Returns per-job end-to-end
+    wall seconds (submit to last byte), the per-job service modes,
+    per-job injected flap counts, the recovery counters, and the
+    simulator (for its flap/rollback bookkeeping).
     """
+    if scheduler is None:
+        scheduler = _campaign_scheduler(config.vc_rate_bps, config.fallback, None)
     topology = esnet_like()
     dtns = default_dtns(topology)
     sim = FluidSimulator(topology, dtns, restart_policy=config.restart)
@@ -240,12 +271,15 @@ def _run_campaign(
             size_bytes=size,
             streams=config.streams,
         )
+        window_start, window_end = scheduler.reservation_window(
+            submit, est, horizon_factor=2.0
+        )
         request = ReservationRequest(
             src=config.src,
             dst=config.dst,
-            bandwidth_bps=config.vc_rate_bps,
-            start_time=submit,
-            end_time=submit + 2.0 * est + 600.0,
+            bandwidth_bps=scheduler.rate_advice(size),
+            start_time=window_start,
+            end_time=window_end,
         )
         try:
             vc, _waited = idc.create_reservation_with_retry(
@@ -264,7 +298,7 @@ def _run_campaign(
             modes.append("ip")
             flap_counts.append(0)
             continue
-        decision = config.fallback.decide(submit, vc.start_time)
+        decision = scheduler.decide_fallback(submit, vc.start_time)
         if decision.mode is FallbackMode.VC:
             delayed = dataclasses.replace(job, submit_time=decision.start_time)
             job_fids[sim.submit(delayed, vc=vc)] = i
@@ -308,22 +342,40 @@ def _run_campaign(
         completion = sim.flow_completions.get(fid)
         if completion is not None:
             walls[i] = completion[1] - config.submit_time(i)
+    # close the loop: the transfer log feeds the scheduler, so a
+    # learning policy (predictive) trains on what the session achieved
+    for i in sorted(walls):
+        scheduler.observe(config.job_size(i), walls[i], modes[i])
     return walls, modes, flap_counts, stats, sim
 
 
-def run_chaos(config: ChaosConfig, seed: int = 0) -> ChaosReport:
+def run_chaos(
+    config: ChaosConfig, seed: int = 0, scheduler: str | None = None
+) -> ChaosReport:
     """Run one chaos campaign and its fault-free twin; report the damage.
 
     Deterministic under ``seed``: the injector's fault schedule, the
     backoff jitter, and the simulator are all seeded, so the same call
     returns the same report — which is what lets tests assert on
-    recovery behaviour rather than eyeball it.
+    recovery behaviour rather than eyeball it.  ``scheduler`` names the
+    :mod:`repro.sched` policy steering rate/window/fallback decisions
+    (default ``"fcfs"``, the bit-exact historical baseline); a fresh
+    policy object is built for the chaos run and another for its clean
+    twin, so learning policies never leak state between the pair.
     """
     injector = config.build_injector(seed)
     chaos_walls, modes, flap_counts, stats, sim = _run_campaign(
-        config, injector, seed
+        config,
+        injector,
+        seed,
+        scheduler=_campaign_scheduler(config.vc_rate_bps, config.fallback, scheduler),
     )
-    clean_walls, _, _, _, _ = _run_campaign(config, None, seed)
+    clean_walls, _, _, _, _ = _run_campaign(
+        config,
+        None,
+        seed,
+        scheduler=_campaign_scheduler(config.vc_rate_bps, config.fallback, scheduler),
+    )
 
     jobs = range(config.n_jobs)
     completed = [i for i in jobs if i in chaos_walls]
@@ -614,18 +666,22 @@ def managed_config_from_params(params: Mapping[str, Any]) -> ManagedChaosConfig:
 
 
 def run_managed_chaos(
-    config: ManagedChaosConfig, seed: int = 0
+    config: ManagedChaosConfig, seed: int = 0, scheduler: str | None = None
 ) -> ManagedChaosReport:
     """Run the managed service under ``config``'s injected flap schedules.
 
     Deterministic under ``seed``: the injector draws each task's flap
     intervals over its possible ride window before the service runs, and
     the schedules are bound to the tasks exactly the way the fluid
-    simulator's chaos campaigns flap their circuits.
+    simulator's chaos campaigns flap their circuits.  ``scheduler``
+    names the :mod:`repro.sched` policy whose rate advice sizes the
+    endpoint-pair rate (default ``"fcfs"``: the nominal ``rate_bps``,
+    bit-exact with the historical campaign).
     """
     injector = config.build_injector(seed)
+    sched = _campaign_scheduler(config.rate_bps, FallbackPolicy(), scheduler)
     service = ManagedTransferService(
-        rate_for=lambda _s, _d: config.rate_bps,
+        rate_for=lambda _s, _d: sched.rate_advice(config.file_bytes),
         concurrency=config.concurrency,
         restart_policy=RestartPolicy(
             marker_interval_bytes=config.marker_interval_bytes,

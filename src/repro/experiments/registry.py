@@ -102,11 +102,18 @@ def scenario_names() -> list[str]:
 
 @register_scenario("chaos")
 def _scenario_chaos(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
-    """One fault-injection campaign over the VC stack (Ext-O cell)."""
+    """One fault-injection campaign over the VC stack (Ext-O cell).
+
+    ``scheduler`` is a spec axis, not a :class:`ChaosConfig` field: it
+    names the :mod:`repro.sched` policy steering the campaign (default
+    ``"fcfs"``).  Specs without it keep their historical cache keys.
+    """
     from .campaigns import chaos_config_from_params, report_to_dict, run_chaos
 
-    config = chaos_config_from_params(params)
-    return report_to_dict(run_chaos(config, seed=seed))
+    kwargs = dict(params)
+    scheduler = kwargs.pop("scheduler", None)
+    config = chaos_config_from_params(kwargs)
+    return report_to_dict(run_chaos(config, seed=seed, scheduler=scheduler))
 
 
 @register_scenario("profile")
@@ -183,10 +190,14 @@ def _scenario_managed(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
         run_managed_chaos,
     )
 
-    config = managed_config_from_params(params)
+    kwargs = dict(params)
+    scheduler = kwargs.pop("scheduler", None)
+    config = managed_config_from_params(kwargs)
     # inflation is math.inf when no file moved; sentinel-encode so the
     # result stays strict-JSON cacheable
-    return encode_nonfinite(run_managed_chaos(config, seed=seed).as_dict())
+    return encode_nonfinite(
+        run_managed_chaos(config, seed=seed, scheduler=scheduler).as_dict()
+    )
 
 
 @register_scenario("sleep")
@@ -288,6 +299,67 @@ def _scenario_service_loadtest(
         raise ValueError(f"unknown loadtest mode {mode!r}")
     report.validate()
     return report.as_dict()
+
+
+@register_scenario("sched_compare")
+def _scenario_sched_compare(
+    params: Mapping[str, Any], seed: int
+) -> dict[str, Any]:
+    """One seeded workload replayed through every scheduling policy.
+
+    A cell of the scheduler-comparison campaign: the deterministic
+    load-test twin runs once per policy in ``params["schedulers"]``
+    (default: fcfs, predictive, global) on the *same* arrival schedule
+    and request mix, so blocking-rate / goodput / makespan / fairness
+    deltas are attributable to the policy alone.  Each per-scheduler
+    entry carries ``availability`` + ``goodput_bps``, the pair the
+    ``pareto_front`` analysis scenario consumes.
+    """
+    from ..sched import run_sched_comparison
+    from .campaigns import encode_nonfinite
+
+    return encode_nonfinite(run_sched_comparison(dict(params), seed))
+
+
+@register_scenario("sched_cost_curve")
+def _scenario_sched_cost_curve(
+    params: Mapping[str, Any], seed: int
+) -> dict[str, Any]:
+    """Prediction-error cost curve for the predictive scheduler.
+
+    Sweeps a fixed multiplicative bias around the oracle predictor
+    (bias 1.0) over the deterministic load-test twin and reports what
+    each level of prediction error costs in blocking rate, goodput, and
+    deadline expiry — the DESIGN.md §16 methodology.
+    """
+    from ..sched.predictive import prediction_error_cost_curve
+    from .campaigns import encode_nonfinite
+
+    kwargs = dict(params)
+    biases = kwargs.pop("biases", None)
+    if biases is not None:
+        return encode_nonfinite(
+            prediction_error_cost_curve(
+                kwargs, seed, biases=tuple(float(b) for b in biases)
+            )
+        )
+    return encode_nonfinite(prediction_error_cost_curve(kwargs, seed))
+
+
+@register_scenario("latency_sweep", needs_artifacts=True)
+def _scenario_latency_sweep(
+    params: Mapping[str, Any], seed: int, artifacts: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Per-offered-rate latency quantile table over load-test grids.
+
+    Reads every resolved ``service_loadtest`` cell and tabulates its
+    p50/p95/p99 latency against the cell's ``rate_per_s`` axis value
+    (grouped by scheduler), so scheduler comparisons get their
+    latency-vs-offered-rate curves straight from the report JSON.
+    """
+    from ..service.loadtest import latency_sweep_table
+
+    return latency_sweep_table(artifacts)
 
 
 @register_scenario("stream_analyze")

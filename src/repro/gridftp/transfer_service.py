@@ -112,6 +112,14 @@ class ManagedTransferService:
         Maximum simultaneously-active tasks (Globus's endpoint limit).
     fault_model, restart_policy, max_attempts_per_file:
         Passed through to the reliability layer.
+    pick_next:
+        Optional queue-order hook: a callable receiving the queued
+        :class:`TransferTask` objects and returning the ``task_id`` to
+        activate next.  ``None`` (the default) keeps strict FIFO —
+        bit-exact with the historical service.  This is the seam the
+        scheduling layer plugs into, e.g.
+        ``pick_next=lambda ts: min(ts, key=dispatch_priority).task_id``
+        with :func:`repro.sched.globalsched.dispatch_priority`.
     """
 
     def __init__(
@@ -121,11 +129,13 @@ class ManagedTransferService:
         fault_model: FaultModel | None = None,
         restart_policy: RestartPolicy | None = None,
         max_attempts_per_file: int = 10,
+        pick_next=None,
     ) -> None:
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
         self.rate_for = rate_for
         self.concurrency = concurrency
+        self.pick_next = pick_next
         self._reliable = ReliableTransferService(
             fault_model or FaultModel(0.0),
             restart_policy,
@@ -244,7 +254,17 @@ class ManagedTransferService:
 
         def activate() -> None:
             while self._queue and len(active) < self.concurrency:
-                tid = self._queue.pop(0)
+                if self.pick_next is None:
+                    tid = self._queue.pop(0)
+                else:
+                    tid = self.pick_next(
+                        [self._tasks[q] for q in self._queue]
+                    )
+                    if tid not in self._queue:
+                        raise ValueError(
+                            f"pick_next returned {tid!r}, not a queued task"
+                        )
+                    self._queue.remove(tid)
                 t = self._tasks[tid]
                 t.state = TaskState.ACTIVE
                 active.append(tid)

@@ -1,0 +1,85 @@
+"""The scheduler-comparison campaign: one workload, every policy.
+
+:func:`run_sched_comparison` replays one seeded open-loop workload
+through the deterministic load-test twin once per scheduling policy and
+reports each policy's blocking rate, goodput, makespan, deadline
+expiry, tail latency, and Jain fairness, plus the deltas against the
+``fcfs`` baseline.  Because the twin is bit-deterministic and the
+arrival schedule / request mix are drawn before any policy decision,
+every difference in the table is attributable to the scheduler alone.
+
+Registered as the ``sched_compare`` spec scenario, so a grid of these
+cells rides the ordinary pipeline; each per-scheduler entry carries
+``availability`` + ``goodput_bps``, the pair the ``pareto_front``
+analysis scenario consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["run_sched_comparison", "DEFAULT_SCHEDULERS"]
+
+DEFAULT_SCHEDULERS: tuple[str, ...] = ("fcfs", "predictive", "global")
+
+#: the per-policy numbers a comparison row carries
+_DELTA_KEYS = ("blocking_rate", "goodput_bps", "makespan_s", "expired_frac")
+
+
+def run_sched_comparison(
+    params: dict[str, Any], seed: int
+) -> dict[str, Any]:
+    """Run one workload through each named scheduler; tabulate the trade.
+
+    ``params`` are ordinary load-test-twin params plus an optional
+    ``schedulers`` list (default: fcfs, predictive, global).  The same
+    ``seed`` — hence the byte-identical arrival schedule and request
+    mix — is handed to every policy.
+    """
+    from ..service.loadtest import run_loadtest_sim
+    from .base import make_scheduler  # validates names before any run
+
+    names = tuple(params.get("schedulers", DEFAULT_SCHEDULERS))
+    if not names:
+        raise ValueError("schedulers must name at least one policy")
+    base = {k: v for k, v in params.items() if k not in ("schedulers", "mode")}
+
+    rows: dict[str, dict[str, Any]] = {}
+    for name in names:
+        make_scheduler(name, None)  # fail fast on an unknown name
+        report = run_loadtest_sim(dict(base, scheduler=name), seed)
+        report.validate()
+        rows[name] = {
+            "census": report.census(),
+            "blocking_rate": report.shed_fraction,
+            "availability": report.availability,
+            "goodput_bps": report.goodput_bps,
+            "bytes_moved": report.bytes_moved,
+            "makespan_s": report.duration_s,
+            "expired_frac": (
+                report.n_expired / report.n_accepted
+                if report.n_accepted
+                else 0.0
+            ),
+            "fairness_jain": report.fairness_jain,
+            "latency_p50_s": report.latency_p50_s,
+            "latency_p95_s": report.latency_p95_s,
+            "latency_p99_s": report.latency_p99_s,
+        }
+
+    out: dict[str, Any] = {
+        "seed": seed,
+        "schedulers": list(names),
+        "results": rows,
+    }
+    baseline = rows.get("fcfs")
+    if baseline is not None:
+        deltas: dict[str, dict[str, float]] = {}
+        for name, row in rows.items():
+            if name == "fcfs":
+                continue
+            deltas[name] = {
+                key: row[key] - baseline[key] for key in _DELTA_KEYS
+            }
+        out["vs_fcfs"] = deltas
+    return out

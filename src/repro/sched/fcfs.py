@@ -1,0 +1,40 @@
+"""The first-come scheduler: the seed behaviour, verbatim.
+
+Every decision is exactly what the pre-seam code did — admission
+through the bounded-queue controller, strict FIFO dispatch, the
+:func:`~repro.service.budget.plan_path` ladder at the *nominal* rates,
+the nominal circuit rate requested for every reservation, provisioning
+never deferred.  The golden-pin tests hold this class bit-exact against
+the pre-refactor chaos, managed-service, and load-test reports: any
+drift here is a regression, not a tuning choice.
+"""
+
+from __future__ import annotations
+
+from ..service.budget import DeadlineBudget, TransferPlan, plan_path
+from .base import TransferScheduler, register_scheduler
+
+__all__ = ["FcfsScheduler"]
+
+
+@register_scheduler
+class FcfsScheduler(TransferScheduler):
+    """First-come, first-served: admission order is service order."""
+
+    name = "fcfs"
+
+    def plan(
+        self,
+        budget: DeadlineBudget,
+        total_bytes: float,
+        setup_estimate_s: float,
+    ) -> TransferPlan:
+        c = self.config
+        return plan_path(
+            budget,
+            total_bytes,
+            c.vc_rate_bps,
+            c.ip_rate_bps,
+            setup_estimate_s,
+            safety_factor=c.vc_safety_factor,
+        )

@@ -21,6 +21,13 @@ one-minute-plus *real* backoff — fifty virtual hours).
 
 Rejection reasons are counted per cause (queue-full, tenant-quota,
 draining) — the shed census the status endpoint reports.
+
+Since the pluggable-scheduling refactor, every
+:class:`~repro.sched.base.TransferScheduler` *owns* one controller
+(``scheduler.admission``) and forwards its admit/settle/retry-after
+calls to it — the daemon and the load-test twin reach admission only
+through that seam, so a policy can veto or re-order work without
+re-implementing the queue/quota/ledger bookkeeping here.
 """
 
 from __future__ import annotations

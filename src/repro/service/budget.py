@@ -13,6 +13,14 @@ when the remaining budget can no longer fit a VC setup *plus* the
 transfer at circuit rate, the request degrades to the routed-IP path
 instead of burning its deadline waiting on signalling
 (:func:`plan_path` encodes the ladder).
+
+:func:`plan_path` is the *baseline* degradation ladder of the pluggable
+scheduling seam: :class:`repro.sched.fcfs.FcfsScheduler` calls it with
+nominal rates (bit-exact with the historical daemon), while
+:class:`repro.sched.predictive.PredictiveScheduler` runs the same
+ladder with a *predicted* circuit rate.  Call sites take the plan from
+:meth:`repro.sched.base.TransferScheduler.plan`, never from here
+directly.
 """
 
 from __future__ import annotations

@@ -56,9 +56,8 @@ from ..gridftp.transfer_service import TransferTask
 from ..net.topology import esnet_like
 from ..vc.circuits import BatchSignalling
 from ..vc.oscars import OscarsIDC, ReservationRejected, ReservationRequest
-from .admission import AdmissionController
 from .api import MAX_LINE_BYTES, decode_line, encode_line, error_response
-from .budget import DeadlineBudget, PathChoice, plan_path
+from .budget import DeadlineBudget, PathChoice
 from .health import HealthMonitor, ServiceMetrics
 from .supervisor import Supervisor
 
@@ -84,6 +83,11 @@ class InjectedCrash(RuntimeError):
 #: queue sentinel carried by the ``crash`` chaos op
 _CRASH = object()
 
+#: work-queue token: "the scheduler holds a request for you" — workers
+#: block on the asyncio queue for wakeups, but the *order* requests are
+#: served in is the scheduler's decision, not the queue's
+_WAKE = object()
+
 
 @dataclasses.dataclass(frozen=True)
 class DaemonConfig:
@@ -106,6 +110,8 @@ class DaemonConfig:
     default_deadline_s: float | None = None
     #: VC chosen only when budget >= setup + transfer * safety
     vc_safety_factor: float = 1.25
+    #: scheduling policy: "fcfs" | "predictive" | "global" (DESIGN.md §16)
+    scheduler: str = "fcfs"
     # -- fault storm knobs (virtual time) ---------------------------------
     reject_prob: float = 0.0
     setup_timeout_prob: float = 0.0
@@ -151,6 +157,13 @@ class DaemonConfig:
             raise ValueError("max_crash_requeues must be non-negative")
         if self.default_deadline_s is not None and self.default_deadline_s <= 0:
             raise ValueError("default_deadline_s must be positive")
+        from ..sched.base import SCHEDULER_NAMES
+
+        if self.scheduler not in SCHEDULER_NAMES():
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}: choose one of "
+                f"{', '.join(SCHEDULER_NAMES())}"
+            )
 
     def as_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -244,11 +257,25 @@ class TransferDaemon:
         )
         self.stats = RecoveryStats()
         self.metrics = ServiceMetrics()
-        self.admission = AdmissionController(
-            queue_limit=config.queue_limit,
-            tenant_quota=config.tenant_quota,
-            workers=config.workers,
+        # every scheduling decision — admit/shed, dispatch order, the
+        # degradation ladder, circuit rate, reservation windows — is the
+        # policy object's (DESIGN.md §16); the daemon just asks it.
+        # Imported lazily: repro.sched imports this package's modules.
+        from ..sched.base import SchedulerConfig, make_scheduler
+
+        self.sched = make_scheduler(
+            config.scheduler,
+            SchedulerConfig(
+                workers=config.workers,
+                queue_limit=config.queue_limit,
+                tenant_quota=config.tenant_quota,
+                vc_rate_bps=config.vc_rate_bps,
+                ip_rate_bps=config.ip_rate_bps,
+                vc_safety_factor=config.vc_safety_factor,
+            ),
         )
+        #: the policy's admission controller (status/health/drain views)
+        self.admission = self.sched.admission
         self.supervisor = Supervisor()
         self.supervisor.on_crash = self._on_loop_crash
         self.monitor = HealthMonitor(
@@ -464,7 +491,7 @@ class TransferDaemon:
             return error_response(
                 "invalid submission: tenant must be a non-empty string"
             )
-        decision = self.admission.try_admit(tenant)
+        decision = self.sched.admit(tenant)
         if not decision.admitted:
             self.metrics.n_shed += 1
             return error_response(
@@ -494,7 +521,7 @@ class TransferDaemon:
             # invalid submission: hand the admission slot straight back
             # and count it, so n_submitted == n_accepted + n_shed +
             # n_invalid always balances
-            self.admission.on_settle(tenant, started=False)
+            self.sched.on_settle(tenant, started=False)
             self.metrics.n_invalid += 1
             return error_response(f"invalid submission: {exc}")
         req = ServiceRequest(
@@ -507,7 +534,8 @@ class TransferDaemon:
         self._requests[rid] = req
         self.metrics.n_accepted += 1
         assert self._queue is not None
-        self._queue.put_nowait(req)
+        self.sched.enqueue(req)
+        self._queue.put_nowait(_WAKE)
         if msg.get("wait"):
             await req.settled.wait()
             return req.response()
@@ -547,11 +575,15 @@ class TransferDaemon:
             item = await self._queue.get()
             if item is _CRASH:
                 raise InjectedCrash(f"chaos crash op consumed by {name}")
-            req: ServiceRequest = item
+            # the token says work exists; *which* request runs next is
+            # the scheduler's global choice over everything pending
+            req: ServiceRequest | None = self.sched.next_request()
+            if req is None:
+                continue  # another worker raced us to the pending set
             if req.state != "queued":
                 continue  # settled while queued (drain checkpoint race)
             self._current[name] = req
-            self.admission.on_start(req.tenant)
+            self.sched.on_start(req.tenant)
             req.admission_stage = "in_flight"
             req.state = "active"
             req.exec_started_vt = self.vnow()
@@ -584,9 +616,10 @@ class TransferDaemon:
             return
         req.state = "queued"
         req.admission_stage = "queued"
-        self.admission.on_requeue(req.tenant)
+        self.sched.on_requeue(req.tenant)
         assert self._queue is not None
-        self._queue.put_nowait(req)
+        self.sched.enqueue(req)
+        self._queue.put_nowait(_WAKE)
         logger.warning(
             "request %d re-enqueued after %r crash", req.request_id, name
         )
@@ -604,17 +637,17 @@ class TransferDaemon:
         setup_estimate = max(
             self.idc.setup_delay.ready_time(now) - now, 0.0
         )
-        plan = plan_path(
-            req.budget,
-            req.task.total_bytes,
-            c.vc_rate_bps,
-            c.ip_rate_bps,
-            setup_estimate,
-            safety_factor=c.vc_safety_factor,
+        plan = self.sched.plan(
+            req.budget, req.task.total_bytes, setup_estimate
         )
         if plan.choice is PathChoice.VC:
+            # the circuit rate to *request* is the policy's advice (fcfs:
+            # the nominal rate; predictive: history's achievable rate)
+            vc_rate = self.sched.rate_advice(req.task.total_bytes)
             try:
-                vc = await self._reserve(req, plan.transfer_estimate_s)
+                vc = await self._reserve(
+                    req, plan.transfer_estimate_s, vc_rate
+                )
             except ReservationRejected:
                 # retries exhausted: recover on the routed path
                 req.path = PathChoice.IP_FALLBACK.value
@@ -624,7 +657,7 @@ class TransferDaemon:
                 return
             # signalling landed, but the waits may have eaten the budget:
             # re-check before committing the bytes to the circuit
-            vc_transfer = req.task.total_bytes * 8.0 / c.vc_rate_bps
+            vc_transfer = req.task.total_bytes * 8.0 / vc_rate
             if not req.budget.can_afford(vc_transfer):
                 self._teardown(vc)
                 req.path = PathChoice.IP_DEGRADED.value
@@ -643,19 +676,25 @@ class TransferDaemon:
             self.stats.n_fallbacks += 1
             await self._ride(req, c.ip_rate_bps, outages=None)
 
-    async def _reserve(self, req: ServiceRequest, transfer_estimate_s: float):
+    async def _reserve(
+        self,
+        req: ServiceRequest,
+        transfer_estimate_s: float,
+        rate_bps: float,
+    ):
         """Reserve + provision a circuit, living through injected faults."""
         c = self.config
         now = self.vnow()
-        window_end = (
-            now + self.idc.setup_delay.worst_case_s()
-            + 3.0 * transfer_estimate_s + 600.0
+        window_start, window_end = self.sched.reservation_window(
+            now,
+            transfer_estimate_s,
+            worst_case_setup_s=self.idc.setup_delay.worst_case_s(),
         )
         request = ReservationRequest(
             src=c.src,
             dst=c.dst,
-            bandwidth_bps=c.vc_rate_bps,
-            start_time=now,
+            bandwidth_bps=rate_bps,
+            start_time=window_start,
             end_time=window_end,
         )
         vc, waited = self.idc.create_reservation_with_retry(
@@ -751,9 +790,9 @@ class TransferDaemon:
         elif state == "checkpointed":
             self.metrics.n_checkpointed += 1
         if req.admission_stage == "queued":
-            self.admission.on_settle(req.tenant, started=False)
+            self.sched.on_settle(req.tenant, started=False)
         elif req.admission_stage == "in_flight":
-            self.admission.on_settle(req.tenant, started=True)
+            self.sched.on_settle(req.tenant, started=True)
         req.admission_stage = "done"
         if req.exec_started_vt is not None:
             # clock-domain boundary: the budget runs in *virtual* seconds
@@ -762,9 +801,14 @@ class TransferDaemon:
             # from execution start, not submit, so backlog queue wait
             # does not compound the backoff
             exec_virtual_s = max(self.vnow() - req.exec_started_vt, 0.0)
-            self.admission.note_service_s(
+            self.sched.note_service_s(
                 exec_virtual_s / self.config.time_scale
             )
+            if req.path is not None and state == "succeeded":
+                # the policy learns from what the ride achieved
+                self.sched.observe(
+                    req.task.total_bytes, exec_virtual_s, req.path
+                )
         req.settled.set()
 
 

@@ -43,9 +43,8 @@ import math
 import os
 import tempfile
 import time
-from collections import deque
 from collections.abc import Mapping
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -53,10 +52,12 @@ from ..core.rng import ensure_rng
 from ..core.streaming import QuantileSketch
 from ..vc.circuits import BatchSignalling
 from ..workload.diurnal import DiurnalProfile, sample_arrivals
-from .admission import AdmissionController
 from .api import AsyncServiceClient
-from .budget import DeadlineBudget, PathChoice, plan_path
+from .budget import DeadlineBudget, PathChoice
 from .daemon import DaemonConfig, TransferDaemon
+
+if TYPE_CHECKING:  # the sched package imports this module; stay lazy
+    from ..sched.base import TransferScheduler
 
 __all__ = [
     "FIG6_HOURLY",
@@ -70,6 +71,7 @@ __all__ = [
     "LoadTestReport",
     "run_loadtest",
     "run_loadtest_sim",
+    "latency_sweep_table",
 ]
 
 #: relative arrival intensity by hour of day, sampled from the paper's
@@ -377,6 +379,17 @@ class LoadTestReport:
     n_outstanding_samples: int
     #: largest retry-after hint seen on a shed response (wall seconds)
     retry_after_max_s: float | None
+    #: the scheduling policy the run served under (DESIGN.md §16)
+    scheduler: str = "fcfs"
+    #: fraction of *offered* submissions that fully succeeded — with
+    #: goodput_bps, the pair the pareto_front analysis consumes
+    availability: float = 0.0
+    #: bytes fully moved by succeeded requests (sim twin; 0 when untracked)
+    bytes_moved: float = 0.0
+    #: succeeded-bytes goodput over the storm duration, bits/s
+    goodput_bps: float = 0.0
+    #: Jain fairness index over per-tenant success counts (None untracked)
+    fairness_jain: float | None = None
 
     @property
     def n_settled(self) -> int:
@@ -456,6 +469,9 @@ def _report_from_counts(
     outstanding_bound: int,
     retry_after_max_s: float | None,
     time_scale: float,
+    scheduler: str = "fcfs",
+    bytes_moved: float = 0.0,
+    tenant_succeeded: Mapping[str, int] | None = None,
 ) -> LoadTestReport:
     lat = recorder.summary()
     n_offered = int(counts["n_offered"])
@@ -492,7 +508,33 @@ def _report_from_counts(
         outstanding_bound=int(outstanding_bound),
         n_outstanding_samples=len(outstanding_samples),
         retry_after_max_s=retry_after_max_s,
+        scheduler=scheduler,
+        availability=(
+            int(counts["n_succeeded"]) / n_offered if n_offered else 0.0
+        ),
+        bytes_moved=float(bytes_moved),
+        goodput_bps=(
+            bytes_moved * 8.0 / duration_s if duration_s > 0 else 0.0
+        ),
+        fairness_jain=_jain_index(tenant_succeeded),
     )
+
+
+def _jain_index(counts: Mapping[str, int] | None) -> float | None:
+    """Jain's fairness index over per-tenant success counts.
+
+    1.0 when every tenant succeeded equally, → 1/n when one tenant took
+    everything.  ``None`` when the run did not track tenants (live
+    driver) or no tenant succeeded at all.
+    """
+    if not counts:
+        return None
+    values = list(counts.values())
+    square_sum = sum(v * v for v in values)
+    if square_sum == 0:
+        return None
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
 
 
 # ---------------------------------------------------------------------------
@@ -517,6 +559,7 @@ def _daemon_config(
         drain_grace_s=float(params.get("drain_grace_s", 15.0)),
         status_interval_s=0.05,
         seed=seed,
+        scheduler=str(params.get("scheduler", "fcfs")),
     )
 
 
@@ -766,17 +809,30 @@ class _SimRequest:
     arrived_at: float
 
 
-def run_loadtest_sim(params: Mapping[str, Any], seed: int) -> LoadTestReport:
+def run_loadtest_sim(
+    params: Mapping[str, Any],
+    seed: int,
+    scheduler: "TransferScheduler | None" = None,
+) -> LoadTestReport:
     """The load test as a deterministic discrete-event model.
 
     Replays the same seeded arrival schedule and request mix as
-    :func:`run_loadtest` through the daemon's *actual* admission
-    controller and path planner (:func:`plan_path`), with service times
-    from the batch-signalling cadence plus seeded jitter, on a
+    :func:`run_loadtest` through a real
+    :class:`~repro.sched.TransferScheduler` — admission, dispatch
+    order, and the degradation ladder are *its* decisions (the default
+    ``fcfs`` policy is the daemon's admission controller plus
+    :func:`plan_path`, bit-exact with the pre-seam twin) — with service
+    times from the batch-signalling cadence plus seeded jitter, on a
     hand-cranked virtual clock.  Free of real concurrency, so two runs
-    with one seed produce *identical* reports (modulo ``wall_s``) —
-    the regression anchor the Ext-U bench pins.
+    with one seed and one policy produce *identical* reports (modulo
+    ``wall_s``) — the regression anchor the Ext-U bench pins.
+
+    Pass ``scheduler`` to drive a pre-built policy object (the
+    prediction-error cost curve injects biased predictors this way);
+    otherwise ``params["scheduler"]`` names the policy.
     """
+    from ..sched.base import SchedulerConfig, make_scheduler
+
     rng = np.random.default_rng(seed)
     schedule = build_schedule(params, rng)
     mix = RequestMix.from_params(params, rng)
@@ -796,11 +852,19 @@ def run_loadtest_sim(params: Mapping[str, Any], seed: int) -> LoadTestReport:
         batch_window_s=float(params.get("batch_window_s", 60.0))
     )
 
-    admission = AdmissionController(
-        queue_limit=int(params.get("queue_limit", 16)),
-        tenant_quota=int(params.get("tenant_quota", 8)),
-        workers=workers,
-    )
+    if scheduler is None:
+        scheduler = make_scheduler(
+            str(params.get("scheduler", "fcfs")),
+            SchedulerConfig(
+                workers=workers,
+                queue_limit=int(params.get("queue_limit", 16)),
+                tenant_quota=int(params.get("tenant_quota", 8)),
+                vc_rate_bps=vc_rate,
+                ip_rate_bps=ip_rate,
+                vc_safety_factor=safety,
+            ),
+        )
+    admission = scheduler.admission
     clock = [0.0]
     counts = {
         "n_offered": 0, "n_accepted": 0, "n_shed": 0, "n_invalid": 0,
@@ -810,8 +874,9 @@ def run_loadtest_sim(params: Mapping[str, Any], seed: int) -> LoadTestReport:
     recorder = LatencyRecorder()
     outstanding_samples: list[int] = []
     retry_after_max: float | None = None
-    fifo: deque[_SimRequest] = deque()
     free_workers = workers
+    bytes_moved = 0.0
+    tenant_succeeded: dict[str, int] = {}
 
     t_start = time.perf_counter()
     events: list[tuple[float, int, str, Any]] = []
@@ -822,13 +887,17 @@ def run_loadtest_sim(params: Mapping[str, Any], seed: int) -> LoadTestReport:
     heapq.heapify(events)
 
     def service_time(req: _SimRequest) -> tuple[float, str]:
-        """One request's service seconds and the path it rides."""
+        """One request's service seconds and the path it rides.
+
+        The *path* is the scheduler's call (its degradation ladder at
+        whatever rate model it keeps); the *service seconds* are the
+        sim's ground truth — actual configured rates, signalling
+        cadence, seeded jitter and flaps — so a policy that mispredicts
+        pays for it in outcomes rather than bending physics.
+        """
         now = clock[0]
         setup = max(signalling.ready_time(now) - now, 0.0)
-        plan = plan_path(
-            req.budget, req.total_bytes, vc_rate, ip_rate, setup,
-            safety_factor=safety,
-        )
+        plan = scheduler.plan(req.budget, req.total_bytes, setup)
         jitter = float(np.exp(service_rng.normal(0.0, jitter_sigma)))
         if plan.choice is PathChoice.VC:
             if reject_prob > 0 and service_rng.random() < reject_prob:
@@ -848,14 +917,14 @@ def run_loadtest_sim(params: Mapping[str, Any], seed: int) -> LoadTestReport:
 
     def dispatch() -> None:
         nonlocal free_workers, seq
-        while free_workers > 0 and fifo:
-            req = fifo.popleft()
-            admission.on_start(req.tenant)
+        while free_workers > 0 and scheduler.n_pending:
+            req = scheduler.next_request()
+            scheduler.on_start(req.tenant)
             free_workers -= 1
             svc, path = service_time(req)
             paths[path] = paths.get(path, 0) + 1
             heapq.heappush(
-                events, (clock[0] + svc, seq, "done", (req, svc))
+                events, (clock[0] + svc, seq, "done", (req, svc, path))
             )
             seq += 1
 
@@ -866,7 +935,7 @@ def run_loadtest_sim(params: Mapping[str, Any], seed: int) -> LoadTestReport:
             i = payload
             item = mix[i]
             counts["n_offered"] += 1
-            decision = admission.try_admit(item["tenant"])
+            decision = scheduler.admit(item["tenant"])
             if not decision.admitted:
                 counts["n_shed"] += 1
                 if decision.retry_after_s is not None:
@@ -876,11 +945,11 @@ def run_loadtest_sim(params: Mapping[str, Any], seed: int) -> LoadTestReport:
             elif item["invalid"]:
                 # mirrors the daemon: admitted, then refused at
                 # validation with the slot handed straight back
-                admission.on_settle(item["tenant"], started=False)
+                scheduler.on_settle(item["tenant"], started=False)
                 counts["n_invalid"] += 1
             else:
                 counts["n_accepted"] += 1
-                fifo.append(_SimRequest(
+                scheduler.enqueue(_SimRequest(
                     index=i,
                     tenant=item["tenant"],
                     total_bytes=float(sum(item["file_sizes"])),
@@ -891,13 +960,22 @@ def run_loadtest_sim(params: Mapping[str, Any], seed: int) -> LoadTestReport:
                 ))
                 dispatch()
         else:
-            req, svc = payload
+            req, svc, path = payload
             free_workers += 1
-            admission.on_settle(req.tenant, started=True)
+            scheduler.on_settle(req.tenant, started=True)
             # the fixed daemon feeds *wall* execution seconds to the EWMA
-            admission.note_service_s(svc / time_scale)
-            outcome = "n_expired" if req.budget.expired else "n_succeeded"
-            counts[outcome] += 1
+            scheduler.note_service_s(svc / time_scale)
+            # the policy sees what the ride achieved (observe never
+            # draws RNG, so the seeded streams stay aligned)
+            scheduler.observe(req.total_bytes, svc, path)
+            if req.budget.expired:
+                counts["n_expired"] += 1
+            else:
+                counts["n_succeeded"] += 1
+                bytes_moved += req.total_bytes
+                tenant_succeeded[req.tenant] = (
+                    tenant_succeeded.get(req.tenant, 0) + 1
+                )
             recorder.record(t - req.arrived_at)
             dispatch()
         outstanding_samples.append(admission.outstanding)
@@ -919,4 +997,62 @@ def run_loadtest_sim(params: Mapping[str, Any], seed: int) -> LoadTestReport:
         outstanding_bound=admission.queue_limit,
         retry_after_max_s=retry_after_max,
         time_scale=time_scale,
+        scheduler=scheduler.name,
+        bytes_moved=bytes_moved,
+        tenant_succeeded=tenant_succeeded,
     )
+
+
+# ---------------------------------------------------------------------------
+# cross-cell analysis: latency vs offered rate
+
+
+def latency_sweep_table(artifacts: Mapping[str, Any]) -> dict[str, Any]:
+    """Per-offered-rate latency quantile table over load-test grids.
+
+    ``artifacts`` maps dependency names to resolved ``ArtifactSet``
+    objects — what the Runner hands the ``latency_sweep`` analysis
+    scenario.  Every upstream cell that carries latency quantiles (any
+    ``service_loadtest`` result) contributes one row keyed by its
+    offered rate (the ``rate_per_s`` axis value) and scheduler, so a
+    scheduler comparison reads its tail-latency curves straight from
+    the report JSON instead of re-deriving them from raw cells.
+    """
+    rows: list[dict[str, Any]] = []
+    for dep in sorted(artifacts):
+        for artifact in artifacts[dep]:
+            result = artifact.result
+            if not isinstance(result, Mapping) or "latency_p50_s" not in result:
+                continue
+            rate = artifact.coords.get(
+                "rate_per_s", artifact.params.get("rate_per_s")
+            )
+            if rate is None:
+                continue
+            rows.append(
+                {
+                    "source": dep,
+                    "index": artifact.index,
+                    "coords": dict(artifact.coords),
+                    "rate_per_s": float(rate),
+                    "scheduler": str(result.get("scheduler", "fcfs")),
+                    "offered_rps": result.get("offered_rps"),
+                    "shed_fraction": result.get("shed_fraction"),
+                    "latency_p50_s": result.get("latency_p50_s"),
+                    "latency_p95_s": result.get("latency_p95_s"),
+                    "latency_p99_s": result.get("latency_p99_s"),
+                }
+            )
+    if not rows:
+        raise ValueError(
+            "no upstream cell carries latency quantiles; point the "
+            f"latency_sweep stage at service_loadtest grids "
+            f"(needs resolved: {sorted(artifacts)})"
+        )
+    rows.sort(key=lambda r: (r["scheduler"], r["rate_per_s"], r["index"]))
+    return {
+        "n_cells": len(rows),
+        "rates_per_s": sorted({r["rate_per_s"] for r in rows}),
+        "schedulers": sorted({r["scheduler"] for r in rows}),
+        "table": rows,
+    }

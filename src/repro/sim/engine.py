@@ -67,6 +67,18 @@ class EventLoop:
         """Number of callbacks executed so far (diagnostics)."""
         return self._n_processed
 
+    def next_boundary(self, window_s: float) -> float:
+        """First multiple of ``window_s`` strictly after the clock.
+
+        The cadence helper batch daemons wake on: the provisioner arms
+        its first tick here, and scheduling policies that defer a
+        provision (:meth:`repro.sched.base.TransferScheduler.approve_provision`)
+        get re-asked at exactly these instants.
+        """
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        return ((self._now // window_s) + 1) * window_s
+
     def schedule(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute ``time``; returns a cancellable handle."""
         if time < self._now:

@@ -52,6 +52,7 @@ __all__ = [
     "chaos_sweep",
     "ProfileReport",
     "profile_campaign",
+    "run_sched_comparison",
 ]
 
 #: campaign names that moved to the experiment framework, re-exported
@@ -68,11 +69,21 @@ _MOVED_TO_CAMPAIGNS = (
 )
 
 
+#: scheduler-comparison campaigns live in :mod:`repro.sched`; the sim
+#: asks the same scheduler objects the service daemon uses, so the
+#: comparison entry point is re-exported here alongside the chaos ones
+_FROM_SCHED = ("run_sched_comparison",)
+
+
 def __getattr__(name: str):
     if name in _MOVED_TO_CAMPAIGNS:
         from ..experiments import campaigns
 
         return getattr(campaigns, name)
+    if name in _FROM_SCHED:
+        from .. import sched
+
+        return getattr(sched, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -19,6 +19,14 @@ paper's setup-delay tradeoff implies:
   the bytes start moving on the default IP path immediately — circuits
   are an optimization, never a blocker — and optionally *migrate* onto
   the circuit once signalling completes.
+
+:class:`FallbackPolicy` is consumed through the pluggable scheduling
+seam: every :class:`~repro.sched.base.TransferScheduler` owns one and
+exposes it as
+:meth:`~repro.sched.base.TransferScheduler.decide_fallback`, so the
+daemon, the load-test twin, and the chaos campaigns all take the
+VC-vs-IP decision from the same policy object the scheduler was built
+with.
 """
 
 from __future__ import annotations

@@ -63,6 +63,14 @@ class AutoProvisioner:
         Retry pacing, jitter source, and the shared
         :class:`~repro.faults.recovery.RecoveryStats` the retries are
         counted into.
+    scheduler:
+        Optional :class:`~repro.sched.base.TransferScheduler`: when
+        set, each activation attempt first asks
+        :meth:`~repro.sched.base.TransferScheduler.approve_provision`,
+        so a scheduling policy can hold a circuit in RESERVED (deferred,
+        retried on later ticks) without the daemon tearing it down.
+        ``None`` (the default) keeps the historical always-provision
+        behaviour bit for bit.
     """
 
     def __init__(
@@ -74,6 +82,7 @@ class AutoProvisioner:
         backoff=None,
         rng=None,
         stats=None,
+        scheduler=None,
     ) -> None:
         if batch_window_s <= 0:
             raise ValueError("batch window must be positive")
@@ -84,6 +93,7 @@ class AutoProvisioner:
         self.backoff = backoff
         self.rng = rng
         self.stats = stats
+        self.scheduler = scheduler
         self.actions: list[ProvisioningAction] = []
         self._running = False
         #: per-circuit failed-attempt count and earliest next retry time
@@ -95,10 +105,9 @@ class AutoProvisioner:
         if self._running:
             raise RuntimeError("provisioner already started")
         self._running = True
-        next_boundary = (
-            (self.loop.now // self.batch_window_s) + 1
-        ) * self.batch_window_s
-        self.loop.schedule(next_boundary, self._tick)
+        self.loop.schedule(
+            self.loop.next_boundary(self.batch_window_s), self._tick
+        )
 
     def _setup_faulted(self, circuit_id: int, now: float) -> bool:
         """Consult the injector; on a fault, arm the backoff gate."""
@@ -150,6 +159,11 @@ class AutoProvisioner:
                     continue
                 if now < self._retry_after.get(vc.circuit_id, -math.inf):
                     continue  # backing off after a failed setup attempt
+                if (
+                    self.scheduler is not None
+                    and not self.scheduler.approve_provision(vc, now)
+                ):
+                    continue  # policy defers: retry on a later tick
                 if self._setup_faulted(vc.circuit_id, now):
                     continue
                 self.idc.provision(vc.circuit_id, now=now)
